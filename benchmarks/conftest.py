@@ -1,0 +1,31 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper,
+prints the rows/series it reports, and asserts the qualitative shape
+(orderings, crossovers, gain magnitudes).  Population sizes default to a
+laptop-friendly fraction of the paper's 10 000 bursts; set
+``REPRO_BENCH_SAMPLES`` to override (e.g. 10000 for the full-scale run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads.random_data import random_bursts
+
+#: Number of random bursts used by the figure sweeps.
+BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "2000"))
+
+
+@pytest.fixture(scope="session")
+def population():
+    """The Monte-Carlo burst population shared by all figure benches."""
+    return random_bursts(count=BENCH_SAMPLES, seed=0x0DB1)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled block that survives pytest's capture with -s."""
+    print(f"\n===== {title} =====")
+    print(body)

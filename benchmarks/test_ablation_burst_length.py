@@ -1,0 +1,60 @@
+"""Ablation — burst length (beyond the paper).
+
+The trellis search is length-agnostic; this bench measures how the OPT
+advantage over the best conventional scheme grows with burst length
+(longer bursts amortise the DBI-lane overhead and give the shortest path
+more room to plan), and that the solver cost scales linearly.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.savings import savings_vs_best_conventional
+from repro.core.costs import CostModel
+from repro.core.encoder import DbiOptimal
+from repro.sim.report import markdown_table
+from repro.sim.runner import evaluate
+from repro.workloads.random_data import random_bursts
+
+LENGTHS = (2, 4, 8, 16, 32)
+
+
+def _gain_for_length(length: int) -> float:
+    bursts = random_bursts(count=400, burst_length=length, seed=7)
+    model = CostModel.fixed()
+    result = evaluate(["dbi-dc", "dbi-ac", DbiOptimal(model)], bursts,
+                      workload=f"bl{length}")
+    return savings_vs_best_conventional(result, model).saving_percent
+
+
+def test_ablation_burst_length(benchmark):
+    gains = benchmark.pedantic(
+        lambda: {length: _gain_for_length(length) for length in LENGTHS},
+        rounds=1, iterations=1)
+
+    emit("Ablation — OPT gain vs burst length (alpha = beta)",
+         markdown_table(["burst length", "OPT saving vs best conventional"],
+                        [[length, f"{gain:.2f}%"]
+                         for length, gain in gains.items()]))
+
+    # Savings exist at every length and BL8 (the paper's setting) sits in
+    # the useful range.
+    for length, gain in gains.items():
+        assert gain > 0, f"no gain at burst length {length}"
+    assert gains[8] > 3.0
+
+    # Longer bursts never reduce the gain dramatically: the BL32 gain
+    # stays within 2 points of the BL8 gain.
+    assert gains[32] > gains[8] - 2.0
+
+
+def test_solver_scales_linearly(benchmark):
+    """One trellis solve on a 64-byte burst — O(n) in burst length."""
+    from repro.core.burst import Burst
+    from repro.core.trellis import solve
+    import numpy as np
+    rng = np.random.default_rng(5)
+    long_burst = Burst(rng.integers(0, 256, size=64, dtype=np.uint8).tolist())
+    model = CostModel.fixed()
+    solution = benchmark(solve, long_burst, model)
+    assert len(solution.invert_flags) == 64

@@ -1,0 +1,52 @@
+"""Microbenchmarks — encoder throughput (software side).
+
+Times the hot paths a memory-controller-model simulation would stress:
+one trellis solve, batch encoding across schemes, and the gate-level
+netlist evaluation of the Fig. 5 hardware model.
+"""
+
+import pytest
+
+from repro.baselines import DbiAc, DbiDc
+from repro.core.costs import CostModel
+from repro.core.encoder import DbiOptimal
+from repro.core.trellis import solve
+from repro.hw.activity import netlist_invert_flags
+from repro.hw.encoders import build_opt_encoder
+
+
+def test_throughput_trellis_solve(benchmark, population):
+    model = CostModel.fixed()
+    burst = population[0]
+    benchmark(solve, burst, model)
+
+
+def test_throughput_opt_batch(benchmark, population):
+    model = CostModel.fixed()
+    scheme = DbiOptimal(model)
+    sample = population[:200]
+
+    def encode_batch():
+        return sum(scheme.encode(burst).zeros() for burst in sample)
+
+    total = benchmark(encode_batch)
+    assert total > 0
+
+
+def test_throughput_dc_batch(benchmark, population):
+    scheme = DbiDc()
+    sample = population[:200]
+    benchmark(lambda: sum(scheme.encode(b).zeros() for b in sample))
+
+
+def test_throughput_ac_batch(benchmark, population):
+    scheme = DbiAc()
+    sample = population[:200]
+    benchmark(lambda: sum(scheme.encode(b).zeros() for b in sample))
+
+
+def test_throughput_netlist_evaluation(benchmark, population):
+    netlist = build_opt_encoder(8)
+    burst = population[0]
+    flags = benchmark(netlist_invert_flags, netlist, burst)
+    assert len(flags) == 8

@@ -1,0 +1,46 @@
+"""Fig. 2 — the worked example: optimal DBI encoding as a shortest path.
+
+Regenerates the trellis solution and the Pareto frontier for the paper's
+example burst and benchmarks the trellis solver itself (the operation a
+memory controller would perform once per burst).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.baselines import DbiAc, DbiDc
+from repro.core.burst import PAPER_FIG2_BURST
+from repro.core.costs import CostModel
+from repro.core.pareto import enumerate_encodings, pareto_front, pareto_summary
+from repro.core.schemes import EncodedBurst
+from repro.core.trellis import solve
+
+PAPER_PARETO = {(26, 42), (27, 28), (28, 24), (29, 23), (43, 22)}
+
+
+def test_fig2_shortest_path(benchmark):
+    model = CostModel.fixed()
+    solution = benchmark(solve, PAPER_FIG2_BURST, model)
+
+    encoded = EncodedBurst(burst=PAPER_FIG2_BURST,
+                           invert_flags=solution.invert_flags)
+    transitions, zeros = encoded.activity()
+    dc = DbiDc().encode(PAPER_FIG2_BURST)
+    ac = DbiAc().encode(PAPER_FIG2_BURST)
+
+    rows = [
+        f"DBI DC : zeros={dc.zeros():2d} transitions={dc.transitions():2d} "
+        f"cost={dc.cost(model):.0f}   (paper: 26/42, cost 68)",
+        f"DBI AC : zeros={ac.zeros():2d} transitions={ac.transitions():2d} "
+        f"cost={ac.cost(model):.0f}   (paper: 43/22, cost 65)",
+        f"DBI OPT: zeros={zeros:2d} transitions={transitions:2d} "
+        f"cost={solution.total_cost:.0f}   (paper: 28/24, cost 52)",
+    ]
+    emit("Fig. 2 — worked example", "\n".join(rows))
+    emit("Fig. 2 — Pareto frontier", pareto_summary(PAPER_FIG2_BURST))
+
+    assert solution.total_cost == 52
+    assert (dc.zeros(), dc.transitions()) == (26, 42)
+    assert (ac.zeros(), ac.transitions()) == (43, 22)
+    frontier = pareto_front(enumerate_encodings(PAPER_FIG2_BURST))
+    assert {(p.zeros, p.transitions) for p in frontier} == PAPER_PARETO

@@ -1,0 +1,64 @@
+"""Fig. 3 — energy per burst vs AC-cost fraction for RAW/DC/AC/OPT.
+
+Sweeps alpha from 0 to 1 (beta = 1 - alpha) over the random-burst
+population, prints the series the paper plots, and asserts its landmarks:
+the ~0.56 AC/DC crossover and OPT's ~6.75 % peak gain.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.ascii_plot import quick_plot
+from repro.analysis.crossover import (
+    elementwise_min,
+    interpolated_crossing,
+    peak_advantage,
+)
+from repro.sim.report import format_alpha_sweep
+from repro.sim.sweep import alpha_sweep
+
+
+def test_fig3_alpha_sweep(benchmark, population):
+    result = benchmark.pedantic(alpha_sweep, args=(population,),
+                                kwargs={"points": 26},
+                                rounds=1, iterations=1)
+
+    emit("Fig. 3 — energy per burst (cost units)",
+         format_alpha_sweep(result, points=11))
+    emit("Fig. 3 — plot", quick_plot(
+        result.ac_costs,
+        {name: result.series[name]
+         for name in ("raw", "dbi-dc", "dbi-ac", "dbi-opt")},
+        title="energy per burst vs AC cost (paper Fig. 3)",
+        x_label="AC cost (alpha)", height=14))
+
+    raw = result.series["raw"]
+    dc = result.series["dbi-dc"]
+    ac = result.series["dbi-ac"]
+    opt = result.series["dbi-opt"]
+
+    # RAW is flat at ~32 cost units for uniform random bursts.
+    assert all(abs(value - 32.0) < 0.8 for value in raw)
+
+    # Endpoints: OPT degenerates to the specialist schemes.
+    assert opt[0] == pytest.approx(dc[0])
+    assert opt[-1] == pytest.approx(ac[-1])
+
+    # 'DBI AC encoding is cheaper than DBI DC encoding starting from 0.56.'
+    crossover = interpolated_crossing(result.ac_costs, ac, dc)
+    emit("Fig. 3 — landmarks", f"AC/DC crossover at alpha = {crossover:.3f} "
+         f"(paper: 0.56)")
+    assert crossover == pytest.approx(0.56, abs=0.04)
+
+    # 'the average cost per burst is ... 6.75% lower than with DBI AC or DC.'
+    best = elementwise_min(dc, ac)
+    peak_x, peak_gain = peak_advantage(result.ac_costs, opt, best)
+    emit("Fig. 3 — landmarks",
+         f"OPT peak gain {100 * peak_gain:.2f}% at alpha = {peak_x:.2f} "
+         f"(paper: 6.75% at the crossover)")
+    assert 0.05 < peak_gain < 0.08
+    assert abs(peak_x - crossover) < 0.1
+
+    # OPT is the lower envelope everywhere.
+    for index in range(len(result.ac_costs)):
+        assert opt[index] <= min(raw[index], dc[index], ac[index]) + 1e-9

@@ -1,0 +1,62 @@
+"""Fig. 4 — the fixed-coefficient encoder vs the true optimum.
+
+Adds DBI OPT (Fixed, alpha = beta = 1) to the Fig. 3 sweep and asserts
+the paper's claims: the fixed encoder beats the best conventional scheme
+over roughly [0.23, 0.79] and its peak gain (~6.58 %) is nearly the
+optimum's (~6.75 %).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.crossover import (
+    advantage_region,
+    elementwise_min,
+    peak_advantage,
+)
+from repro.sim.report import format_alpha_sweep
+from repro.sim.sweep import alpha_sweep
+
+
+def test_fig4_fixed_coefficients(benchmark, population):
+    result = benchmark.pedantic(
+        alpha_sweep, args=(population,),
+        kwargs={"points": 26, "include_fixed": True},
+        rounds=1, iterations=1)
+
+    emit("Fig. 4 — energy per burst with OPT (Fixed)",
+         format_alpha_sweep(result, points=11))
+
+    dc = result.series["dbi-dc"]
+    ac = result.series["dbi-ac"]
+    opt = result.series["dbi-opt"]
+    fixed = result.series["dbi-opt-fixed"]
+    best = elementwise_min(dc, ac)
+
+    # Fixed coefficients sacrifice nothing at the balanced point...
+    mid = len(result.ac_costs) // 2
+    assert fixed[mid] == pytest.approx(opt[mid], rel=0.005)
+
+    # ... and never beat the true optimum anywhere (lower bound).
+    for fixed_value, opt_value in zip(fixed, opt):
+        assert fixed_value >= opt_value - 1e-9
+
+    # 'performs better than previous scheme from an AC cost of 0.23 to 0.79'
+    region = advantage_region(result.ac_costs, fixed, best)
+    assert region is not None
+    start, end = region
+    emit("Fig. 4 — landmarks",
+         f"OPT (Fixed) beats best conventional for alpha in "
+         f"[{start:.2f}, {end:.2f}] (paper: [0.23, 0.79])")
+    assert start == pytest.approx(0.23, abs=0.08)
+    assert end == pytest.approx(0.79, abs=0.08)
+
+    # 'The maximum energy reduction from this encoding is nearly identical
+    # at 6.58%.'
+    __, opt_gain = peak_advantage(result.ac_costs, opt, best)
+    peak_x, fixed_gain = peak_advantage(result.ac_costs, fixed, best)
+    emit("Fig. 4 — landmarks",
+         f"OPT (Fixed) peak gain {100 * fixed_gain:.2f}% at "
+         f"alpha = {peak_x:.2f} (paper: 6.58%)")
+    assert 0.05 < fixed_gain < 0.08
+    assert fixed_gain > 0.93 * opt_gain

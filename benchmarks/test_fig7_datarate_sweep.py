@@ -1,0 +1,71 @@
+"""Fig. 7 — interface energy per burst vs data rate, normalised to RAW.
+
+POD135 (GDDR5X) with 3 pF load, 0.5-20 Gbps.  Asserts: DBI DC wins below
+~3.8 Gbps, OPT (Fixed) wins beyond it with its best region around
+10-16 Gbps, and DBI AC never catches OPT (Fixed) below 20 Gbps.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.ascii_plot import quick_plot
+from repro.analysis.crossover import interpolated_crossing
+from repro.phy.pod import pod12, pod135
+from repro.phy.power import GBPS, PICOFARAD
+from repro.sim.report import format_data_rate_sweep
+from repro.sim.sweep import data_rate_sweep
+
+RATES = [0.5 * GBPS * step for step in range(1, 41)]
+
+
+def test_fig7_datarate_sweep(benchmark, population):
+    result = benchmark.pedantic(
+        data_rate_sweep, args=(population[:1000],),
+        kwargs={"interface": pod135(), "c_load_farads": 3 * PICOFARAD,
+                "data_rates_hz": RATES},
+        rounds=1, iterations=1)
+
+    emit("Fig. 7 — normalised interface energy (POD135, 3 pF)",
+         format_data_rate_sweep(result, every=4))
+    gbps = [rate / 1e9 for rate in RATES]
+    emit("Fig. 7 — plot", quick_plot(
+        gbps,
+        {name: result.normalized[name]
+         for name in ("dbi-dc", "dbi-ac", "dbi-opt", "dbi-opt-fixed")},
+        title="energy per burst normalised to RAW (paper Fig. 7)",
+        x_label="data rate [Gbps]", height=14))
+
+    dc = result.normalized["dbi-dc"]
+    ac = result.normalized["dbi-ac"]
+    fixed = result.normalized["dbi-opt-fixed"]
+    opt = result.normalized["dbi-opt"]
+
+    # 'DBI DC performs better than DBI OPT (Fixed) until 3.8 Gbps.'
+    crossover = interpolated_crossing(gbps, fixed, dc)
+    emit("Fig. 7 — landmarks",
+         f"OPT (Fixed) overtakes DBI DC at {crossover:.2f} Gbps (paper: 3.8)")
+    assert crossover == pytest.approx(3.8, abs=1.0)
+    assert dc[0] < fixed[0]
+
+    # 'DBI AC would require significantly more than 20 Gbps to beat it.'
+    for ac_value, fixed_value in zip(ac, fixed):
+        assert fixed_value <= ac_value
+
+    # OPT is the lower envelope at every rate.
+    for index in range(len(RATES)):
+        assert opt[index] <= min(dc[index], ac[index], fixed[index]) + 1e-9
+
+    # Best OPT region sits in the >= 10 Gbps band for 3 pF.
+    best_rate, best_value = result.best_gain("dbi-opt")
+    emit("Fig. 7 — landmarks",
+         f"OPT best point {100 * (1 - best_value):.1f}% below RAW at "
+         f"{best_rate / 1e9:.1f} Gbps (paper: max gain around 14 Gbps)")
+
+    # 'results for DDR4 with POD12 are almost identical' (normalised).
+    pod12_result = data_rate_sweep(population[:400], interface=pod12(),
+                                   c_load_farads=3 * PICOFARAD,
+                                   data_rates_hz=RATES[::8])
+    for name in ("dbi-dc", "dbi-opt-fixed"):
+        for a, b in zip(result.normalized[name][::8],
+                        pod12_result.normalized[name]):
+            assert a == pytest.approx(b, abs=0.02)

@@ -1,0 +1,53 @@
+"""Fig. 8 — total energy (interface + encoder) of OPT (Fixed), normalised
+to the best conventional scheme, for load capacitances 1-8 pF.
+
+Encoder energies come from the gate-level synthesis model (Table I).
+Asserts: meaningful (several percent) savings at 3-8 pF, and the
+best-gain frequency falling as the load grows.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.hw.synthesis import encoder_energy_per_burst
+from repro.phy.power import GBPS
+from repro.sim.report import format_load_sweep
+from repro.sim.sweep import load_sweep
+
+RATES = [0.5 * GBPS * step for step in range(1, 41)]
+LOADS = (1e-12, 2e-12, 3e-12, 4e-12, 6e-12, 8e-12)
+
+
+def test_fig8_load_sweep(benchmark, population):
+    encoder_energies = encoder_energy_per_burst()
+    result = benchmark.pedantic(
+        load_sweep, args=(population[:1000],),
+        kwargs={"c_loads_farads": LOADS, "data_rates_hz": RATES,
+                "encoder_energy_j": encoder_energies},
+        rounds=1, iterations=1)
+
+    emit("Fig. 8 — OPT (Fixed) + encoder energy vs best(DC, AC)",
+         format_load_sweep(result, every=4))
+    emit("Fig. 8 — encoder energies used (pJ/burst)",
+         ", ".join(f"{name}={energy * 1e12:.2f}"
+                   for name, energy in sorted(encoder_energies.items())))
+
+    best_points = {load: result.best_gain(load) for load in LOADS}
+    rows = [f"{load * 1e12:.0f} pF: best {100 * (1 - value):.1f}% saving "
+            f"at {rate / 1e9:.1f} Gbps"
+            for load, (rate, value) in best_points.items()]
+    emit("Fig. 8 — landmarks (paper: 5-6% at 3-8 pF)", "\n".join(rows))
+
+    # 'At 3 to 8 pF load, the energy is reduced between 5-6% at the
+    # operating points with the highest gains.'  Our encoder model is a
+    # little more expensive than the paper's, so require >= 3%.
+    for load in (3e-12, 4e-12, 6e-12, 8e-12):
+        __, best_value = best_points[load]
+        assert best_value < 0.97
+
+    # Higher load -> lower best-gain frequency (monotone over the sweep).
+    best_rates = [best_points[load][0] for load in LOADS]
+    assert best_rates[0] >= best_rates[2] >= best_rates[-1]
+
+    # Heavier loads help (1 pF is the weakest case).
+    assert best_points[1e-12][1] > best_points[3e-12][1]

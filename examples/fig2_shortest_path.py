@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Fig. 2: optimal DBI encoding as a shortest path.
+
+Prints the trellis with its edge weights for the paper's example burst,
+solves it, and lists the Pareto-optimal encodings that varying the
+alpha/beta ratio can reach.
+
+Run with::
+
+    python examples/fig2_shortest_path.py
+"""
+
+from repro import Burst, CostModel, PAPER_FIG2_BURST, solve
+from repro.baselines import DbiAc, DbiDc
+from repro.core.pareto import enumerate_encodings, pareto_front, supported_points
+from repro.core.schemes import EncodedBurst
+from repro.core.trellis import TrellisGraph, flags_from_path, solve_on_graph
+
+
+def main() -> None:
+    burst = PAPER_FIG2_BURST
+    model = CostModel.fixed()  # the figure's alpha = beta = 1 example
+
+    # --- the explicit trellis (paper Fig. 2) ----------------------------
+    graph = TrellisGraph(burst=burst, model=model)
+    print(graph.render())
+
+    # --- shortest path, two independent ways ----------------------------
+    solution = solve(burst, model)
+    path, cost = solve_on_graph(graph)
+    assert flags_from_path(path) == solution.invert_flags
+    assert cost == solution.total_cost
+    encoded = EncodedBurst(burst=burst, invert_flags=solution.invert_flags)
+    transitions, zeros = encoded.activity()
+    print(f"\noptimal encoding: cost={solution.total_cost:.0f} "
+          f"(zeros={zeros}, transitions={transitions})")
+    print("   " + " ".join(f"{w:09b}" for w in encoded.words))
+
+    # --- the conventional schemes for comparison ------------------------
+    for name, scheme in (("DBI DC", DbiDc()), ("DBI AC", DbiAc())):
+        enc = scheme.encode(burst)
+        t, z = enc.activity()
+        print(f"{name}: zeros={z}, transitions={t}, cost={enc.cost(model):.0f}")
+
+    # --- the Pareto frontier (the figure's five labelled points) --------
+    frontier = pareto_front(enumerate_encodings(burst))
+    print("\nPareto-optimal (zeros, transitions) trade-offs:")
+    supported = set(supported_points(burst))
+    for point in frontier:
+        reachable = "reachable by OPT" if point.point in supported else "unsupported"
+        print(f"  zeros={point.zeros:2d} transitions={point.transitions:2d}  ({reachable})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""GDDR5X link-energy study (the paper's Fig. 7 scenario).
+
+Sweeps the per-pin data rate of a POD135 interface with 3 pF load,
+computes the interface energy per burst of every DBI scheme on random
+traffic and renders the normalised curves as an ASCII plot.
+
+Run with::
+
+    python examples/gddr5x_link_energy.py
+"""
+
+from repro.analysis.ascii_plot import quick_plot
+from repro.analysis.crossover import interpolated_crossing
+from repro.phy import GBPS, PICOFARAD, crossover_data_rate, gddr5x, pod135
+from repro.sim.report import format_data_rate_sweep
+from repro.sim.sweep import data_rate_sweep
+from repro.workloads import random_bursts
+
+
+def main() -> None:
+    profile = gddr5x()
+    print(f"device: {profile.name}, {profile.interface.name}, "
+          f"{profile.dq_width} DQ + {profile.byte_lanes} DBI pins, "
+          f"burst length {profile.burst_length}")
+
+    bursts = random_bursts(count=1500)
+    rates = [0.5 * GBPS * step for step in range(1, 41)]  # 0.5 .. 20 Gbps
+    sweep = data_rate_sweep(bursts, interface=pod135(),
+                            c_load_farads=3 * PICOFARAD, data_rates_hz=rates)
+
+    print(format_data_rate_sweep(sweep))
+
+    gbps = [rate / 1e9 for rate in rates]
+    print()
+    print(quick_plot(
+        gbps,
+        {name: sweep.normalized[name]
+         for name in ("dbi-dc", "dbi-ac", "dbi-opt", "dbi-opt-fixed")},
+        title="interface energy per burst, normalised to RAW (Fig. 7)",
+        x_label="data rate [Gbps]",
+    ))
+
+    cross = interpolated_crossing(gbps, sweep.normalized["dbi-opt-fixed"],
+                                  sweep.normalized["dbi-dc"])
+    print(f"\nOPT (Fixed) overtakes DBI DC at {cross:.1f} Gbps "
+          f"(paper: ~3.8 Gbps)")
+    balanced = crossover_data_rate(pod135(), 3 * PICOFARAD) / 1e9
+    print(f"one transition costs one zero at {balanced:.1f} Gbps "
+          f"(paper's peak-gain region: ~14 Gbps)")
+    best_rate, best_energy = sweep.best_gain("dbi-opt")
+    print(f"OPT best point: {best_rate / 1e9:.1f} Gbps at "
+          f"{100 * (1 - best_energy):.1f}% below RAW")
+
+
+if __name__ == "__main__":
+    main()

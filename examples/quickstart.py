@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: encode a burst with every DBI scheme and compare costs.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Burst,
+    CostModel,
+    DbiOptimal,
+    available_schemes,
+    get_scheme,
+)
+
+
+def main() -> None:
+    # The worked example of the paper's Fig. 2.
+    burst = Burst.from_bit_strings([
+        "10001110", "10000110", "10010110", "11101001",
+        "01111101", "10110111", "01010111", "11000100",
+    ])
+    print(f"burst: {burst}\n")
+
+    # Abstract cost model: one transition costs the same as one zero.
+    model = CostModel.fixed()
+
+    print(f"{'scheme':14s} {'zeros':>5s} {'trans':>5s} {'cost':>6s}  invert pattern")
+    for name in available_schemes():
+        scheme = get_scheme(name)
+        encoded = scheme.encode(burst)
+        encoded.verify()  # every scheme must round-trip
+        transitions, zeros = encoded.activity()
+        pattern = "".join("I" if flag else "." for flag in encoded.invert_flags)
+        print(f"{name:14s} {zeros:5d} {transitions:5d} "
+              f"{encoded.cost(model):6.1f}  {pattern}")
+
+    # A custom operating point: transitions 3x as expensive as zeros.
+    heavy_ac = DbiOptimal(CostModel(alpha=3.0, beta=1.0))
+    encoded = heavy_ac.encode(burst)
+    transitions, zeros = encoded.activity()
+    print(f"\nOPT with alpha/beta = 3: {zeros} zeros, {transitions} transitions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Beyond the paper: jointly optimal DBI across burst boundaries.
+
+The paper encodes each burst against an idle-high boundary.  A memory
+controller writing back-to-back bursts can do better: the trellis extends
+across the whole write queue.  This example measures what window size a
+streaming encoder needs to capture (almost) all of that benefit.
+
+Run with::
+
+    python examples/streaming_writes.py
+"""
+
+from repro.core.costs import CostModel
+from repro.core.streaming import solve_stream, windowed_stream_cost
+from repro.sim.report import markdown_table
+from repro.workloads.traces import gpu_frame_trace
+
+STREAM_BYTES = 4096
+WINDOWS = (1, 2, 4, 8, 16, 32)
+
+
+def main() -> None:
+    model = CostModel.fixed()
+    data = list(gpu_frame_trace(STREAM_BYTES, seed=6))
+
+    __, optimum = solve_stream(data, model)
+    print(f"stream: {STREAM_BYTES} bytes of GPU-frame-like traffic")
+    print(f"joint optimum over the whole stream: cost {optimum:.0f}\n")
+
+    rows = []
+    for window in WINDOWS:
+        cost = windowed_stream_cost(data, model, window=window)
+        overhead = 100.0 * (cost / optimum - 1.0)
+        rows.append([window, f"{cost:.0f}", f"{overhead:.3f}%"])
+    print(markdown_table(
+        ["lookahead window (bytes)", "total cost", "overhead vs joint optimum"],
+        rows))
+
+    print("\nwindow=1 is the greedy per-byte heuristic; a one-burst (8-byte)")
+    print("window already sits within a fraction of a percent of the joint")
+    print("optimum — the paper's per-burst granularity loses almost nothing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on interpreters whose setuptools lacks
+PEP 660 editable-wheel support (offline environments without the ``wheel``
+package).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — Optimal DC/AC Data Bus Inversion Coding.
+
+A complete, self-contained reproduction of
+
+    J. Lucas, S. Lal, B. Juurlink,
+    "Optimal DC/AC Data Bus Inversion Coding", DATE 2018.
+
+The package provides:
+
+* :mod:`repro.core` — the optimal trellis/shortest-path DBI encoder
+  (the paper's contribution) and the shared burst/cost substrate,
+* :mod:`repro.baselines` — RAW, DBI DC, DBI AC, DBI ACDC, greedy-weighted
+  and classic bus-invert baselines,
+* :mod:`repro.phy` — POD-interface electrical and CACTI-IO-derived energy
+  models plus a stateful multi-lane bus simulator,
+* :mod:`repro.hw` — a gate-level model of the paper's encoder hardware with
+  a synthesis-style area/power/timing estimator (Table I),
+* :mod:`repro.workloads` — random, patterned and trace-like workload
+  generators,
+* :mod:`repro.sim` / :mod:`repro.analysis` — the sweep harness and
+  reporting used by the benchmarks that regenerate every figure and table.
+
+Quickstart::
+
+    from repro import Burst, CostModel, DbiOptimal, get_scheme
+
+    burst = Burst([0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4])
+    encoded = DbiOptimal(CostModel.fixed()).encode(burst)
+    print(encoded.invert_flags, encoded.activity())
+"""
+
+from . import baselines as _baselines  # noqa: F401 - populates the registry
+from .core import (
+    ALL_ONES_WORD,
+    Burst,
+    CostModel,
+    DEFAULT_BURST_LENGTH,
+    DbiOptimal,
+    DbiOptimalFixed,
+    DbiOptimalQuantized,
+    DbiScheme,
+    EncodedBurst,
+    PAPER_FIG2_BURST,
+    QuantizedCostModel,
+    available_schemes,
+    brute_force,
+    chunk_bytes,
+    get_scheme,
+    register_scheme,
+    solve,
+)
+from .baselines import BusInvert, DbiAc, DbiAcDc, DbiDc, DbiGreedyWeighted, Raw
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_ONES_WORD",
+    "Burst",
+    "BusInvert",
+    "CostModel",
+    "DEFAULT_BURST_LENGTH",
+    "DbiAc",
+    "DbiAcDc",
+    "DbiDc",
+    "DbiGreedyWeighted",
+    "DbiOptimal",
+    "DbiOptimalFixed",
+    "DbiOptimalQuantized",
+    "DbiScheme",
+    "EncodedBurst",
+    "PAPER_FIG2_BURST",
+    "QuantizedCostModel",
+    "Raw",
+    "available_schemes",
+    "brute_force",
+    "chunk_bytes",
+    "get_scheme",
+    "register_scheme",
+    "solve",
+    "__version__",
+]

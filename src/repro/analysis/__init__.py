@@ -1,0 +1,55 @@
+"""Analysis utilities: crossover extraction, savings accounting, ASCII plots."""
+
+from .ascii_plot import AsciiPlot, quick_plot, sparkline
+from .crossover import (
+    advantage_region,
+    elementwise_min,
+    interpolated_crossing,
+    peak_advantage,
+)
+from .sso import (
+    DBI_DC_IDLE_FIRST_BEAT_BOUND,
+    DBI_DC_TOGGLE_BOUND,
+    SsoStatistics,
+    sso_comparison,
+    sso_of_scheme,
+    sso_of_words,
+)
+from .statistics import (
+    MeanEstimate,
+    estimate_mean,
+    per_burst_costs,
+    samples_for_precision,
+    scheme_cost_estimate,
+)
+from .savings import (
+    SavingsRecord,
+    savings_matrix,
+    savings_vs_best_conventional,
+    savings_vs_reference,
+)
+
+__all__ = [
+    "AsciiPlot",
+    "DBI_DC_IDLE_FIRST_BEAT_BOUND",
+    "DBI_DC_TOGGLE_BOUND",
+    "MeanEstimate",
+    "SavingsRecord",
+    "SsoStatistics",
+    "advantage_region",
+    "elementwise_min",
+    "estimate_mean",
+    "interpolated_crossing",
+    "per_burst_costs",
+    "peak_advantage",
+    "quick_plot",
+    "samples_for_precision",
+    "savings_matrix",
+    "scheme_cost_estimate",
+    "savings_vs_best_conventional",
+    "savings_vs_reference",
+    "sparkline",
+    "sso_comparison",
+    "sso_of_scheme",
+    "sso_of_words",
+]

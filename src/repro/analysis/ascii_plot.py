@@ -1,0 +1,123 @@
+"""Terminal line plots.
+
+The evaluation figures of the paper are line charts; with no plotting
+dependency available offline, this module renders multi-series line plots
+as fixed-width ASCII art so benchmarks and examples can show the *shape*
+of each figure directly in the terminal / captured output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Glyphs assigned to series in insertion order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class AsciiPlot:
+    """A multi-series scatter/line plot rendered with characters.
+
+    >>> plot = AsciiPlot(width=20, height=5, title="demo")
+    >>> plot.add_series("a", [0, 1, 2], [0.0, 1.0, 0.5])
+    >>> text = plot.render()
+    >>> "demo" in text
+    True
+    """
+
+    width: int = 72
+    height: int = 20
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    series: Dict[str, Tuple[List[float], List[float]]] = field(default_factory=dict)
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        """Add one named series (xs and ys must align)."""
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        if len(self.series) >= len(SERIES_GLYPHS):
+            raise ValueError(f"too many series (max {len(SERIES_GLYPHS)})")
+        self.series[name] = (list(xs), list(ys))
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs_all = [x for xs, _ in self.series.values() for x in xs]
+        ys_all = [y for _, ys in self.series.values() for y in ys]
+        x_min, x_max = min(xs_all), max(xs_all)
+        y_min, y_max = min(ys_all), max(ys_all)
+        if x_min == x_max:
+            x_max = x_min + 1.0
+        if y_min == y_max:
+            y_max = y_min + 1.0
+        return x_min, x_max, y_min, y_max
+
+    def render(self) -> str:
+        """Render the plot as a multi-line string."""
+        if not self.series:
+            raise ValueError("no series to plot")
+        x_min, x_max, y_min, y_max = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        for glyph, (name, (xs, ys)) in zip(SERIES_GLYPHS, self.series.items()):
+            for x, y in zip(xs, ys):
+                col = round((x - x_min) / (x_max - x_min) * (self.width - 1))
+                row = round((y - y_min) / (y_max - y_min) * (self.height - 1))
+                grid[self.height - 1 - row][col] = glyph
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title.center(self.width + 10))
+        top_label = f"{y_max:10.3g} |"
+        bottom_label = f"{y_min:10.3g} |"
+        blank_label = " " * 10 + " |"
+        for index, row_chars in enumerate(grid):
+            if index == 0:
+                prefix = top_label
+            elif index == self.height - 1:
+                prefix = bottom_label
+            else:
+                prefix = blank_label
+            lines.append(prefix + "".join(row_chars))
+        lines.append(" " * 11 + "+" + "-" * self.width)
+        axis = f"{x_min:<12.3g}{self.x_label.center(max(0, self.width - 24))}{x_max:>12.3g}"
+        lines.append(" " * 11 + axis)
+        legend = "   ".join(f"{glyph}={name}"
+                            for glyph, name in zip(SERIES_GLYPHS, self.series))
+        lines.append(" " * 11 + legend)
+        return "\n".join(lines)
+
+
+def quick_plot(xs: Sequence[float], series: Dict[str, Sequence[float]],
+               title: str = "", x_label: str = "",
+               width: int = 72, height: int = 20) -> str:
+    """One-call helper: same x-axis for every series.
+
+    >>> text = quick_plot([0, 1], {"s": [1.0, 2.0]}, title="t")
+    >>> "s" in text
+    True
+    """
+    plot = AsciiPlot(width=width, height=height, title=title, x_label=x_label)
+    for name, ys in series.items():
+        plot.add_series(name, xs, ys)
+    return plot.render()
+
+
+def sparkline(values: Sequence[float], levels: str = " .:-=+*#%@") -> str:
+    """Compress a series into a one-line character sparkline.
+
+    >>> len(sparkline([1, 2, 3]))
+    3
+    """
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        return levels[len(levels) // 2] * len(values)
+    out = []
+    for value in values:
+        index = int((value - lo) / (hi - lo) * (len(levels) - 1))
+        out.append(levels[index])
+    return "".join(out)

@@ -1,0 +1,105 @@
+"""Crossover and operating-region analysis.
+
+The paper reports several scalar landmarks extracted from its sweeps:
+
+* DBI AC becomes cheaper than DBI DC at AC cost ≈ 0.56 (Fig. 3);
+* DBI OPT's advantage peaks at that crossover (≈ 6.75 %);
+* OPT (Fixed) beats the best conventional scheme for AC cost in
+  [0.23, 0.79] (Fig. 4);
+* DBI DC beats OPT (Fixed) below ≈ 3.8 Gbps, and OPT's physical gain peaks
+  near 14 Gbps at 3 pF (Fig. 7).
+
+This module extracts those landmarks from sweep results with simple and
+well-tested numerics (linear interpolation between sweep points).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def interpolated_crossing(xs: Sequence[float], first: Sequence[float],
+                          second: Sequence[float]) -> Optional[float]:
+    """x where series *first* first drops below series *second*.
+
+    Linear interpolation between the bracketing sweep points; ``None`` when
+    *first* never goes below *second*.
+
+    >>> interpolated_crossing([0, 1], [2, 0], [1, 1])
+    0.5
+    """
+    if not (len(xs) == len(first) == len(second)):
+        raise ValueError("series lengths differ")
+    previous_delta = 0.0
+    for index, (x, a, b) in enumerate(zip(xs, first, second)):
+        delta = a - b
+        if delta < 0:
+            if index == 0:
+                return x
+            x0 = xs[index - 1]
+            # previous_delta >= 0 > delta: the crossing lies between x0 and x.
+            t = previous_delta / (previous_delta - delta)
+            return x0 + t * (x - x0)
+        previous_delta = delta
+    return None
+
+
+def advantage_region(xs: Sequence[float], candidate: Sequence[float],
+                     reference: Sequence[float]) -> Optional[Tuple[float, float]]:
+    """(start, end) of the contiguous region where candidate < reference.
+
+    Returns the widest contiguous interval (in sweep-point resolution) —
+    Fig. 4's [0.23, 0.79] claim is of this form.
+    """
+    if not (len(xs) == len(candidate) == len(reference)):
+        raise ValueError("series lengths differ")
+    regions: List[Tuple[float, float]] = []
+    start: Optional[float] = None
+    for x, a, b in zip(xs, candidate, reference):
+        if a < b:
+            if start is None:
+                start = x
+            end = x
+        else:
+            if start is not None:
+                regions.append((start, end))
+                start = None
+    if start is not None:
+        regions.append((start, end))
+    if not regions:
+        return None
+    return max(regions, key=lambda region: region[1] - region[0])
+
+
+def peak_advantage(xs: Sequence[float], candidate: Sequence[float],
+                   reference: Sequence[float]) -> Tuple[float, float]:
+    """(x, relative gain) where candidate's advantage over reference peaks.
+
+    Gain is ``1 - candidate/reference``; positive means candidate cheaper.
+
+    >>> peak_advantage([0, 1], [1.0, 0.5], [1.0, 1.0])
+    (1, 0.5)
+    """
+    if not (len(xs) == len(candidate) == len(reference)):
+        raise ValueError("series lengths differ")
+    best_x = xs[0]
+    best_gain = float("-inf")
+    for x, a, b in zip(xs, candidate, reference):
+        if b == 0:
+            raise ZeroDivisionError("reference series touches zero")
+        gain = 1.0 - a / b
+        if gain > best_gain:
+            best_gain = gain
+            best_x = x
+    return best_x, best_gain
+
+
+def elementwise_min(*series: Sequence[float]) -> List[float]:
+    """Point-wise minimum of several aligned series (the 'best of' curve)."""
+    if not series:
+        raise ValueError("no series given")
+    length = len(series[0])
+    for s in series:
+        if len(s) != length:
+            raise ValueError("series lengths differ")
+    return [min(values) for values in zip(*series)]

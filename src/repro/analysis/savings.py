@@ -1,0 +1,90 @@
+"""Energy-savings accounting across schemes and operating points.
+
+Turns raw sweep/evaluation outputs into the headline numbers of the paper
+("up to 6 % interface-power reduction", "5–6 % at 3–8 pF") and into
+per-workload savings tables for deployment studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.costs import CostModel
+from ..sim.metrics import EvaluationResult
+
+
+@dataclass(frozen=True)
+class SavingsRecord:
+    """Savings of one scheme versus a reference on one workload."""
+
+    workload: str
+    scheme: str
+    reference: str
+    scheme_cost: float
+    reference_cost: float
+
+    @property
+    def saving_fraction(self) -> float:
+        """Relative saving, positive when *scheme* is cheaper."""
+        return 1.0 - self.scheme_cost / self.reference_cost
+
+    @property
+    def saving_percent(self) -> float:
+        """Relative saving in percent."""
+        return 100.0 * self.saving_fraction
+
+
+def savings_vs_reference(result: EvaluationResult, model: CostModel,
+                         reference: str,
+                         schemes: Optional[Sequence[str]] = None) -> List[SavingsRecord]:
+    """Savings of every scheme against a fixed *reference* scheme.
+
+    >>> from repro.sim.runner import evaluate
+    >>> from repro.core.burst import Burst
+    >>> res = evaluate(["raw", "dbi-dc"], [Burst([0x00] * 8)])
+    >>> recs = savings_vs_reference(res, CostModel.dc_only(), "raw")
+    >>> recs[1].saving_percent > 80
+    True
+    """
+    reference_cost = result[reference].mean_cost(model)
+    if reference_cost <= 0:
+        raise ValueError(f"reference {reference!r} has non-positive cost")
+    names = list(schemes) if schemes is not None else result.schemes()
+    return [
+        SavingsRecord(
+            workload=result.workload,
+            scheme=name,
+            reference=reference,
+            scheme_cost=result[name].mean_cost(model),
+            reference_cost=reference_cost,
+        )
+        for name in names
+    ]
+
+
+def savings_vs_best_conventional(result: EvaluationResult, model: CostModel,
+                                 optimal: str = "dbi-opt",
+                                 conventional: Sequence[str] = ("dbi-dc", "dbi-ac"),
+                                 ) -> SavingsRecord:
+    """The paper's headline metric: OPT versus the better of DC and AC."""
+    best = min(conventional, key=lambda name: result[name].mean_cost(model))
+    return SavingsRecord(
+        workload=result.workload,
+        scheme=optimal,
+        reference=best,
+        scheme_cost=result[optimal].mean_cost(model),
+        reference_cost=result[best].mean_cost(model),
+    )
+
+
+def savings_matrix(results: Sequence[EvaluationResult], model: CostModel,
+                   reference: str) -> Dict[str, Dict[str, float]]:
+    """``{workload: {scheme: saving percent}}`` over several workloads."""
+    matrix: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        records = savings_vs_reference(result, model, reference)
+        matrix[result.workload] = {
+            record.scheme: record.saving_percent for record in records
+        }
+    return matrix

@@ -1,0 +1,115 @@
+"""Simultaneous-switching-output (SSO) analysis.
+
+Kim et al. (paper ref. [14]) show that DBI DC reduces SSO noise in
+graphics memory systems: the fewer lanes toggle in the same beat, the
+smaller the di/dt glitch on the power-delivery network.  This module
+quantifies per-beat switching statistics for any scheme so the SSO side
+benefit of each DBI policy can be compared alongside energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.bitops import ALL_ONES_WORD, WORD_WIDTH, check_word, popcount
+from ..core.burst import Burst
+from ..core.schemes import DbiScheme
+
+
+@dataclass(frozen=True)
+class SsoStatistics:
+    """Per-beat switching statistics of one word stream."""
+
+    beats: int
+    max_switching: int
+    total_switching: int
+    #: histogram[k] = number of beats in which exactly k lanes toggled.
+    histogram: Dict[int, int]
+
+    @property
+    def mean_switching(self) -> float:
+        """Average lanes toggling per beat."""
+        return self.total_switching / self.beats if self.beats else 0.0
+
+    def exceed_fraction(self, threshold: int) -> float:
+        """Fraction of beats with more than *threshold* toggling lanes."""
+        if not self.beats:
+            return 0.0
+        over = sum(count for k, count in self.histogram.items()
+                   if k > threshold)
+        return over / self.beats
+
+
+def sso_of_words(words: Sequence[int],
+                 prev_word: int = ALL_ONES_WORD) -> SsoStatistics:
+    """SSO statistics of a concrete wire-word sequence.
+
+    >>> sso_of_words([0x000]).max_switching
+    9
+    """
+    check_word(prev_word)
+    histogram: Dict[int, int] = {}
+    worst = 0
+    total = 0
+    last = prev_word
+    for word in words:
+        check_word(word)
+        switching = popcount(last ^ word)
+        histogram[switching] = histogram.get(switching, 0) + 1
+        worst = max(worst, switching)
+        total += switching
+        last = word
+    return SsoStatistics(beats=len(words), max_switching=worst,
+                         total_switching=total, histogram=histogram)
+
+
+def sso_of_scheme(scheme: DbiScheme, bursts: Sequence[Burst],
+                  chained: bool = False) -> SsoStatistics:
+    """SSO statistics of a scheme over a burst population."""
+    histogram: Dict[int, int] = {}
+    worst = 0
+    total = 0
+    beats = 0
+    state = ALL_ONES_WORD
+    for burst in bursts:
+        encoded = scheme.encode(burst, prev_word=state if chained
+                                else ALL_ONES_WORD)
+        stats = sso_of_words(encoded.words,
+                             prev_word=state if chained else ALL_ONES_WORD)
+        for k, count in stats.histogram.items():
+            histogram[k] = histogram.get(k, 0) + count
+        worst = max(worst, stats.max_switching)
+        total += stats.total_switching
+        beats += stats.beats
+        if chained:
+            state = encoded.last_word()
+    return SsoStatistics(beats=beats, max_switching=worst,
+                         total_switching=total, histogram=histogram)
+
+
+def sso_comparison(schemes: Dict[str, DbiScheme],
+                   bursts: Sequence[Burst]) -> List[List[object]]:
+    """Rows (scheme, max, mean, fraction of beats > half the lanes) for a
+    markdown table."""
+    rows: List[List[object]] = []
+    half = WORD_WIDTH // 2
+    for name, scheme in schemes.items():
+        stats = sso_of_scheme(scheme, bursts)
+        rows.append([
+            name,
+            stats.max_switching,
+            f"{stats.mean_switching:.2f}",
+            f"{100 * stats.exceed_fraction(half):.1f}%",
+        ])
+    return rows
+
+
+#: Per-beat toggle bound of DBI DC *within* a burst: toggling lanes are the
+#: symmetric difference of the two words' zero sets, and DBI DC caps each
+#: word at 4 zeros, so at most 4 + 4 = 8 lanes can toggle (RAW can hit 9).
+DBI_DC_TOGGLE_BOUND = 8
+
+#: First-beat bound from the idle-high bus: every toggling lane is a zero of
+#: the first word, and DBI DC caps those at 4 — plus the DBI lane itself.
+DBI_DC_IDLE_FIRST_BEAT_BOUND = 5

@@ -1,0 +1,29 @@
+"""Baseline DBI encoding schemes the paper compares against.
+
+* :class:`Raw` — no encoding (normalisation reference).
+* :class:`DbiDc` — zero-minimising JEDEC scheme.
+* :class:`DbiAc` — greedy transition-minimising scheme.
+* :class:`DbiAcDc` — Hollis's mode-switching combination.
+* :class:`DbiGreedyWeighted` — Chang-style per-byte weighted heuristic.
+* :class:`BusInvert` — classic Stan–Burleson bus-invert.
+"""
+
+from .businvert import BusInvert, should_invert_businvert
+from .chang import DbiGreedyWeighted
+from .dbi_ac import DbiAc, should_invert_ac
+from .dbi_acdc import DbiAcDc
+from .dbi_dc import DC_THRESHOLD, DbiDc, should_invert_dc
+from .raw import Raw
+
+__all__ = [
+    "BusInvert",
+    "DC_THRESHOLD",
+    "DbiAc",
+    "DbiAcDc",
+    "DbiDc",
+    "DbiGreedyWeighted",
+    "Raw",
+    "should_invert_ac",
+    "should_invert_businvert",
+    "should_invert_dc",
+]

@@ -1,0 +1,49 @@
+"""Classic bus-invert coding of Stan and Burleson (paper §II, ref. [12]).
+
+The original 1995 bus-invert code predates POD signalling: it inverts a
+word whenever more than half of the bus lines would toggle, minimising
+transitions only, with the invert indicator on a dedicated line.  Unlike
+DBI AC it compares the *data* lanes only (the indicator line's own toggle
+is not part of the classic decision rule), and it never considers zeros.
+
+Included as a historical baseline: on a POD link it behaves like a
+slightly worse DBI AC because it ignores the DBI-lane toggle.
+"""
+
+from __future__ import annotations
+
+from ..core.bitops import ALL_ONES_WORD, BYTE_MASK, BYTE_WIDTH, make_word, popcount
+from ..core.burst import Burst
+from ..core.schemes import DbiScheme, EncodedBurst, register_scheme
+
+
+def should_invert_businvert(byte: int, prev_word: int) -> bool:
+    """Stan–Burleson rule: invert iff > half of the data lanes would toggle.
+
+    >>> should_invert_businvert(0x00, 0x1FF)
+    True
+    >>> should_invert_businvert(0xF0, 0x1FF)
+    False
+    """
+    prev_byte = prev_word & BYTE_MASK
+    toggles = popcount((prev_byte ^ byte) & BYTE_MASK)
+    return toggles > BYTE_WIDTH // 2
+
+
+class BusInvert(DbiScheme):
+    """Transition-only bus-invert, data lanes only (Stan–Burleson 1995)."""
+
+    name = "bus-invert"
+
+    def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
+        flags = []
+        last = prev_word
+        for byte in burst:
+            inverted = should_invert_businvert(byte, last)
+            flags.append(inverted)
+            last = make_word(byte, inverted)
+        return EncodedBurst(burst=burst, invert_flags=tuple(flags),
+                            prev_word=prev_word)
+
+
+register_scheme("bus-invert", BusInvert)

@@ -1,0 +1,58 @@
+"""Chang-style greedy weighted heuristic (paper §II, ref. [9]).
+
+Chang, Kim and Cho (DAC 2000) proposed bus encodings that weigh *both*
+zeros and transitions but decide each byte greedily instead of searching
+the whole burst.  This module implements that family as
+:class:`DbiGreedyWeighted`: for each byte, compute the weighted cost
+``alpha * transitions + beta * zeros`` of the raw and the inverted word
+against the previously transmitted word and keep the cheaper one.
+
+The greedy decision uses exactly the same edge weights as the optimal
+trellis search, so any quality gap measured against
+:class:`~repro.core.encoder.DbiOptimal` isolates the benefit of global
+(shortest-path) optimisation — one of the paper's implicit claims and the
+subject of an ablation bench.
+"""
+
+from __future__ import annotations
+
+from ..core.bitops import ALL_ONES_WORD, make_word
+from ..core.burst import Burst
+from ..core.costs import CostModel
+from ..core.schemes import DbiScheme, EncodedBurst, register_scheme
+
+
+class DbiGreedyWeighted(DbiScheme):
+    """Per-byte greedy minimisation of ``alpha·transitions + beta·zeros``.
+
+    >>> scheme = DbiGreedyWeighted(CostModel.fixed())
+    >>> scheme.encode(Burst([0x00])).invert_flags
+    (True,)
+    """
+
+    name = "dbi-greedy"
+
+    def __init__(self, model: CostModel):
+        if not isinstance(model, CostModel):
+            raise TypeError(f"model must be a CostModel, got {type(model).__name__}")
+        self.model = model
+
+    def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
+        flags = []
+        last = prev_word
+        for byte in burst:
+            raw_word = make_word(byte, False)
+            inv_word = make_word(byte, True)
+            raw_cost = self.model.word_cost(last, raw_word)
+            inv_cost = self.model.word_cost(last, inv_word)
+            inverted = inv_cost < raw_cost
+            flags.append(inverted)
+            last = inv_word if inverted else raw_word
+        return EncodedBurst(burst=burst, invert_flags=tuple(flags),
+                            prev_word=prev_word)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DbiGreedyWeighted(alpha={self.model.alpha}, beta={self.model.beta})"
+
+
+register_scheme("dbi-greedy", lambda: DbiGreedyWeighted(CostModel.fixed()))

@@ -1,0 +1,50 @@
+"""DBI AC: minimise the number of lane transitions (paper §I).
+
+Each byte is compared against the previously *transmitted* word: it is sent
+inverted whenever inversion strictly reduces the number of toggling lanes,
+counted over all nine lanes including the DBI lane itself.  The decision is
+greedy per byte — optimal for the current beat but blind to its effect on
+later beats, which is precisely the gap DBI OPT closes.
+"""
+
+from __future__ import annotations
+
+from ..core.bitops import ALL_ONES_WORD, make_word, transitions
+from ..core.burst import Burst
+from ..core.schemes import DbiScheme, EncodedBurst, register_scheme
+
+
+def should_invert_ac(byte: int, prev_word: int) -> bool:
+    """The DBI AC decision: invert iff it strictly reduces toggles.
+
+    Ties keep the non-inverted representation (hardware comparators switch
+    only on strict improvement, and this matches DBI DC's idle behaviour).
+
+    >>> from repro.core.bitops import ALL_ONES_WORD
+    >>> should_invert_ac(0x00, ALL_ONES_WORD)
+    True
+    >>> should_invert_ac(0xFF, ALL_ONES_WORD)
+    False
+    """
+    raw_cost = transitions(prev_word, make_word(byte, False))
+    inv_cost = transitions(prev_word, make_word(byte, True))
+    return inv_cost < raw_cost
+
+
+class DbiAc(DbiScheme):
+    """Transition-minimising DBI (greedy, stateful across the burst)."""
+
+    name = "dbi-ac"
+
+    def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
+        flags = []
+        last = prev_word
+        for byte in burst:
+            inverted = should_invert_ac(byte, last)
+            flags.append(inverted)
+            last = make_word(byte, inverted)
+        return EncodedBurst(burst=burst, invert_flags=tuple(flags),
+                            prev_word=prev_word)
+
+
+register_scheme("dbi-ac", DbiAc)

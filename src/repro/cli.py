@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro encode --bits 10001110 10000110 --scheme dbi-opt
+    python -m repro schemes
+    python -m repro pareto --bits 10001110 10000110 10010110
+    python -m repro sweep-alpha --samples 2000 --points 26
+    python -m repro sweep-rate --c-load-pf 3
+    python -m repro sweep-load
+    python -m repro table1
+
+Every subcommand prints a markdown table or ASCII plot to stdout, so
+results can be piped into reports directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.ascii_plot import quick_plot
+from .analysis.crossover import (
+    elementwise_min,
+    interpolated_crossing,
+    peak_advantage,
+)
+from .core.burst import Burst
+from .core.costs import CostModel
+from .core.pareto import pareto_summary
+from .core.schemes import available_schemes, get_scheme
+from .phy.pod import pod12, pod135
+from .phy.power import GBPS, PICOFARAD
+from .sim.report import (
+    format_alpha_sweep,
+    format_data_rate_sweep,
+    format_load_sweep,
+    markdown_table,
+)
+from .sim.sweep import alpha_sweep, data_rate_sweep, load_sweep
+from .workloads.random_data import random_bursts
+
+
+def _burst_from_args(args: argparse.Namespace) -> Burst:
+    if args.bits:
+        return Burst.from_bit_strings(args.bits)
+    if args.hex:
+        return Burst(int(token, 16) for token in args.hex)
+    from .core.burst import PAPER_FIG2_BURST
+    return PAPER_FIG2_BURST
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    burst = _burst_from_args(args)
+    model = CostModel(args.alpha, args.beta)
+    names = [args.scheme] if args.scheme else available_schemes()
+    rows: List[List[object]] = []
+    for name in names:
+        scheme = get_scheme(name)
+        encoded = scheme.encode(burst)
+        encoded.verify()
+        transitions, zeros = encoded.activity()
+        pattern = "".join("I" if flag else "." for flag in encoded.invert_flags)
+        rows.append([name, zeros, transitions,
+                     f"{encoded.cost(model):.1f}", pattern])
+    print(f"burst: {' '.join(burst.bit_strings())}")
+    print(markdown_table(
+        ["scheme", "zeros", "transitions",
+         f"cost (a={args.alpha:g}, b={args.beta:g})", "invert pattern"],
+        rows))
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    del args
+    for name in available_schemes():
+        print(name)
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    burst = _burst_from_args(args)
+    if len(burst) > 16:
+        print("pareto enumeration supports at most 16 bytes", file=sys.stderr)
+        return 2
+    print(f"burst: {' '.join(burst.bit_strings())}")
+    print(pareto_summary(burst))
+    return 0
+
+
+def _cmd_sweep_alpha(args: argparse.Namespace) -> int:
+    population = random_bursts(count=args.samples, seed=args.seed)
+    result = alpha_sweep(population, points=args.points, include_fixed=True)
+    print(format_alpha_sweep(result, points=11))
+    best = elementwise_min(result.series["dbi-dc"], result.series["dbi-ac"])
+    crossover = interpolated_crossing(result.ac_costs, result.series["dbi-ac"],
+                                      result.series["dbi-dc"])
+    peak_x, peak_gain = peak_advantage(result.ac_costs,
+                                       result.series["dbi-opt"], best)
+    print(f"\nAC/DC crossover: alpha = {crossover:.3f}")
+    print(f"OPT peak gain: {100 * peak_gain:.2f}% at alpha = {peak_x:.2f}")
+    if args.plot:
+        print(quick_plot(result.ac_costs,
+                         {name: result.series[name]
+                          for name in ("raw", "dbi-dc", "dbi-ac", "dbi-opt")},
+                         title="energy per burst vs AC cost",
+                         x_label="AC cost"))
+    return 0
+
+
+def _interface(name: str):
+    return {"pod135": pod135, "pod12": pod12}[name]()
+
+
+def _cmd_sweep_rate(args: argparse.Namespace) -> int:
+    population = random_bursts(count=args.samples, seed=args.seed)
+    rates = [0.5 * GBPS * step for step in range(1, 2 * args.max_gbps + 1)]
+    result = data_rate_sweep(population, interface=_interface(args.interface),
+                             c_load_farads=args.c_load_pf * PICOFARAD,
+                             data_rates_hz=rates)
+    print(format_data_rate_sweep(result, every=4))
+    if args.plot:
+        gbps = [rate / 1e9 for rate in rates]
+        print(quick_plot(gbps,
+                         {name: result.normalized[name]
+                          for name in ("dbi-dc", "dbi-ac", "dbi-opt",
+                                       "dbi-opt-fixed")},
+                         title=f"normalised energy ({args.interface}, "
+                               f"{args.c_load_pf:g} pF)",
+                         x_label="data rate [Gbps]"))
+    return 0
+
+
+def _cmd_sweep_load(args: argparse.Namespace) -> int:
+    population = random_bursts(count=args.samples, seed=args.seed)
+    rates = [0.5 * GBPS * step for step in range(1, 2 * args.max_gbps + 1)]
+    loads = [value * PICOFARAD for value in args.loads_pf]
+    result = load_sweep(population, interface=_interface(args.interface),
+                        c_loads_farads=loads, data_rates_hz=rates)
+    print(format_load_sweep(result, every=4))
+    for load in loads:
+        rate, value = result.best_gain(load)
+        print(f"{load * 1e12:.0f} pF: best saving {100 * (1 - value):.2f}% "
+              f"at {rate / 1e9:.1f} Gbps")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    del args
+    from .hw.synthesis import table_one_markdown
+    print(table_one_markdown())
+    return 0
+
+
+def _add_burst_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bits", nargs="+", metavar="BITSTRING",
+                        help="burst bytes as MSB-first bit strings")
+    parser.add_argument("--hex", nargs="+", metavar="HEXBYTE",
+                        help="burst bytes as hex values")
+
+
+def _add_population_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, default=2000,
+                        help="random bursts in the population")
+    parser.add_argument("--seed", type=int, default=0x0DB1,
+                        help="RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal DC/AC data bus inversion coding (DATE 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    encode = sub.add_parser("encode", help="encode one burst with DBI schemes")
+    _add_burst_arguments(encode)
+    encode.add_argument("--scheme", choices=available_schemes(),
+                        help="single scheme (default: all)")
+    encode.add_argument("--alpha", type=float, default=1.0)
+    encode.add_argument("--beta", type=float, default=1.0)
+    encode.set_defaults(handler=_cmd_encode)
+
+    schemes = sub.add_parser("schemes", help="list registered schemes")
+    schemes.set_defaults(handler=_cmd_schemes)
+
+    pareto = sub.add_parser("pareto", help="Pareto frontier of one burst")
+    _add_burst_arguments(pareto)
+    pareto.set_defaults(handler=_cmd_pareto)
+
+    sweep_alpha = sub.add_parser("sweep-alpha",
+                                 help="Fig. 3/4 alpha sweep")
+    _add_population_arguments(sweep_alpha)
+    sweep_alpha.add_argument("--points", type=int, default=26)
+    sweep_alpha.add_argument("--plot", action="store_true")
+    sweep_alpha.set_defaults(handler=_cmd_sweep_alpha)
+
+    sweep_rate = sub.add_parser("sweep-rate", help="Fig. 7 data-rate sweep")
+    _add_population_arguments(sweep_rate)
+    sweep_rate.add_argument("--interface", choices=("pod135", "pod12"),
+                            default="pod135")
+    sweep_rate.add_argument("--c-load-pf", type=float, default=3.0)
+    sweep_rate.add_argument("--max-gbps", type=int, default=20)
+    sweep_rate.add_argument("--plot", action="store_true")
+    sweep_rate.set_defaults(handler=_cmd_sweep_rate)
+
+    sweep_load = sub.add_parser("sweep-load", help="Fig. 8 load sweep")
+    _add_population_arguments(sweep_load)
+    sweep_load.add_argument("--interface", choices=("pod135", "pod12"),
+                            default="pod135")
+    sweep_load.add_argument("--loads-pf", type=float, nargs="+",
+                            default=[1.0, 2.0, 3.0, 4.0, 6.0, 8.0])
+    sweep_load.add_argument("--max-gbps", type=int, default=20)
+    sweep_load.set_defaults(handler=_cmd_sweep_load)
+
+    table1 = sub.add_parser("table1", help="Table I synthesis estimates")
+    table1.set_defaults(handler=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,242 @@
+"""Low-level bit utilities shared by every DBI scheme.
+
+The whole library manipulates small fixed-width integers that model the
+voltage state of the memory-interface lanes.  This module centralises the
+conventions:
+
+* A **byte** is an ``int`` in ``[0, 255]``; bit *j* is the state of lane
+  DQ\\ *j* during one beat of the burst.
+* A **word** is the 9-bit quantity actually on the wire: bits 0-7 carry the
+  (possibly inverted) data byte and bit 8 carries the DBI lane.  Following
+  the JEDEC/paper convention, DBI = 1 means the byte is transmitted as-is
+  and DBI = 0 means the byte is transmitted inverted.
+* Before a burst starts, every lane idles high (transmitting ones); the
+  corresponding word is :data:`ALL_ONES_WORD`.
+
+These functions are deliberately tiny and allocation-free so they can be
+used in the inner loops of the trellis search and the bus simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+#: Number of data lanes grouped under one DBI lane (JEDEC DBI granularity).
+BYTE_WIDTH = 8
+
+#: Total lanes per byte group: eight DQ lanes plus the DBI lane.
+WORD_WIDTH = BYTE_WIDTH + 1
+
+#: Mask selecting the data byte from a word.
+BYTE_MASK = (1 << BYTE_WIDTH) - 1
+
+#: Mask selecting all nine lanes of a word.
+WORD_MASK = (1 << WORD_WIDTH) - 1
+
+#: Bit position of the DBI lane inside a word.
+DBI_BIT = 1 << BYTE_WIDTH
+
+#: Idle bus state: every DQ lane and the DBI lane driven high.
+ALL_ONES_WORD = WORD_MASK
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits in a non-negative integer.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if value < 0:
+        raise ValueError(f"popcount requires a non-negative integer, got {value}")
+    return bin(value).count("1")
+
+
+def invert_byte(byte: int) -> int:
+    """Return the bitwise complement of *byte* within 8 bits.
+
+    >>> invert_byte(0b10001110) == 0b01110001
+    True
+    """
+    check_byte(byte)
+    return byte ^ BYTE_MASK
+
+
+def check_byte(byte: int) -> int:
+    """Validate that *byte* fits in 8 bits and return it unchanged."""
+    if not isinstance(byte, int) or isinstance(byte, bool):
+        raise TypeError(f"byte must be an int, got {type(byte).__name__}")
+    if not 0 <= byte <= BYTE_MASK:
+        raise ValueError(f"byte out of range [0, {BYTE_MASK}]: {byte}")
+    return byte
+
+
+def check_word(word: int) -> int:
+    """Validate that *word* fits in 9 bits and return it unchanged."""
+    if not isinstance(word, int) or isinstance(word, bool):
+        raise TypeError(f"word must be an int, got {type(word).__name__}")
+    if not 0 <= word <= WORD_MASK:
+        raise ValueError(f"word out of range [0, {WORD_MASK}]: {word}")
+    return word
+
+
+def make_word(byte: int, inverted: bool) -> int:
+    """Assemble the 9-bit wire word for *byte* with the given invert flag.
+
+    The data lanes carry the inverted byte when *inverted* is true, and the
+    DBI lane carries 0 for inverted / 1 for non-inverted transmission.
+
+    >>> make_word(0x00, inverted=False) == 0x100
+    True
+    >>> make_word(0x00, inverted=True) == 0x0FF
+    True
+    """
+    check_byte(byte)
+    if inverted:
+        return byte ^ BYTE_MASK
+    return byte | DBI_BIT
+
+
+def word_byte(word: int) -> int:
+    """Return the raw 8 data-lane bits of a wire word (no decoding)."""
+    check_word(word)
+    return word & BYTE_MASK
+
+
+def word_dbi(word: int) -> int:
+    """Return the DBI lane bit (1 = non-inverted, 0 = inverted)."""
+    check_word(word)
+    return (word >> BYTE_WIDTH) & 1
+
+
+def decode_word(word: int) -> int:
+    """Recover the original data byte from a wire word.
+
+    This is the receiver-side DBI decode shared by every scheme: if the DBI
+    lane is low the data lanes are complemented, otherwise passed through.
+
+    >>> decode_word(make_word(0xA5, inverted=True))
+    165
+    """
+    check_word(word)
+    byte = word & BYTE_MASK
+    if word & DBI_BIT:
+        return byte
+    return byte ^ BYTE_MASK
+
+
+def zeros_in_word(word: int) -> int:
+    """Number of lanes driving a zero for one beat (DC cost contributor).
+
+    Counted over all nine lanes, matching the paper's accounting where the
+    extra zero on the DBI lane of an inverted byte is charged to the code.
+    """
+    check_word(word)
+    return WORD_WIDTH - popcount(word)
+
+
+def zeros_in_byte(byte: int) -> int:
+    """Number of zero bits in a bare data byte (before DBI encoding)."""
+    check_byte(byte)
+    return BYTE_WIDTH - popcount(byte)
+
+
+def transitions(prev_word: int, word: int) -> int:
+    """Number of lanes that toggle between two consecutive beats.
+
+    Counted over all nine lanes, including the DBI lane itself (AC cost
+    contributor).
+
+    >>> transitions(ALL_ONES_WORD, ALL_ONES_WORD)
+    0
+    >>> transitions(0x1FF, 0x000)
+    9
+    """
+    check_word(prev_word)
+    check_word(word)
+    return popcount(prev_word ^ word)
+
+
+def parse_bits(text: str) -> int:
+    """Parse an MSB-first bit string such as ``"10001110"`` into an int.
+
+    Spaces and underscores are ignored so figures can be transcribed
+    verbatim from the paper.
+
+    >>> parse_bits("1000 1110")
+    142
+    """
+    cleaned = text.replace(" ", "").replace("_", "")
+    if not cleaned:
+        raise ValueError("empty bit string")
+    if set(cleaned) - {"0", "1"}:
+        raise ValueError(f"bit string may contain only 0/1: {text!r}")
+    return int(cleaned, 2)
+
+
+def format_bits(value: int, width: int = BYTE_WIDTH) -> str:
+    """Format *value* as an MSB-first bit string of the given width.
+
+    >>> format_bits(142)
+    '10001110'
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return format(value, f"0{width}b")
+
+
+def bytes_to_lanes(data: Sequence[int]) -> List[int]:
+    """Transpose a byte sequence into per-lane waveforms.
+
+    Element *j* of the result is an integer whose bit *i* is the state of
+    lane DQ\\ *j* during beat *i*.  Useful for lane-centric analyses such as
+    per-wire toggle statistics.
+
+    >>> bytes_to_lanes([0b1, 0b0, 0b1])
+    [5, 0, 0, 0, 0, 0, 0, 0]
+    """
+    lanes = [0] * BYTE_WIDTH
+    for beat, byte in enumerate(data):
+        check_byte(byte)
+        for lane in range(BYTE_WIDTH):
+            if byte & (1 << lane):
+                lanes[lane] |= 1 << beat
+    return lanes
+
+
+def iter_bits(value: int, width: int) -> Iterator[int]:
+    """Yield the bits of *value* LSB-first over *width* positions."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    for position in range(width):
+        yield (value >> position) & 1
+
+
+def hamming_weight_table(width: int) -> List[int]:
+    """Precompute popcounts for all integers below ``2**width``.
+
+    Handy for vectorised workloads sweeps; table[i] == popcount(i).
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    size = 1 << width
+    table = [0] * size
+    for value in range(1, size):
+        table[value] = table[value >> 1] + (value & 1)
+    return table
+
+
+def total_zeros(words: Iterable[int]) -> int:
+    """Sum of :func:`zeros_in_word` over a word sequence."""
+    return sum(zeros_in_word(word) for word in words)
+
+
+def total_transitions(words: Sequence[int], prev_word: int = ALL_ONES_WORD) -> int:
+    """Sum of lane toggles over a word sequence starting from *prev_word*."""
+    count = 0
+    last = prev_word
+    for word in words:
+        count += transitions(last, word)
+        last = word
+    return count

@@ -1,0 +1,47 @@
+"""Receiver-side DBI decoding.
+
+One of DBI's selling points (and the reason the paper's scheme is drop-in
+compatible with existing GDDR5/DDR4 devices) is that the decode step is
+identical for every encoding policy: if the DBI lane is low, complement the
+data lanes; otherwise pass them through.  This module provides that decode
+for single words, whole bursts and word streams, plus integrity checks used
+throughout the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .bitops import decode_word, word_dbi
+from .burst import Burst
+from .schemes import EncodedBurst
+
+
+def decode_words(words: Sequence[int]) -> Burst:
+    """Decode a sequence of 9-bit wire words into the original burst.
+
+    >>> from .bitops import make_word
+    >>> decode_words([make_word(0x12, False), make_word(0x34, True)]).data
+    (18, 52)
+    """
+    return Burst(decode_word(word) for word in words)
+
+
+def decode_stream(encoded: Iterable[EncodedBurst]) -> List[Burst]:
+    """Decode a stream of encoded bursts (order-preserving)."""
+    return [burst.decode() for burst in encoded]
+
+
+def invert_flags_from_words(words: Sequence[int]) -> List[bool]:
+    """Recover the encoder's invert decisions from the wire words."""
+    return [word_dbi(word) == 0 for word in words]
+
+
+def verify_round_trip(encoded: EncodedBurst) -> bool:
+    """True iff decoding reproduces the original data exactly."""
+    return encoded.decode().data == encoded.burst.data
+
+
+def verify_stream(encoded: Iterable[EncodedBurst]) -> bool:
+    """True iff every burst of a stream round-trips."""
+    return all(verify_round_trip(burst) for burst in encoded)

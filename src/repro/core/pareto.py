@@ -1,0 +1,163 @@
+"""Exhaustive enumeration and Pareto analysis of DBI encodings.
+
+The paper's Fig. 2 observes that, for its example burst, varying the
+alpha/beta ratio exposes five Pareto-optimal (zeros, transitions)
+trade-offs that neither DBI DC nor DBI AC can reach.  This module
+reproduces that analysis for arbitrary (small) bursts:
+
+* :func:`enumerate_encodings` walks all 2^n invert patterns and tallies
+  each pattern's activity.
+* :func:`pareto_front` filters the non-dominated (transitions, zeros)
+  points.
+* :func:`supported_points` further restricts to the *lower convex hull* —
+  the points actually reachable as a shortest path for some alpha/beta
+  ratio (a linear objective can only find supported Pareto points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from .bitops import ALL_ONES_WORD, check_word, make_word, transitions, zeros_in_word
+from .burst import Burst
+from .costs import CostModel
+from .schemes import EncodedBurst
+from .trellis import solve
+
+
+@dataclass(frozen=True)
+class EncodingPoint:
+    """One invert-pattern with its activity tallies."""
+
+    invert_flags: Tuple[bool, ...]
+    transitions: int
+    zeros: int
+
+    @property
+    def point(self) -> Tuple[int, int]:
+        """(transitions, zeros) coordinates."""
+        return (self.transitions, self.zeros)
+
+
+def enumerate_encodings(burst: Burst,
+                        prev_word: int = ALL_ONES_WORD) -> List[EncodingPoint]:
+    """All 2^n encodings of *burst* with their activity (n ≤ 20).
+
+    >>> points = enumerate_encodings(Burst([0x0F]))
+    >>> sorted(p.point for p in points)
+    [(4, 4), (5, 5)]
+    """
+    check_word(prev_word)
+    n = len(burst)
+    if n > 20:
+        raise ValueError(f"exhaustive enumeration limited to 20 bytes, got {n}")
+    results: List[EncodingPoint] = []
+    for pattern in range(1 << n):
+        flags = tuple(bool((pattern >> i) & 1) for i in range(n))
+        n_trans = 0
+        n_zeros = 0
+        last = prev_word
+        for byte, inverted in zip(burst, flags):
+            word = make_word(byte, inverted)
+            n_trans += transitions(last, word)
+            n_zeros += zeros_in_word(word)
+            last = word
+        results.append(EncodingPoint(flags, n_trans, n_zeros))
+    return results
+
+
+def pareto_front(points: Sequence[EncodingPoint]) -> List[EncodingPoint]:
+    """Non-dominated points, sorted by ascending transitions.
+
+    A point dominates another if it is no worse in both coordinates and
+    strictly better in at least one.  Duplicate coordinates are collapsed
+    to a single representative.
+    """
+    best_by_trans: dict = {}
+    for point in points:
+        incumbent = best_by_trans.get(point.transitions)
+        if incumbent is None or point.zeros < incumbent.zeros:
+            best_by_trans[point.transitions] = point
+    frontier: List[EncodingPoint] = []
+    best_zeros = float("inf")
+    for n_trans in sorted(best_by_trans):
+        candidate = best_by_trans[n_trans]
+        if candidate.zeros < best_zeros:
+            frontier.append(candidate)
+            best_zeros = candidate.zeros
+    return frontier
+
+
+def supported_points(burst: Burst, prev_word: int = ALL_ONES_WORD,
+                     resolution: int = 2048) -> List[Tuple[int, int]]:
+    """(transitions, zeros) points reachable by the optimal encoder.
+
+    Sweeps the alpha/beta ratio over *resolution* steps (plus the two pure
+    endpoints) and records the activity of each shortest-path solution.
+    These are the *supported* Pareto points — the lower convex hull of the
+    achievable region, which is what "vary the coefficients" in the paper
+    explores.
+    """
+    check_word(prev_word)
+    seen: Set[Tuple[int, int]] = set()
+    for step in range(resolution + 1):
+        ac_fraction = step / resolution
+        model = CostModel.from_ac_fraction(ac_fraction)
+        solution = solve(burst, model, prev_word=prev_word)
+        encoded = EncodedBurst(burst=burst, invert_flags=solution.invert_flags,
+                               prev_word=prev_word)
+        seen.add(encoded.activity())
+    # Filter dominated points: pure-endpoint ties can admit dominated optima
+    # (e.g. at alpha=0 any pattern with minimal zeros is "optimal" regardless
+    # of its transition count).
+    result: List[Tuple[int, int]] = []
+    best_zeros = float("inf")
+    for n_trans, n_zeros in sorted(seen):
+        if n_zeros < best_zeros:
+            result.append((n_trans, n_zeros))
+            best_zeros = n_zeros
+    return result
+
+
+def convex_hull_lower(points: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Lower-left convex hull of integer (transitions, zeros) points.
+
+    The subset of a Pareto frontier findable by minimising a non-negative
+    linear combination of the two coordinates.
+    """
+    unique = sorted(set(points))
+    if len(unique) <= 2:
+        return unique
+    hull: List[Tuple[int, int]] = []
+    for point in unique:
+        while len(hull) >= 2:
+            (x1, y1), (x2, y2) = hull[-2], hull[-1]
+            x3, y3 = point
+            # Lower hull: pop the middle point unless the chain makes a
+            # strict left (counter-clockwise) turn through it.
+            cross = (x2 - x1) * (y3 - y1) - (y2 - y1) * (x3 - x1)
+            if cross <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(point)
+    # Restrict to the non-dominated part of the hull.
+    result: List[Tuple[int, int]] = []
+    best_zeros = float("inf")
+    for x, y in hull:
+        if y < best_zeros:
+            result.append((x, y))
+            best_zeros = y
+    return result
+
+
+def pareto_summary(burst: Burst, prev_word: int = ALL_ONES_WORD) -> str:
+    """Markdown table of the full Pareto frontier for a (small) burst."""
+    frontier = pareto_front(enumerate_encodings(burst, prev_word))
+    supported = set(supported_points(burst, prev_word))
+    lines = ["| transitions | zeros | supported |", "|---|---|---|"]
+    for point in frontier:
+        mark = "yes" if point.point in supported else "no"
+        lines.append(f"| {point.transitions} | {point.zeros} | {mark} |")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Common interface for every DBI encoding scheme plus a registry.
+
+Every scheme — the paper's optimal encoders as well as all baselines —
+implements :class:`DbiScheme`: it maps a :class:`~repro.core.burst.Burst`
+to an :class:`EncodedBurst` describing exactly which bytes are inverted and
+what ends up on the wire.  All figures and tables of the paper are produced
+by running registered schemes through the same simulation harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from .bitops import (
+    ALL_ONES_WORD,
+    check_word,
+    decode_word,
+    make_word,
+    total_transitions,
+    total_zeros,
+)
+from .burst import Burst
+from .costs import CostModel
+
+
+@dataclass(frozen=True)
+class EncodedBurst:
+    """The result of DBI-encoding one burst.
+
+    Attributes
+    ----------
+    burst:
+        The original data.
+    invert_flags:
+        Per-byte invert decision (True = transmitted inverted, DBI lane 0).
+    words:
+        The 9-bit wire words actually transmitted (derived, cached).
+    prev_word:
+        Bus state before the first beat (idle-high by default).
+    """
+
+    burst: Burst
+    invert_flags: Tuple[bool, ...]
+    prev_word: int = ALL_ONES_WORD
+
+    def __post_init__(self) -> None:
+        if len(self.invert_flags) != len(self.burst):
+            raise ValueError(
+                f"{len(self.invert_flags)} invert flags for {len(self.burst)} bytes"
+            )
+        check_word(self.prev_word)
+
+    @property
+    def words(self) -> Tuple[int, ...]:
+        """The 9-bit words on the wire, in transmission order."""
+        return tuple(
+            make_word(byte, inverted)
+            for byte, inverted in zip(self.burst, self.invert_flags)
+        )
+
+    def __len__(self) -> int:
+        return len(self.burst)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.words)
+
+    # -- activity statistics ----------------------------------------------
+    def zeros(self) -> int:
+        """Total zero-lane-beats over the burst (all 9 lanes)."""
+        return total_zeros(self.words)
+
+    def transitions(self) -> int:
+        """Total lane toggles over the burst, from the idle/previous state."""
+        return total_transitions(self.words, self.prev_word)
+
+    def activity(self) -> Tuple[int, int]:
+        """``(transitions, zeros)`` pair — the coordinates of Fig. 2's labels."""
+        return self.transitions(), self.zeros()
+
+    def cost(self, model: CostModel) -> float:
+        """Burst cost under a :class:`~repro.core.costs.CostModel`."""
+        n_transitions, n_zeros = self.activity()
+        return model.activity_cost(n_transitions, n_zeros)
+
+    def decode(self) -> Burst:
+        """Receiver-side decode; must always round-trip to ``burst``."""
+        return Burst(decode_word(word) for word in self.words)
+
+    def last_word(self) -> int:
+        """Bus state after the burst (feeds the next burst's boundary)."""
+        return self.words[-1]
+
+    def verify(self) -> None:
+        """Raise ``AssertionError`` unless the encoding round-trips."""
+        decoded = self.decode()
+        if decoded.data != self.burst.data:
+            raise AssertionError(
+                f"DBI round-trip failed: sent {self.burst.data}, decoded {decoded.data}"
+            )
+
+
+class DbiScheme(abc.ABC):
+    """Abstract DBI encoding policy.
+
+    Subclasses decide, for each byte of a burst, whether to invert it.
+    Implementations must be deterministic and stateless across calls; any
+    inter-burst state (the previous bus word) is passed explicitly so the
+    simulation harness can chain bursts.
+    """
+
+    #: Short identifier used in tables, plots and the registry.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
+        """Encode one burst given the previous bus state."""
+
+    def encode_stream(self, bursts: List[Burst],
+                      prev_word: int = ALL_ONES_WORD) -> List[EncodedBurst]:
+        """Encode a sequence of bursts, threading bus state between them."""
+        encoded: List[EncodedBurst] = []
+        state = prev_word
+        for burst in bursts:
+            result = self.encode(burst, prev_word=state)
+            encoded.append(result)
+            state = result.last_word()
+        return encoded
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Global scheme registry: name -> zero-argument factory.
+_REGISTRY: Dict[str, Callable[[], DbiScheme]] = {}
+
+
+def register_scheme(name: str, factory: Callable[[], DbiScheme]) -> None:
+    """Register a scheme factory under *name* (overwrites silently)."""
+    if not name:
+        raise ValueError("scheme name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def get_scheme(name: str) -> DbiScheme:
+    """Instantiate a registered scheme by name.
+
+    >>> get_scheme("dbi-dc").name
+    'dbi-dc'
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scheme {name!r}; known schemes: {known}") from None
+    return factory()
+
+def available_schemes() -> List[str]:
+    """Names of all registered schemes, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,306 @@
+"""The paper's central idea: optimal DBI encoding as a shortest path.
+
+For a burst of *n* bytes the 2^n possible invert-flag assignments form a
+directed acyclic trellis (paper Fig. 2):
+
+* a virtual **start** node representing the bus state before the burst
+  (idle high by default),
+* two nodes per byte — transmit byte *i* **non-inverted** (DBI = 1) or
+  **inverted** (DBI = 0),
+* a virtual **end** node collecting both final states with zero-cost edges.
+
+The weight of an edge into a node is the cost of transmitting that node's
+9-bit word right after the source node's word:
+``alpha * transitions + beta * zeros``.  Because the cost of byte *i*
+depends only on byte *i-1*'s transmitted form, the shortest start→end path
+is the minimum-energy encoding, found in O(n) by dynamic programming
+(a two-state Viterbi recursion — the software twin of the paper's Fig. 5
+hardware).
+
+:class:`TrellisGraph` additionally materialises the explicit graph with all
+edge weights for inspection, documentation (Fig. 2 regeneration) and
+cross-validation against generic shortest-path algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .bitops import ALL_ONES_WORD, check_word, make_word
+from .burst import Burst
+from .costs import CostModel
+
+#: Node label of the virtual source node.
+START_NODE = "start"
+
+#: Node label of the virtual sink node.
+END_NODE = "end"
+
+
+def node_name(index: int, inverted: bool) -> str:
+    """Canonical node label for byte *index* in the given polarity."""
+    return f"byte{index}:{'inv' if inverted else 'raw'}"
+
+
+@dataclass(frozen=True)
+class TrellisEdge:
+    """One weighted edge of the DBI trellis."""
+
+    source: str
+    target: str
+    weight: float
+    #: Transmitted word at the target (None for the edge into END_NODE).
+    word: Optional[int] = None
+
+
+@dataclass
+class TrellisGraph:
+    """Explicit trellis for one burst and one cost model.
+
+    Primarily a documentation / validation artefact: the production encoder
+    (:func:`solve`) never builds it.  ``nodes`` contains START/END plus two
+    nodes per byte; ``edges`` all weighted edges in topological order.
+    """
+
+    burst: Burst
+    model: CostModel
+    prev_word: int = ALL_ONES_WORD
+    nodes: List[str] = field(default_factory=list)
+    edges: List[TrellisEdge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_word(self.prev_word)
+        self._build()
+
+    def _build(self) -> None:
+        self.nodes = [START_NODE]
+        for index in range(len(self.burst)):
+            self.nodes.append(node_name(index, False))
+            self.nodes.append(node_name(index, True))
+        self.nodes.append(END_NODE)
+
+        self.edges = []
+        first = self.burst[0]
+        for inverted in (False, True):
+            word = make_word(first, inverted)
+            self.edges.append(
+                TrellisEdge(
+                    source=START_NODE,
+                    target=node_name(0, inverted),
+                    weight=self.model.word_cost(self.prev_word, word),
+                    word=word,
+                )
+            )
+        for index in range(1, len(self.burst)):
+            byte = self.burst[index]
+            for prev_inverted in (False, True):
+                prev_word = make_word(self.burst[index - 1], prev_inverted)
+                for inverted in (False, True):
+                    word = make_word(byte, inverted)
+                    self.edges.append(
+                        TrellisEdge(
+                            source=node_name(index - 1, prev_inverted),
+                            target=node_name(index, inverted),
+                            weight=self.model.word_cost(prev_word, word),
+                            word=word,
+                        )
+                    )
+        last = len(self.burst) - 1
+        for inverted in (False, True):
+            self.edges.append(
+                TrellisEdge(
+                    source=node_name(last, inverted),
+                    target=END_NODE,
+                    weight=0.0,
+                    word=None,
+                )
+            )
+
+    # -- queries -----------------------------------------------------------
+    def edge_weight(self, source: str, target: str) -> float:
+        """Weight of the unique edge source→target (KeyError if absent)."""
+        for edge in self.edges:
+            if edge.source == source and edge.target == target:
+                return edge.weight
+        raise KeyError(f"no edge {source} -> {target}")
+
+    def adjacency(self) -> Dict[str, List[Tuple[str, float]]]:
+        """Adjacency-list view ``{source: [(target, weight), ...]}``."""
+        result: Dict[str, List[Tuple[str, float]]] = {node: [] for node in self.nodes}
+        for edge in self.edges:
+            result[edge.source].append((edge.target, edge.weight))
+        return result
+
+    def to_networkx(self):  # pragma: no cover - exercised in tests when networkx present
+        """Export as a ``networkx.DiGraph`` for cross-validation."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes)
+        for edge in self.edges:
+            graph.add_edge(edge.source, edge.target, weight=edge.weight)
+        return graph
+
+    def render(self) -> str:
+        """Human-readable dump in the spirit of the paper's Fig. 2."""
+        lines = [f"trellis over {len(self.burst)} bytes "
+                 f"(alpha={self.model.alpha}, beta={self.model.beta})"]
+        for edge in self.edges:
+            word = "-" if edge.word is None else format(edge.word, "09b")
+            lines.append(f"  {edge.source:>10} -> {edge.target:<10} "
+                         f"w={edge.weight:g} word={word}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TrellisSolution:
+    """Result of the shortest-path search for one burst."""
+
+    invert_flags: Tuple[bool, ...]
+    total_cost: float
+    #: Per-step minimum path costs, ``costs[i] = (cost_raw, cost_inv)`` —
+    #: exactly the ``cost(i)`` / ``cost_inv(i)`` signals of the paper's Fig. 5.
+    step_costs: Tuple[Tuple[float, float], ...]
+
+
+def solve(burst: Burst, model: CostModel,
+          prev_word: int = ALL_ONES_WORD) -> TrellisSolution:
+    """Find the minimum-cost invert-flag assignment for *burst*.
+
+    Two-state Viterbi recursion with backtracking, mirroring the hardware of
+    the paper's Fig. 5: forward pass accumulates ``cost(i)``/``cost_inv(i)``,
+    per-step predecessor choices are remembered, and the cheaper of the two
+    final states is backtracked through the recorded mux settings.
+
+    Ties are broken toward the **non-inverted** representation, matching a
+    hardware comparator that only switches on strict improvement.
+
+    >>> from .costs import CostModel
+    >>> solution = solve(Burst([0x00, 0x00]), CostModel.dc_only())
+    >>> solution.invert_flags
+    (True, True)
+    """
+    check_word(prev_word)
+    n = len(burst)
+
+    # Forward pass ----------------------------------------------------------
+    # cost_raw / cost_inv: cheapest cost of transmitting bytes 0..i with the
+    # i-th byte sent raw / inverted.  choice_*[i] records whether the best
+    # predecessor of state (i, *) was the inverted state of byte i-1.
+    words_raw = [make_word(byte, False) for byte in burst]
+    words_inv = [make_word(byte, True) for byte in burst]
+
+    cost_raw = model.word_cost(prev_word, words_raw[0])
+    cost_inv = model.word_cost(prev_word, words_inv[0])
+    choice_raw: List[bool] = [False]
+    choice_inv: List[bool] = [False]
+    step_costs: List[Tuple[float, float]] = [(cost_raw, cost_inv)]
+
+    for i in range(1, n):
+        edge_rr = model.word_cost(words_raw[i - 1], words_raw[i])
+        edge_ir = model.word_cost(words_inv[i - 1], words_raw[i])
+        edge_ri = model.word_cost(words_raw[i - 1], words_inv[i])
+        edge_ii = model.word_cost(words_inv[i - 1], words_inv[i])
+
+        via_raw = cost_raw + edge_rr
+        via_inv = cost_inv + edge_ir
+        if via_inv < via_raw:
+            next_raw, from_inv_raw = via_inv, True
+        else:
+            next_raw, from_inv_raw = via_raw, False
+
+        via_raw = cost_raw + edge_ri
+        via_inv = cost_inv + edge_ii
+        if via_inv < via_raw:
+            next_inv, from_inv_inv = via_inv, True
+        else:
+            next_inv, from_inv_inv = via_raw, False
+
+        cost_raw, cost_inv = next_raw, next_inv
+        choice_raw.append(from_inv_raw)
+        choice_inv.append(from_inv_inv)
+        step_costs.append((cost_raw, cost_inv))
+
+    # Backtracking ------------------------------------------------------------
+    flags = [False] * n
+    current_inverted = cost_inv < cost_raw
+    total = cost_inv if current_inverted else cost_raw
+    for i in range(n - 1, -1, -1):
+        flags[i] = current_inverted
+        current_inverted = (choice_inv[i] if current_inverted else choice_raw[i])
+
+    return TrellisSolution(
+        invert_flags=tuple(flags),
+        total_cost=total,
+        step_costs=tuple(step_costs),
+    )
+
+
+def brute_force(burst: Burst, model: CostModel,
+                prev_word: int = ALL_ONES_WORD) -> TrellisSolution:
+    """Exhaustively search all 2^n encodings (reference oracle for tests).
+
+    Exponential — intended for bursts up to ~16 bytes.  Tie-breaking
+    prefers lexicographically-smaller flag patterns with non-inverted
+    first, consistent with :func:`solve`.
+    """
+    check_word(prev_word)
+    n = len(burst)
+    if n > 20:
+        raise ValueError(f"brute force limited to 20 bytes, got {n}")
+    best_flags: Optional[Tuple[bool, ...]] = None
+    best_cost = float("inf")
+    for pattern in range(1 << n):
+        flags = tuple(bool((pattern >> i) & 1) for i in range(n))
+        cost = 0.0
+        last = prev_word
+        for byte, inverted in zip(burst, flags):
+            word = make_word(byte, inverted)
+            cost += model.word_cost(last, word)
+            last = word
+        if cost < best_cost:
+            best_cost = cost
+            best_flags = flags
+    assert best_flags is not None
+    return TrellisSolution(invert_flags=best_flags, total_cost=best_cost,
+                           step_costs=())
+
+
+def solve_on_graph(graph: TrellisGraph) -> Tuple[List[str], float]:
+    """Dijkstra-style shortest path on the explicit trellis graph.
+
+    Returns the node path (including START/END) and its total weight.  Used
+    to cross-check :func:`solve` against a generic algorithm; since the
+    trellis is a DAG in topological order, a single relaxation sweep is
+    exact.
+    """
+    dist: Dict[str, float] = {node: float("inf") for node in graph.nodes}
+    pred: Dict[str, Optional[str]] = {node: None for node in graph.nodes}
+    dist[START_NODE] = 0.0
+    for edge in graph.edges:  # edges are emitted in topological order
+        candidate = dist[edge.source] + edge.weight
+        if candidate < dist[edge.target]:
+            dist[edge.target] = candidate
+            pred[edge.target] = edge.source
+
+    path: List[str] = []
+    node: Optional[str] = END_NODE
+    while node is not None:
+        path.append(node)
+        node = pred[node]
+    path.reverse()
+    if path[0] != START_NODE:
+        raise RuntimeError("END node unreachable — malformed trellis")
+    return path, dist[END_NODE]
+
+
+def flags_from_path(path: List[str]) -> Tuple[bool, ...]:
+    """Convert a node path from :func:`solve_on_graph` into invert flags."""
+    flags: List[bool] = []
+    for node in path:
+        if node in (START_NODE, END_NODE):
+            continue
+        __, polarity = node.split(":")
+        flags.append(polarity == "inv")
+    return tuple(flags)

@@ -1,0 +1,17 @@
+"""Write-path memory-controller model with cross-burst DBI lookahead."""
+
+from .controller import (
+    CACHE_LINE_BYTES,
+    ControllerStatistics,
+    WriteController,
+    WriteTransaction,
+    compare_controllers,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "ControllerStatistics",
+    "WriteController",
+    "WriteTransaction",
+    "compare_controllers",
+]

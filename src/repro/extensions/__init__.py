@@ -1,0 +1,30 @@
+"""Extensions beyond the paper: design-space explorations enabled by the
+library (DBI granularity, reliability under wire faults)."""
+
+from .granularity import (
+    GroupedDbiOptimal,
+    GroupedEncoding,
+    VALID_GROUP_SIZES,
+    granularity_table,
+    split_groups,
+)
+from .reliability import (
+    FaultStatistics,
+    decode_with_faults,
+    error_amplification,
+    fault_sweep,
+    wrong_decision_is_harmless,
+)
+
+__all__ = [
+    "FaultStatistics",
+    "GroupedDbiOptimal",
+    "GroupedEncoding",
+    "VALID_GROUP_SIZES",
+    "decode_with_faults",
+    "error_amplification",
+    "fault_sweep",
+    "granularity_table",
+    "split_groups",
+    "wrong_decision_is_harmless",
+]

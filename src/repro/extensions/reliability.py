@@ -1,0 +1,146 @@
+"""Reliability of DBI links under wire faults and encoder errors.
+
+Two very different failure modes matter for DBI, and the paper's remark
+about analog encoder implementations ("rare inaccurate encoding decisions
+are unlikely to cause application errors") rests on the distinction:
+
+* A **wrong encoding decision** (the encoder picks a suboptimal invert
+  flag) is *harmless for correctness*: the DBI bit transmitted alongside
+  the data always describes what was done, so the receiver still decodes
+  the exact payload — only energy is wasted.
+  :func:`wrong_decision_is_harmless` demonstrates this exhaustively.
+
+* A **wire fault** (a lane sampled wrongly) corrupts data, and DBI
+  *amplifies* faults on the DBI lane: flipping it complements the entire
+  byte (8 wrong bits), whereas a data-lane fault stays a single-bit error.
+  :func:`error_amplification` and :func:`fault_sweep` quantify this —
+  the hidden reliability cost of any inversion code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.bitops import BYTE_WIDTH, WORD_WIDTH, decode_word, popcount
+from ..core.burst import Burst
+from ..core.schemes import DbiScheme, EncodedBurst
+
+
+def decode_with_faults(words: Sequence[int],
+                       fault_masks: Sequence[int]) -> Burst:
+    """Decode wire words after XOR-ing each with its fault mask.
+
+    ``fault_masks[i]`` has a 1 in every lane sampled wrongly during beat
+    *i* (bit 8 = the DBI lane).
+
+    >>> from repro.core.bitops import make_word
+    >>> decode_with_faults([make_word(0x0F, False)], [0x100]).data
+    (240,)
+    """
+    if len(words) != len(fault_masks):
+        raise ValueError(f"{len(fault_masks)} masks for {len(words)} words")
+    corrupted = []
+    for word, mask in zip(words, fault_masks):
+        if not 0 <= mask < (1 << WORD_WIDTH):
+            raise ValueError(f"fault mask out of range: {mask}")
+        corrupted.append(word ^ mask)
+    return Burst(decode_word(word) for word in corrupted)
+
+
+def error_amplification(encoded: EncodedBurst, beat: int,
+                        lane: int) -> int:
+    """Decoded bit errors caused by one single-lane fault.
+
+    *lane* 0-7 are data lanes, lane 8 is the DBI lane.
+
+    >>> from repro.baselines import Raw
+    >>> from repro.core.burst import Burst
+    >>> enc = Raw().encode(Burst([0x55]))
+    >>> error_amplification(enc, beat=0, lane=8)
+    8
+    """
+    if not 0 <= lane < WORD_WIDTH:
+        raise ValueError(f"lane must be in [0, {WORD_WIDTH}), got {lane}")
+    if not 0 <= beat < len(encoded):
+        raise IndexError(f"beat {beat} out of range")
+    masks = [0] * len(encoded)
+    masks[beat] = 1 << lane
+    decoded = decode_with_faults(encoded.words, masks)
+    return sum(popcount(a ^ b) for a, b in zip(decoded, encoded.burst))
+
+
+def wrong_decision_is_harmless(burst: Burst, scheme: DbiScheme) -> bool:
+    """True iff flipping any single *encoding decision* still round-trips.
+
+    This is the property behind the paper's analog-implementation remark:
+    a mis-decided invert flag changes what is on the wire *and* the DBI
+    bit together, so the receiver always recovers the payload.
+    """
+    baseline = scheme.encode(burst)
+    for index in range(len(burst)):
+        flags = list(baseline.invert_flags)
+        flags[index] = not flags[index]
+        perturbed = EncodedBurst(burst=burst, invert_flags=tuple(flags),
+                                 prev_word=baseline.prev_word)
+        if perturbed.decode().data != burst.data:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class FaultStatistics:
+    """Aggregate decoded-error statistics from a random-fault sweep."""
+
+    injected_faults: int
+    total_bit_errors: int
+    dbi_lane_faults: int
+    dbi_lane_bit_errors: int
+
+    @property
+    def mean_amplification(self) -> float:
+        """Decoded bit errors per injected single-lane fault."""
+        return (self.total_bit_errors / self.injected_faults
+                if self.injected_faults else 0.0)
+
+    @property
+    def dbi_amplification(self) -> float:
+        """Decoded bit errors per DBI-lane fault (always the byte width)."""
+        return (self.dbi_lane_bit_errors / self.dbi_lane_faults
+                if self.dbi_lane_faults else 0.0)
+
+
+def fault_sweep(scheme: DbiScheme, bursts: Sequence[Burst],
+                faults_per_burst: int = 1, seed: int = 7) -> FaultStatistics:
+    """Inject uniform single-lane faults and tally decoded bit errors.
+
+    Each fault picks a uniform (beat, lane) in the encoded burst; the
+    expected amplification of a fault is therefore
+    ``(8·P[data lane] + 8·P[DBI lane]) / 9``... precisely: data-lane
+    faults contribute 1 wrong bit, DBI-lane faults 8, giving an expected
+    ``(8·1 + 1·8) / 9 ≈ 1.78`` versus exactly 1.0 for a DBI-less bus.
+    """
+    if faults_per_burst < 1:
+        raise ValueError("faults_per_burst must be >= 1")
+    rng = np.random.default_rng(seed)
+    injected = 0
+    total_errors = 0
+    dbi_faults = 0
+    dbi_errors = 0
+    for burst in bursts:
+        encoded = scheme.encode(burst)
+        for _ in range(faults_per_burst):
+            beat = int(rng.integers(0, len(encoded)))
+            lane = int(rng.integers(0, WORD_WIDTH))
+            errors = error_amplification(encoded, beat, lane)
+            injected += 1
+            total_errors += errors
+            if lane == BYTE_WIDTH:
+                dbi_faults += 1
+                dbi_errors += errors
+    return FaultStatistics(injected_faults=injected,
+                           total_bit_errors=total_errors,
+                           dbi_lane_faults=dbi_faults,
+                           dbi_lane_bit_errors=dbi_errors)

@@ -1,0 +1,84 @@
+"""Gate-level hardware models: cells, netlists, encoder RTL, synthesis."""
+
+from .activity import (
+    burst_to_vector,
+    encode_with_netlist,
+    measure_activity,
+    netlist_invert_flags,
+    vectors_from_bursts,
+)
+from .cells import DFF, LIBRARY, Cell, get_cell
+from .components import (
+    add_many,
+    carry_select_adder,
+    full_adder,
+    half_adder,
+    less_than,
+    min_select,
+    multiply,
+    mux_bus,
+    popcount,
+    ripple_adder,
+    subtract_from_const,
+    xor_bus,
+    xor_with_bit,
+)
+from .encoders import (
+    build_ac_encoder,
+    build_dc_encoder,
+    build_decoder,
+    build_opt_encoder,
+)
+from .netlist import ActivityReport, Gate, Netlist
+from .pipeline import PipelinePlan, plan_pipeline, stages_for_frequency
+from .synthesis import (
+    DesignSpec,
+    SynthesisResult,
+    TARGET_BURST_RATE_HZ,
+    encoder_energy_per_burst,
+    synthesize,
+    table_one,
+    table_one_markdown,
+)
+
+__all__ = [
+    "ActivityReport",
+    "Cell",
+    "DFF",
+    "DesignSpec",
+    "Gate",
+    "LIBRARY",
+    "Netlist",
+    "PipelinePlan",
+    "SynthesisResult",
+    "TARGET_BURST_RATE_HZ",
+    "add_many",
+    "build_ac_encoder",
+    "build_dc_encoder",
+    "build_decoder",
+    "build_opt_encoder",
+    "burst_to_vector",
+    "carry_select_adder",
+    "encode_with_netlist",
+    "encoder_energy_per_burst",
+    "full_adder",
+    "get_cell",
+    "half_adder",
+    "less_than",
+    "measure_activity",
+    "min_select",
+    "multiply",
+    "mux_bus",
+    "netlist_invert_flags",
+    "plan_pipeline",
+    "popcount",
+    "stages_for_frequency",
+    "ripple_adder",
+    "subtract_from_const",
+    "synthesize",
+    "table_one",
+    "table_one_markdown",
+    "vectors_from_bursts",
+    "xor_bus",
+    "xor_with_bit",
+]

@@ -1,0 +1,222 @@
+"""Structural gate-level models of the DBI encoders (paper Fig. 5).
+
+Each builder returns a bit-true :class:`~repro.hw.netlist.Netlist` whose
+I/O contract is shared across designs:
+
+* inputs ``byte0 .. byte{n-1}`` (8 bits each) — the burst payload;
+* input ``prev_word`` (9 bits) — the bus state before the burst
+  (0x1FF = idle high, the paper's boundary condition);
+* configurable designs add ``alpha`` / ``beta`` coefficient inputs;
+* outputs ``flags`` (n bits, bit *i* = byte *i* transmitted inverted) and
+  ``word0 .. word{n-1}`` (9 bits each) — the wire words.
+
+The optimal encoders implement the paper's Fig. 5 microarchitecture
+literally: per-byte processing blocks with two POPCNT units, the four
+candidate path costs, compare-and-forward minimum selection, and the
+backtracking mux chain that recovers the DBI pattern from the stored
+comparator decisions.  Functional equivalence with the algorithmic
+encoders of :mod:`repro.core` is asserted by the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .components import (
+    add_many,
+    invert_bus,
+    less_than,
+    min_select,
+    multiply,
+    popcount,
+    ripple_adder,
+    subtract_from_const,
+    xor_bus,
+    xor_with_bit,
+)
+from .netlist import Netlist
+
+#: Cost-accumulator width of the fixed-coefficient design: the worst-case
+#: burst cost with alpha = beta = 1 is 8 bytes x 18 = 144 < 256.
+FIXED_COST_WIDTH = 8
+
+#: Cost-accumulator width with 3-bit coefficients: worst case ~1120 < 2048.
+CONFIG_COST_WIDTH = 11
+
+
+def _declare_burst_inputs(nl: Netlist, burst_length: int) -> Tuple[List[List[int]], List[int]]:
+    byte_buses = [nl.add_input(f"byte{i}", 8) for i in range(burst_length)]
+    prev_word = nl.add_input("prev_word", 9)
+    return byte_buses, prev_word
+
+
+def _emit_words(nl: Netlist, byte_buses: List[List[int]], flags: List[int]) -> None:
+    nl.mark_output("flags", flags)
+    for index, (byte_bits, flag) in enumerate(zip(byte_buses, flags)):
+        data_out = xor_with_bit(nl, byte_bits, flag)
+        dbi_out = nl.gate("INV", flag)
+        nl.mark_output(f"word{index}", data_out + [dbi_out])
+
+
+def build_dc_encoder(burst_length: int = 8) -> Netlist:
+    """DBI DC: POPCNT + threshold comparator per byte (no inter-byte logic).
+
+    Invert when the byte has >= 5 zeros, i.e. popcount <= 3, i.e. both
+    high bits of the 4-bit popcount are clear — a single NOR2.
+    """
+    if burst_length < 1:
+        raise ValueError("burst_length must be >= 1")
+    nl = Netlist("dbi-dc")
+    byte_buses, _prev = _declare_burst_inputs(nl, burst_length)
+    flags: List[int] = []
+    for byte_bits in byte_buses:
+        ones = popcount(nl, byte_bits)  # 4 bits, value 0..8
+        flags.append(nl.gate("NOR2", ones[3], ones[2]))
+    _emit_words(nl, byte_buses, flags)
+    return nl
+
+
+def build_ac_encoder(burst_length: int = 8) -> Netlist:
+    """DBI AC: greedy transition comparison, chained through the burst.
+
+    Each stage counts the data-lane toggles ``x`` against the previously
+    *encoded* word, adds the DBI-lane toggle for both candidate polarities
+    and inverts on strict improvement.  The stage-to-stage dependency makes
+    this a serial chain — visible in its logic depth versus DBI DC.
+    """
+    if burst_length < 1:
+        raise ValueError("burst_length must be >= 1")
+    nl = Netlist("dbi-ac")
+    byte_buses, prev_word = _declare_burst_inputs(nl, burst_length)
+    prev_data = prev_word[:8]
+    prev_dbi = prev_word[8]
+    flags: List[int] = []
+    for byte_bits in byte_buses:
+        x = popcount(nl, xor_bus(nl, prev_data, byte_bits))  # 0..8, 4 bits
+        not_prev_dbi = nl.gate("INV", prev_dbi)
+        trans_raw = ripple_adder(nl, x, [not_prev_dbi])            # 0..9
+        eight_minus_x = subtract_from_const(nl, 8, x, 4)
+        trans_inv = ripple_adder(nl, eight_minus_x, [prev_dbi])    # 0..9
+        invert = less_than(nl, trans_inv, trans_raw)
+        flags.append(invert)
+        prev_data = xor_with_bit(nl, byte_bits, invert)
+        prev_dbi = nl.gate("INV", invert)
+    _emit_words(nl, byte_buses, flags)
+    return nl
+
+
+def _weighted(nl: Netlist, term_bits: List[int],
+              coeff_bits: Optional[List[int]]) -> List[int]:
+    """``coeff * term`` — or the bare term for hardwired unit coefficients."""
+    if coeff_bits is None:
+        return term_bits
+    return multiply(nl, term_bits, coeff_bits)
+
+
+def build_opt_encoder(burst_length: int = 8,
+                      coefficient_bits: Optional[int] = None,
+                      adder: str = "ripple") -> Netlist:
+    """DBI OPT — the paper's Fig. 5 shortest-path encoder.
+
+    With ``coefficient_bits=None`` this is the fixed alpha = beta = 1
+    design (no multipliers, narrow datapath); with ``coefficient_bits=b``
+    the configurable design with ``alpha``/``beta`` inputs and array
+    multipliers in every processing block.
+
+    Forward pass per block *i*:
+
+    * ``x`` = POPCNT(byte(i-1) XOR byte(i)) — data-lane toggles when both
+      bytes keep the same polarity; ``9 - x`` covers opposite polarities
+      (8 - x data toggles plus the DBI-lane toggle).
+    * ``p`` = POPCNT(byte(i)); DC costs ``8 - p`` (raw, DBI=1 adds no
+      zero) and ``p + 1`` (inverted, the DBI lane contributes one zero).
+    * four candidate sums combine the incoming ``cost``/``cost_inv`` with
+      the AC/DC terms; two compare-and-select units forward the minima and
+      latch the selector bits.
+
+    Backtracking: the cheaper final accumulator selects the last flag and
+    the stored selectors are walked backwards through a mux chain.
+
+    ``adder`` selects the cost-accumulator adder architecture:
+    ``"ripple"`` (the minimal-area default) or ``"carry-select"``
+    (shorter serial chain — see the adder-architecture ablation).
+    """
+    if burst_length < 1:
+        raise ValueError("burst_length must be >= 1")
+    if coefficient_bits is not None and coefficient_bits < 1:
+        raise ValueError("coefficient_bits must be >= 1 when given")
+    configurable = coefficient_bits is not None
+    width = CONFIG_COST_WIDTH if configurable else FIXED_COST_WIDTH
+    name = f"dbi-opt-q{coefficient_bits}" if configurable else "dbi-opt-fixed"
+    if adder != "ripple":
+        name = f"{name}-{adder}"
+    nl = Netlist(name)
+    byte_buses, prev_word = _declare_burst_inputs(nl, burst_length)
+    alpha = nl.add_input("alpha", coefficient_bits) if configurable else None
+    beta = nl.add_input("beta", coefficient_bits) if configurable else None
+
+    cost_raw: List[int] = []
+    cost_inv: List[int] = []
+    select_raw: List[Optional[int]] = [None] * burst_length
+    select_inv: List[Optional[int]] = [None] * burst_length
+
+    for index, byte_bits in enumerate(byte_buses):
+        reference = prev_word[:8] if index == 0 else byte_buses[index - 1]
+        x = popcount(nl, xor_bus(nl, reference, byte_bits))  # 4 bits
+        p = popcount(nl, byte_bits)                          # 4 bits
+        eight_minus_p = subtract_from_const(nl, 8, p, 4)
+        p_plus_1 = ripple_adder(nl, p, nl.constant(1, 1))[:4]
+        dc_cost0 = _weighted(nl, eight_minus_p, beta)
+        dc_cost1 = _weighted(nl, p_plus_1, beta)
+
+        if index == 0:
+            # The bus state fixes the predecessor polarity via its DBI bit.
+            prev_dbi = prev_word[8]
+            not_prev_dbi = nl.gate("INV", prev_dbi)
+            trans_raw = ripple_adder(nl, x, [not_prev_dbi])          # 0..9
+            eight_minus_x = subtract_from_const(nl, 8, x, 4)
+            trans_inv = ripple_adder(nl, eight_minus_x, [prev_dbi])  # 0..9
+            ac_raw = _weighted(nl, trans_raw, alpha)
+            ac_inv = _weighted(nl, trans_inv, alpha)
+            cost_raw = add_many(nl, [ac_raw, dc_cost0], width, adder=adder)
+            cost_inv = add_many(nl, [ac_inv, dc_cost1], width, adder=adder)
+            continue
+
+        nine_minus_x = subtract_from_const(nl, 9, x, 4)
+        ac_cost0 = _weighted(nl, x, alpha)             # same polarity
+        ac_cost1 = _weighted(nl, nine_minus_x, alpha)  # polarity change
+        option1 = add_many(nl, [cost_raw, ac_cost0, dc_cost0], width, adder=adder)
+        option2 = add_many(nl, [cost_inv, ac_cost1, dc_cost0], width, adder=adder)
+        option3 = add_many(nl, [cost_raw, ac_cost1, dc_cost1], width, adder=adder)
+        option4 = add_many(nl, [cost_inv, ac_cost0, dc_cost1], width, adder=adder)
+        cost_raw, select_raw[index] = min_select(nl, option1, option2)
+        cost_inv, select_inv[index] = min_select(nl, option3, option4)
+
+    # Backtracking mux chain (the m0/m1 muxes of Fig. 5).
+    flags: List[int] = [nl.constant(0, 1)[0]] * burst_length
+    flags[burst_length - 1] = less_than(nl, cost_inv, cost_raw)
+    for index in range(burst_length - 1, 0, -1):
+        flags[index - 1] = nl.gate("MUX2", select_raw[index],
+                                   select_inv[index], flags[index])
+
+    nl.mark_output("cost", cost_raw)
+    nl.mark_output("cost_inv", cost_inv)
+    _emit_words(nl, byte_buses, flags)
+    return nl
+
+
+def build_decoder(burst_length: int = 8) -> Netlist:
+    """Receiver-side DBI decoder: conditional inversion per word.
+
+    Inputs ``word0..word{n-1}`` (9 bits), outputs ``byte0..byte{n-1}``.
+    Included to demonstrate that the decode path is scheme-independent and
+    nearly free (one XOR bank per byte lane).
+    """
+    if burst_length < 1:
+        raise ValueError("burst_length must be >= 1")
+    nl = Netlist("dbi-decoder")
+    for index in range(burst_length):
+        word_bits = nl.add_input(f"word{index}", 9)
+        invert = nl.gate("INV", word_bits[8])
+        nl.mark_output(f"byte{index}", xor_with_bit(nl, word_bits[:8], invert))
+    return nl

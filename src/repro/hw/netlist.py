@@ -1,0 +1,225 @@
+"""Gate-level netlist container with simulation, timing and power queries.
+
+A :class:`Netlist` is a combinational circuit built incrementally from the
+cells of :mod:`repro.hw.cells`.  Gates must be created after their input
+nets exist, so the gate list is always in topological order — evaluation,
+longest-path timing and switching-activity analysis are all single linear
+sweeps.
+
+Sequential elements are *not* simulated here: the DBI encoders are
+burst-parallel combinational blocks, and pipeline registers only affect the
+area/power/timing accounting, which :mod:`repro.hw.synthesis` layers on
+top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .cells import Cell, get_cell
+
+#: Reserved net indices for constant zero / one.
+CONST0 = 0
+CONST1 = 1
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One instantiated cell: ``output = cell.function(*inputs)``."""
+
+    cell: Cell
+    inputs: Tuple[int, ...]
+    output: int
+
+
+@dataclass
+class Netlist:
+    """A combinational gate-level circuit.
+
+    >>> nl = Netlist("demo")
+    >>> a, = nl.add_input("a", 1)
+    >>> b, = nl.add_input("b", 1)
+    >>> nl.mark_output("y", [nl.gate("XOR2", a, b)])
+    >>> nl.evaluate({"a": 1, "b": 0})["y"]
+    1
+    """
+
+    name: str
+    gates: List[Gate] = field(default_factory=list)
+    inputs: Dict[str, List[int]] = field(default_factory=dict)
+    outputs: Dict[str, List[int]] = field(default_factory=dict)
+    _n_nets: int = 2  # CONST0 and CONST1 pre-exist
+
+    # -- construction -------------------------------------------------------
+    def new_net(self) -> int:
+        """Allocate a fresh net id."""
+        net = self._n_nets
+        self._n_nets += 1
+        return net
+
+    def add_input(self, name: str, width: int) -> List[int]:
+        """Declare a primary input bus of *width* bits (LSB first)."""
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        nets = [self.new_net() for _ in range(width)]
+        self.inputs[name] = nets
+        return nets
+
+    def mark_output(self, name: str, nets: Sequence[int]) -> None:
+        """Declare a primary output bus (LSB first)."""
+        if name in self.outputs:
+            raise ValueError(f"duplicate output {name!r}")
+        for net in nets:
+            self._check_net(net)
+        self.outputs[name] = list(nets)
+
+    def gate(self, cell_name: str, *input_nets: int) -> int:
+        """Instantiate a cell; returns its output net."""
+        cell = get_cell(cell_name)
+        for net in input_nets:
+            self._check_net(net)
+        if len(input_nets) != cell.n_inputs:
+            raise ValueError(
+                f"{cell_name} needs {cell.n_inputs} inputs, got {len(input_nets)}")
+        output = self.new_net()
+        self.gates.append(Gate(cell=cell, inputs=tuple(input_nets), output=output))
+        return output
+
+    def constant(self, value: int, width: int) -> List[int]:
+        """Nets carrying the bits of *value* (LSB first)."""
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+    def _check_net(self, net: int) -> None:
+        if not 0 <= net < self._n_nets:
+            raise ValueError(f"net {net} does not exist (have {self._n_nets})")
+
+    # -- static queries -------------------------------------------------------
+    @property
+    def n_gates(self) -> int:
+        """Number of instantiated combinational cells."""
+        return len(self.gates)
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Histogram of cell names."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.cell.name] = counts.get(gate.cell.name, 0) + 1
+        return counts
+
+    def area_um2(self) -> float:
+        """Total combinational cell area."""
+        return sum(gate.cell.area_um2 for gate in self.gates)
+
+    def leakage_w(self) -> float:
+        """Total combinational leakage in watts."""
+        return sum(gate.cell.leakage_w for gate in self.gates)
+
+    def critical_path_ps(self) -> float:
+        """Longest input-to-output path in picoseconds (topological sweep)."""
+        arrival = [0.0] * self._n_nets
+        for gate in self.gates:
+            start = max((arrival[net] for net in gate.inputs), default=0.0)
+            arrival[gate.output] = start + gate.cell.delay_ps
+        output_nets = [net for nets in self.outputs.values() for net in nets]
+        if not output_nets:
+            return max(arrival, default=0.0)
+        return max(arrival[net] for net in output_nets)
+
+    def logic_depth(self) -> int:
+        """Longest path measured in gate levels."""
+        depth = [0] * self._n_nets
+        for gate in self.gates:
+            start = max((depth[net] for net in gate.inputs), default=0)
+            depth[gate.output] = start + 1
+        output_nets = [net for nets in self.outputs.values() for net in nets]
+        if not output_nets:
+            return max(depth, default=0)
+        return max(depth[net] for net in output_nets)
+
+    # -- simulation -----------------------------------------------------------
+    def _assign(self, assignment: Mapping[str, int]) -> List[int]:
+        values = [0] * self._n_nets
+        values[CONST1] = 1
+        for name, nets in self.inputs.items():
+            try:
+                value = assignment[name]
+            except KeyError:
+                raise KeyError(f"missing input {name!r}") from None
+            if value < 0 or value >> len(nets):
+                raise ValueError(
+                    f"input {name!r}={value} does not fit in {len(nets)} bits")
+            for position, net in enumerate(nets):
+                values[net] = (value >> position) & 1
+        return values
+
+    def _propagate(self, values: List[int]) -> None:
+        for gate in self.gates:
+            values[gate.output] = gate.cell.function(
+                *(values[net] for net in gate.inputs))
+
+    def evaluate(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate all outputs for one input assignment.
+
+        Input/outputs are integers packed LSB-first over their bus nets.
+        """
+        values = self._assign(assignment)
+        self._propagate(values)
+        result: Dict[str, int] = {}
+        for name, nets in self.outputs.items():
+            word = 0
+            for position, net in enumerate(nets):
+                word |= values[net] << position
+            result[name] = word
+        return result
+
+    def simulate_activity(self, vectors: Iterable[Mapping[str, int]]) -> "ActivityReport":
+        """Run a vector sequence and tally output toggles per gate.
+
+        Toggle counting is zero-delay (functional): a gate output that
+        changes between consecutive vectors counts one toggle.  Glitching
+        is approximated later by a multiplicative factor in the synthesis
+        model rather than simulated.
+        """
+        toggles = [0] * len(self.gates)
+        previous: Optional[List[int]] = None
+        n_vectors = 0
+        for assignment in vectors:
+            values = self._assign(assignment)
+            self._propagate(values)
+            if previous is not None:
+                for index, gate in enumerate(self.gates):
+                    if values[gate.output] != previous[gate.output]:
+                        toggles[index] += 1
+            previous = values
+            n_vectors += 1
+        if n_vectors < 2:
+            raise ValueError("activity simulation needs at least 2 vectors")
+        return ActivityReport(netlist=self, gate_toggles=toggles,
+                              n_cycles=n_vectors - 1)
+
+
+@dataclass
+class ActivityReport:
+    """Switching-activity tallies from :meth:`Netlist.simulate_activity`."""
+
+    netlist: Netlist
+    gate_toggles: List[int]
+    n_cycles: int
+
+    def switching_energy_per_cycle_j(self) -> float:
+        """Mean switching energy per evaluation cycle, joules."""
+        total = 0.0
+        for gate, toggles in zip(self.netlist.gates, self.gate_toggles):
+            total += toggles * gate.cell.toggle_energy_j
+        return total / self.n_cycles
+
+    def mean_toggle_rate(self) -> float:
+        """Mean output toggles per gate per cycle."""
+        if not self.netlist.gates:
+            return 0.0
+        return sum(self.gate_toggles) / (len(self.netlist.gates) * self.n_cycles)

@@ -1,0 +1,133 @@
+"""Level-based pipeline cut analysis for the encoder netlists.
+
+The synthesis estimator (:mod:`repro.hw.synthesis`) models retiming with
+an efficiency factor.  This module computes the underlying quantity from
+first principles: given a combinational netlist and a stage budget, place
+the pipeline cuts between logic levels so the slowest stage is as fast as
+possible, and count how many nets cross each cut (the registers retiming
+actually has to insert).
+
+Used by the synthesis tests to sanity-check the efficiency factors, and
+usable on its own for "how many stages would this design need at
+frequency f?" questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .cells import REGISTER_OVERHEAD_PS
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """Result of a stage-balancing analysis."""
+
+    stages: int
+    #: Arrival time (ps) at the end of each stage's slowest path.
+    stage_delays_ps: Tuple[float, ...]
+    #: Nets crossing each cut (registers per cut); len = stages - 1.
+    cut_widths: Tuple[int, ...]
+
+    @property
+    def cycle_time_ps(self) -> float:
+        """Achievable cycle time: slowest stage plus register overhead."""
+        return max(self.stage_delays_ps) + REGISTER_OVERHEAD_PS
+
+    @property
+    def max_frequency_hz(self) -> float:
+        """Maximum clock frequency of the pipelined design."""
+        return 1e12 / self.cycle_time_ps
+
+    @property
+    def total_register_bits(self) -> int:
+        """Registers inserted by all cuts together."""
+        return sum(self.cut_widths)
+
+
+def _gate_arrival_times(netlist: Netlist) -> List[float]:
+    """Arrival time (ps) of every gate output, topological sweep."""
+    arrival = [0.0] * netlist._n_nets
+    for gate in netlist.gates:
+        start = max((arrival[net] for net in gate.inputs), default=0.0)
+        arrival[gate.output] = start + gate.cell.delay_ps
+    return arrival
+
+
+def plan_pipeline(netlist: Netlist, stages: int) -> PipelinePlan:
+    """Balance the netlist into *stages* time slices.
+
+    Cuts are placed at equal arrival-time boundaries (the best a
+    retimer can do without restructuring logic): stage *k* contains all
+    gates whose output arrival time falls in slice *k* of the critical
+    path.  Cut width counts the nets computed in stages <= k that feed
+    gates in stages > k, plus primary inputs consumed late.
+
+    >>> from .encoders import build_dc_encoder
+    >>> plan = plan_pipeline(build_dc_encoder(8), stages=2)
+    >>> plan.stages
+    2
+    """
+    if stages < 1:
+        raise ValueError(f"stages must be >= 1, got {stages}")
+    arrival = _gate_arrival_times(netlist)
+    critical = max((arrival[gate.output] for gate in netlist.gates),
+                   default=0.0)
+    if critical == 0.0 or stages == 1:
+        return PipelinePlan(stages=1, stage_delays_ps=(critical,),
+                            cut_widths=())
+
+    slice_length = critical / stages
+
+    def stage_of(net: int) -> int:
+        index = int(arrival[net] / slice_length)
+        return min(index, stages - 1)
+
+    # Stage delay: the worst arrival time inside each slice, measured from
+    # the slice boundary (where the retimer would place the registers).
+    stage_end: List[float] = [0.0] * stages
+    gate_stage: Dict[int, int] = {}
+    for gate in netlist.gates:
+        stage = stage_of(gate.output)
+        gate_stage[gate.output] = stage
+        stage_end[stage] = max(stage_end[stage],
+                               arrival[gate.output] - stage * slice_length)
+
+    # Cut widths: nets produced at/before cut k and consumed after it.
+    crossing: List[set] = [set() for _ in range(stages - 1)]
+    for gate in netlist.gates:
+        consumer_stage = gate_stage[gate.output]
+        for net in gate.inputs:
+            producer_stage = gate_stage.get(net, 0)  # inputs/consts: stage 0
+            for cut in range(producer_stage, consumer_stage):
+                crossing[cut].add(net)
+    output_nets = {net for nets in netlist.outputs.values() for net in nets}
+    for net in output_nets:
+        producer_stage = gate_stage.get(net, 0)
+        for cut in range(producer_stage, stages - 1):
+            crossing[cut].add(net)
+
+    return PipelinePlan(
+        stages=stages,
+        stage_delays_ps=tuple(stage_end),
+        cut_widths=tuple(len(nets) for nets in crossing),
+    )
+
+
+def stages_for_frequency(netlist: Netlist, frequency_hz: float,
+                         max_stages: int = 32) -> int:
+    """Minimum stage count whose balanced pipeline meets *frequency_hz*.
+
+    Returns ``max_stages + 1`` (sentinel) when even the deepest allowed
+    pipeline cannot reach the target (register overhead floor).
+    """
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    target_ps = 1e12 / frequency_hz
+    for stages in range(1, max_stages + 1):
+        plan = plan_pipeline(netlist, stages)
+        if plan.cycle_time_ps <= target_ps:
+            return stages
+    return max_stages + 1

@@ -1,0 +1,40 @@
+"""Physical-layer models: POD/SSTL electrics, CACTI-IO energy, bus simulator."""
+
+from .bus import BusStatistics, ByteLane, MemoryBus
+from .devices import DeviceProfile, PROFILES, ddr4, gddr5, gddr5x, get_profile
+from .lane import Lane, LaneGroup
+from .pod import PodInterface, pod12, pod135, pod15
+from .power import (
+    GBPS,
+    InterfaceEnergyModel,
+    PICOFARAD,
+    PICOJOULE,
+    crossover_data_rate,
+)
+from .sstl import SstlInterface, sstl135, sstl15
+
+__all__ = [
+    "BusStatistics",
+    "ByteLane",
+    "DeviceProfile",
+    "GBPS",
+    "InterfaceEnergyModel",
+    "Lane",
+    "LaneGroup",
+    "MemoryBus",
+    "PICOFARAD",
+    "PICOJOULE",
+    "PodInterface",
+    "PROFILES",
+    "SstlInterface",
+    "crossover_data_rate",
+    "ddr4",
+    "get_profile",
+    "gddr5",
+    "gddr5x",
+    "pod12",
+    "pod135",
+    "pod15",
+    "sstl135",
+    "sstl15",
+]

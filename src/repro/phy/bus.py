@@ -1,0 +1,179 @@
+"""Stateful multi-lane memory bus simulator.
+
+:class:`MemoryBus` models the write path of a memory channel: a configurable
+number of byte lanes (x8/x16/x32 devices), each with its own DBI pin and an
+independent DBI encoder instance.  Payloads are striped across lanes the
+way a memory controller does (lane *j* carries bytes ``j, j+lanes,
+j+2·lanes, ...``), encoded per lane with bus state threaded across bursts,
+and accounted with the per-wire counters of :mod:`repro.phy.lane` and the
+energy model of :mod:`repro.phy.power`.
+
+This is the substrate for trace-driven evaluation: everything the
+figure-level benchmarks measure on synthetic bursts can also be measured on
+realistic multi-burst transfers here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.bitops import ALL_ONES_WORD
+from ..core.burst import Burst, chunk_bytes
+from ..core.schemes import DbiScheme, EncodedBurst
+from .lane import LaneGroup
+from .power import InterfaceEnergyModel
+
+
+@dataclass
+class BusStatistics:
+    """Aggregate activity and energy of everything sent over the bus."""
+
+    bursts: int = 0
+    beats: int = 0
+    zeros: int = 0
+    transitions: int = 0
+    energy_joules: float = 0.0
+
+    def merge(self, other: "BusStatistics") -> "BusStatistics":
+        """Element-wise sum (for combining lanes or runs)."""
+        return BusStatistics(
+            bursts=self.bursts + other.bursts,
+            beats=self.beats + other.beats,
+            zeros=self.zeros + other.zeros,
+            transitions=self.transitions + other.transitions,
+            energy_joules=self.energy_joules + other.energy_joules,
+        )
+
+    @property
+    def zeros_per_burst(self) -> float:
+        """Mean zeros per burst."""
+        return self.zeros / self.bursts if self.bursts else 0.0
+
+    @property
+    def transitions_per_burst(self) -> float:
+        """Mean transitions per burst."""
+        return self.transitions / self.bursts if self.bursts else 0.0
+
+    @property
+    def energy_per_burst(self) -> float:
+        """Mean energy per burst in joules."""
+        return self.energy_joules / self.bursts if self.bursts else 0.0
+
+
+@dataclass
+class ByteLane:
+    """One byte lane: encoder + wire state + counters."""
+
+    scheme: DbiScheme
+    group: LaneGroup = field(default_factory=LaneGroup)
+    state_word: int = ALL_ONES_WORD
+    stats: BusStatistics = field(default_factory=BusStatistics)
+
+    def send_burst(self, burst: Burst,
+                   energy_model: Optional[InterfaceEnergyModel]) -> EncodedBurst:
+        """Encode and transmit one burst, updating wire state and counters."""
+        encoded = self.scheme.encode(burst, prev_word=self.state_word)
+        n_transitions, n_zeros = encoded.activity()
+        self.group.drive_words(encoded.words)
+        self.state_word = encoded.last_word()
+        self.stats.bursts += 1
+        self.stats.beats += len(encoded)
+        self.stats.zeros += n_zeros
+        self.stats.transitions += n_transitions
+        if energy_model is not None:
+            self.stats.energy_joules += energy_model.burst_energy(
+                n_transitions, n_zeros)
+        return encoded
+
+
+class MemoryBus:
+    """A multi-byte-lane memory channel with per-lane DBI encoding.
+
+    Parameters
+    ----------
+    scheme_factory:
+        Zero-argument callable producing one encoder per lane (lanes must
+        not share mutable encoder state).
+    byte_lanes:
+        Number of 8-bit lanes (4 for a x32 graphics device).
+    burst_length:
+        Beats per burst (JEDEC BL8 by default).
+    energy_model:
+        Optional operating point for energy accounting.
+
+    >>> from repro.baselines import DbiDc
+    >>> bus = MemoryBus(DbiDc, byte_lanes=2, burst_length=4)
+    >>> stats = bus.write(bytes(range(16)))
+    >>> stats.bursts
+    4
+    """
+
+    def __init__(self, scheme_factory, byte_lanes: int = 4,
+                 burst_length: int = 8,
+                 energy_model: Optional[InterfaceEnergyModel] = None):
+        if byte_lanes < 1:
+            raise ValueError(f"byte_lanes must be >= 1, got {byte_lanes}")
+        if burst_length < 1:
+            raise ValueError(f"burst_length must be >= 1, got {burst_length}")
+        self.byte_lanes = byte_lanes
+        self.burst_length = burst_length
+        self.energy_model = energy_model
+        self.lanes: List[ByteLane] = [ByteLane(scheme=scheme_factory())
+                                      for _ in range(byte_lanes)]
+
+    def write(self, payload: Sequence[int]) -> BusStatistics:
+        """Stripe *payload* across lanes, encode and transmit everything.
+
+        Returns the statistics of **this call** (the per-lane cumulative
+        counters keep running across calls).
+        """
+        before = self.statistics()
+        for index, lane in enumerate(self.lanes):
+            lane_bytes = list(payload[index::self.byte_lanes])
+            if not lane_bytes:
+                continue
+            for burst in chunk_bytes(lane_bytes, self.burst_length):
+                lane.send_burst(burst, self.energy_model)
+        after = self.statistics()
+        return BusStatistics(
+            bursts=after.bursts - before.bursts,
+            beats=after.beats - before.beats,
+            zeros=after.zeros - before.zeros,
+            transitions=after.transitions - before.transitions,
+            energy_joules=after.energy_joules - before.energy_joules,
+        )
+
+    def write_bursts(self, bursts: Sequence[Burst], lane: int = 0) -> BusStatistics:
+        """Send pre-formed bursts down one lane (no striping)."""
+        if not 0 <= lane < self.byte_lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self.byte_lanes})")
+        target = self.lanes[lane]
+        before_bursts = target.stats.bursts
+        result = BusStatistics()
+        for burst in bursts:
+            encoded = target.send_burst(burst, self.energy_model)
+            n_transitions, n_zeros = encoded.activity()
+            result.bursts += 1
+            result.beats += len(encoded)
+            result.zeros += n_zeros
+            result.transitions += n_transitions
+        assert target.stats.bursts - before_bursts == result.bursts
+        if self.energy_model is not None:
+            result.energy_joules = self.energy_model.burst_energy(
+                result.transitions, result.zeros)
+        return result
+
+    def statistics(self) -> BusStatistics:
+        """Cumulative statistics over all lanes since construction/reset."""
+        total = BusStatistics()
+        for lane in self.lanes:
+            total = total.merge(lane.stats)
+        return total
+
+    def reset(self) -> None:
+        """Return all lanes to idle-high and clear every counter."""
+        for lane in self.lanes:
+            lane.group.reset()
+            lane.state_word = ALL_ONES_WORD
+            lane.stats = BusStatistics()

@@ -1,0 +1,121 @@
+"""JEDEC device interface profiles used in the paper's evaluation.
+
+Bundles the electrical interface, nominal per-pin data-rate range and bus
+organisation of the memory families the paper targets (GDDR5, GDDR5X,
+DDR4).  Load-capacitance defaults follow the sources the paper cites:
+Amirkhany et al. (1.3 pF GDDR5 driver), CACTI-IO (2 pF DDR4 driver + 1 pF
+per device), Vuong's JEDEC roadmap (1.3 pF max per DDR4 input), plus a few
+pF of PCB trace; the paper sweeps 1–8 pF total and we default to its 3 pF
+headline operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .pod import PodInterface, pod12, pod135
+from .power import GBPS, InterfaceEnergyModel, PICOFARAD
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Interface-level description of a memory device family.
+
+    Parameters
+    ----------
+    name:
+        Family name for reports.
+    interface:
+        POD electrical profile.
+    dq_width:
+        Data pins per channel (x32 for graphics parts, x8/x16 for DDR4).
+    max_data_rate_hz:
+        Highest standardised per-pin data rate.
+    default_c_load_farads:
+        Nominal unified load per lane.
+    burst_length:
+        JEDEC burst length (beats per access).
+    """
+
+    name: str
+    interface: PodInterface
+    dq_width: int
+    max_data_rate_hz: float
+    default_c_load_farads: float
+    burst_length: int = 8
+
+    def __post_init__(self) -> None:
+        if self.dq_width < 8 or self.dq_width % 8:
+            raise ValueError(f"dq_width must be a positive multiple of 8, got {self.dq_width}")
+        if self.max_data_rate_hz <= 0:
+            raise ValueError("max_data_rate_hz must be positive")
+        if self.default_c_load_farads <= 0:
+            raise ValueError("default_c_load_farads must be positive")
+        if self.burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+
+    @property
+    def byte_lanes(self) -> int:
+        """Number of 8-bit lanes, each with its own DBI pin."""
+        return self.dq_width // 8
+
+    @property
+    def pins_with_dbi(self) -> int:
+        """Total signalling pins: DQ plus one DBI per byte lane."""
+        return self.dq_width + self.byte_lanes
+
+    def energy_model(self, data_rate_hz: float = 0.0,
+                     c_load_farads: float = 0.0) -> InterfaceEnergyModel:
+        """Energy model at (data_rate, c_load), defaulting to the profile's."""
+        rate = data_rate_hz if data_rate_hz > 0 else self.max_data_rate_hz
+        load = c_load_farads if c_load_farads > 0 else self.default_c_load_farads
+        return InterfaceEnergyModel(self.interface, rate, load)
+
+    def data_rate_range(self, points: int = 21,
+                        max_rate_hz: float = 0.0) -> Tuple[float, ...]:
+        """Evenly spaced data rates from near zero to *max_rate_hz*."""
+        if points < 2:
+            raise ValueError("points must be >= 2")
+        top = max_rate_hz if max_rate_hz > 0 else self.max_data_rate_hz
+        step = top / points
+        return tuple(step * (i + 1) for i in range(points))
+
+
+def gddr5() -> DeviceProfile:
+    """GDDR5 (JESD212C): POD135, up to 8 Gbps/pin, x32 parts."""
+    return DeviceProfile(name="GDDR5", interface=pod135(), dq_width=32,
+                         max_data_rate_hz=8 * GBPS,
+                         default_c_load_farads=3 * PICOFARAD)
+
+
+def gddr5x() -> DeviceProfile:
+    """GDDR5X (JESD232A): POD135, up to 12 Gbps/pin — the paper's 1.5 GHz
+    encoder throughput target (8 bytes per cycle)."""
+    return DeviceProfile(name="GDDR5X", interface=pod135(), dq_width=32,
+                         max_data_rate_hz=12 * GBPS,
+                         default_c_load_farads=3 * PICOFARAD)
+
+
+def ddr4() -> DeviceProfile:
+    """DDR4 (JESD79-4B): POD12, up to 3.2 Gbps/pin, x8 devices."""
+    return DeviceProfile(name="DDR4", interface=pod12(), dq_width=8,
+                         max_data_rate_hz=3.2 * GBPS,
+                         default_c_load_farads=3 * PICOFARAD)
+
+
+#: All built-in profiles keyed by lower-case family name.
+PROFILES = {
+    "gddr5": gddr5,
+    "gddr5x": gddr5x,
+    "ddr4": ddr4,
+}
+
+
+def get_profile(name: str) -> DeviceProfile:
+    """Look up a built-in device profile by (case-insensitive) name."""
+    try:
+        return PROFILES[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown device profile {name!r}; known: {known}") from None

@@ -1,0 +1,109 @@
+"""Pseudo-open-drain (POD) interface electrical model (paper Fig. 1).
+
+POD links (JEDEC JESD8-20: POD15; the POD135/POD12 descendants used by
+GDDR5/GDDR5X and DDR4) terminate the line to VDDQ through an on-die
+termination resistor.  Driving a **one** only holds the line at VDDQ — no
+DC current flows.  Driving a **zero** pulls the line low through the driver
+pulldown, so a DC current ``VDDQ / (R_pullup + R_pulldown)`` flows for the
+whole bit time.  Every 0↔1 transition additionally (dis)charges the lane's
+load capacitance across the signal swing.
+
+This asymmetry — zeros cost static power, transitions cost dynamic power —
+is the entire motivation for DBI coding and for the paper's joint DC/AC
+optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PodInterface:
+    """Electrical parameters of one POD-terminated lane.
+
+    Parameters
+    ----------
+    vddq:
+        I/O supply / termination voltage in volts.
+    r_pullup:
+        On-die termination resistance to VDDQ in ohms.
+    r_pulldown:
+        Driver pulldown (output) resistance in ohms.
+    name:
+        JEDEC-style label for reports.
+    """
+
+    vddq: float
+    r_pullup: float = 60.0
+    r_pulldown: float = 40.0
+    name: str = "POD"
+
+    def __post_init__(self) -> None:
+        if self.vddq <= 0:
+            raise ValueError(f"vddq must be positive, got {self.vddq}")
+        if self.r_pullup <= 0 or self.r_pulldown <= 0:
+            raise ValueError("termination/driver resistances must be positive")
+
+    # -- DC behaviour ------------------------------------------------------
+    @property
+    def termination_current(self) -> float:
+        """DC current in amperes while a zero is driven (paper Eq. 1's core)."""
+        return self.vddq / (self.r_pullup + self.r_pulldown)
+
+    @property
+    def zero_power(self) -> float:
+        """Static power in watts dissipated while transmitting a zero."""
+        return self.vddq * self.termination_current
+
+    @property
+    def v_low(self) -> float:
+        """Output-low voltage set by the resistor divider."""
+        return self.vddq * self.r_pulldown / (self.r_pullup + self.r_pulldown)
+
+    @property
+    def v_swing(self) -> float:
+        """Signal swing (paper Eq. 3): ``VDDQ·R_pu/(R_pu+R_pd)``."""
+        return self.vddq * self.r_pullup / (self.r_pullup + self.r_pulldown)
+
+    # -- derived energies ----------------------------------------------------
+    def energy_per_zero(self, data_rate_hz: float) -> float:
+        """Energy in joules to hold a zero for one bit time (paper Eq. 1)."""
+        if data_rate_hz <= 0:
+            raise ValueError(f"data rate must be positive, got {data_rate_hz}")
+        return self.zero_power / data_rate_hz
+
+    def energy_per_transition(self, c_load_farads: float) -> float:
+        """Energy in joules of one 0↔1 transition (paper Eq. 2).
+
+        ``½ · VDDQ · V_swing · c_load`` — the factor ½ reflects that charge
+        drawn from the supply over a full up/down cycle is shared between
+        the rising and falling edge.
+        """
+        if c_load_farads <= 0:
+            raise ValueError(f"load capacitance must be positive, got {c_load_farads}")
+        return 0.5 * self.vddq * self.v_swing * c_load_farads
+
+    def scaled(self, vddq: float) -> "PodInterface":
+        """Same termination network at a different supply voltage."""
+        return PodInterface(vddq=vddq, r_pullup=self.r_pullup,
+                            r_pulldown=self.r_pulldown,
+                            name=f"POD{int(round(vddq * 100))}")
+
+
+def pod135(r_pullup: float = 60.0, r_pulldown: float = 40.0) -> PodInterface:
+    """POD135 — the 1.35 V interface of GDDR5/GDDR5X (paper Fig. 7 setting)."""
+    return PodInterface(vddq=1.35, r_pullup=r_pullup, r_pulldown=r_pulldown,
+                        name="POD135")
+
+
+def pod12(r_pullup: float = 60.0, r_pulldown: float = 40.0) -> PodInterface:
+    """POD12 — the 1.2 V interface of DDR4."""
+    return PodInterface(vddq=1.2, r_pullup=r_pullup, r_pulldown=r_pulldown,
+                        name="POD12")
+
+
+def pod15(r_pullup: float = 60.0, r_pulldown: float = 40.0) -> PodInterface:
+    """POD15 — the original JESD8-20 1.5 V interface (GDDR4 era)."""
+    return PodInterface(vddq=1.5, r_pullup=r_pullup, r_pulldown=r_pulldown,
+                        name="POD15")

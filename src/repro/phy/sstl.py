@@ -1,0 +1,80 @@
+"""Stub-series terminated logic (SSTL) reference model.
+
+The paper contrasts POD with the older SSTL interface (DDR3 and earlier):
+SSTL terminates to ``0.5·VDDQ``, so DC current flows **regardless** of the
+transmitted level — ones and zeros merely steer the current.  DBI DC
+therefore buys nothing on SSTL, which is why DBI only became standard with
+the move to POD.  This module exists to make that contrast measurable: the
+energy model can be instantiated over SSTL and shows zero benefit for
+zero-minimising codes (asserted by the test-suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SstlInterface:
+    """Centre-tapped (VTT = VDDQ/2) terminated lane.
+
+    The symmetric termination means both logic levels dissipate the same
+    static power; only transitions change the dynamic energy.
+    """
+
+    vddq: float
+    r_termination: float = 50.0
+    r_driver: float = 34.0
+    name: str = "SSTL"
+
+    def __post_init__(self) -> None:
+        if self.vddq <= 0:
+            raise ValueError(f"vddq must be positive, got {self.vddq}")
+        if self.r_termination <= 0 or self.r_driver <= 0:
+            raise ValueError("resistances must be positive")
+
+    @property
+    def vtt(self) -> float:
+        """Termination voltage — the mid-rail by construction."""
+        return 0.5 * self.vddq
+
+    @property
+    def level_power(self) -> float:
+        """Static power while driving either level (identical for 0 and 1).
+
+        Current flows from VTT through the termination into the driver (or
+        the reverse); magnitude ``(VDDQ/2) / (R_term + R_drv)`` either way.
+        """
+        current = self.vtt / (self.r_termination + self.r_driver)
+        return self.vtt * current
+
+    @property
+    def v_swing(self) -> float:
+        """Swing around VTT set by the divider."""
+        return self.vddq * self.r_termination / (self.r_termination + self.r_driver)
+
+    def energy_per_zero(self, data_rate_hz: float) -> float:
+        """Energy of driving a zero for one bit time."""
+        if data_rate_hz <= 0:
+            raise ValueError(f"data rate must be positive, got {data_rate_hz}")
+        return self.level_power / data_rate_hz
+
+    def energy_per_one(self, data_rate_hz: float) -> float:
+        """Energy of driving a one for one bit time — equal to a zero's."""
+        return self.energy_per_zero(data_rate_hz)
+
+    def energy_per_transition(self, c_load_farads: float) -> float:
+        """Dynamic energy of one transition across the (smaller) SSTL swing."""
+        if c_load_farads <= 0:
+            raise ValueError(f"load capacitance must be positive, got {c_load_farads}")
+        return 0.5 * self.vddq * self.v_swing * c_load_farads
+
+
+def sstl15() -> SstlInterface:
+    """SSTL-15 (DDR3-class, 1.5 V)."""
+    return SstlInterface(vddq=1.5, name="SSTL15")
+
+
+def sstl135() -> SstlInterface:
+    """SSTL-135 (DDR3L-class, 1.35 V)."""
+    return SstlInterface(vddq=1.35, name="SSTL135")

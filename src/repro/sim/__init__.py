@@ -1,0 +1,45 @@
+"""Simulation harness: runners, parameter sweeps and report formatting."""
+
+from .metrics import EvaluationResult, SchemeMetrics
+from .runner import evaluate, evaluate_named
+from .report import (
+    csv_table,
+    format_alpha_sweep,
+    format_data_rate_sweep,
+    format_evaluation,
+    format_load_sweep,
+    markdown_table,
+    savings_summary,
+)
+from .sweep import (
+    ActivityTotals,
+    AlphaSweepResult,
+    DataRateSweepResult,
+    LoadSweepResult,
+    alpha_sweep,
+    collect_activity,
+    data_rate_sweep,
+    load_sweep,
+)
+
+__all__ = [
+    "ActivityTotals",
+    "AlphaSweepResult",
+    "DataRateSweepResult",
+    "EvaluationResult",
+    "LoadSweepResult",
+    "SchemeMetrics",
+    "alpha_sweep",
+    "collect_activity",
+    "csv_table",
+    "data_rate_sweep",
+    "evaluate",
+    "evaluate_named",
+    "format_alpha_sweep",
+    "format_data_rate_sweep",
+    "format_evaluation",
+    "format_load_sweep",
+    "load_sweep",
+    "markdown_table",
+    "savings_summary",
+]

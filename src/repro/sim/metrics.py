@@ -1,0 +1,95 @@
+"""Aggregated activity/energy metrics for scheme evaluations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.costs import CostModel
+from ..core.schemes import EncodedBurst
+
+
+@dataclass
+class SchemeMetrics:
+    """Running tallies for one scheme over a burst population.
+
+    >>> metrics = SchemeMetrics(scheme="raw")
+    >>> metrics.mean_cost(CostModel.fixed())
+    0.0
+    """
+
+    scheme: str
+    bursts: int = 0
+    zeros: int = 0
+    transitions: int = 0
+    inverted_bytes: int = 0
+    total_bytes: int = 0
+
+    def record(self, encoded: EncodedBurst) -> None:
+        """Fold one encoded burst into the tallies."""
+        n_transitions, n_zeros = encoded.activity()
+        self.bursts += 1
+        self.zeros += n_zeros
+        self.transitions += n_transitions
+        self.inverted_bytes += sum(encoded.invert_flags)
+        self.total_bytes += len(encoded)
+
+    # -- means ---------------------------------------------------------------
+    @property
+    def mean_zeros(self) -> float:
+        """Mean zeros per burst."""
+        return self.zeros / self.bursts if self.bursts else 0.0
+
+    @property
+    def mean_transitions(self) -> float:
+        """Mean transitions per burst."""
+        return self.transitions / self.bursts if self.bursts else 0.0
+
+    @property
+    def invert_rate(self) -> float:
+        """Fraction of bytes transmitted inverted."""
+        return self.inverted_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    def mean_cost(self, model: CostModel) -> float:
+        """Mean abstract cost per burst under *model*."""
+        if not self.bursts:
+            return 0.0
+        return model.activity_cost(self.transitions, self.zeros) / self.bursts
+
+    def mean_energy(self, energy_model) -> float:
+        """Mean physical energy per burst (joules) under an
+        :class:`~repro.phy.power.InterfaceEnergyModel`."""
+        if not self.bursts:
+            return 0.0
+        return energy_model.burst_energy(self.transitions, self.zeros) / self.bursts
+
+
+@dataclass
+class EvaluationResult:
+    """Metrics of several schemes over the same workload."""
+
+    workload: str
+    metrics: Dict[str, SchemeMetrics] = field(default_factory=dict)
+
+    def __getitem__(self, scheme: str) -> SchemeMetrics:
+        return self.metrics[scheme]
+
+    def schemes(self) -> List[str]:
+        """Scheme names in insertion order."""
+        return list(self.metrics)
+
+    def relative_cost(self, scheme: str, reference: str,
+                      model: CostModel) -> float:
+        """Cost of *scheme* normalised to *reference* under *model*."""
+        ref = self.metrics[reference].mean_cost(model)
+        if ref == 0:
+            raise ZeroDivisionError(f"reference scheme {reference!r} has zero cost")
+        return self.metrics[scheme].mean_cost(model) / ref
+
+    def best_scheme(self, model: CostModel,
+                    candidates: Optional[List[str]] = None) -> str:
+        """Name of the cheapest scheme under *model*."""
+        names = candidates if candidates is not None else self.schemes()
+        if not names:
+            raise ValueError("no candidate schemes")
+        return min(names, key=lambda name: self.metrics[name].mean_cost(model))

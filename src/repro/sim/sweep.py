@@ -1,0 +1,256 @@
+"""Parameter sweeps reproducing the paper's figures.
+
+* :func:`alpha_sweep` — Figs. 3/4: abstract cost per burst as the AC-cost
+  fraction runs from 0 to 1 (alpha = ac, beta = 1 − ac) over a random
+  burst population.
+* :func:`data_rate_sweep` — Fig. 7: physical interface energy per burst
+  versus per-pin data rate, normalised to RAW.
+* :func:`load_sweep` — Fig. 8: OPT (Fixed) energy *including encoding
+  energy* versus data rate for several load capacitances, normalised to
+  the best conventional scheme.
+
+Every sweep works on a precomputed **activity cache**: each scheme encodes
+the population once per (scheme-relevant) operating point and only the
+(zeros, transitions) totals are re-weighted across the sweep where the
+encoding itself does not depend on the swept parameter.  RAW/DC/AC
+encodings are parameter-independent; OPT re-encodes per point because its
+decisions follow alpha/beta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import DbiAc, DbiDc, Raw
+from ..core.burst import Burst
+from ..core.costs import CostModel
+from ..core.encoder import DbiOptimal
+from ..core.schemes import DbiScheme
+from ..phy.pod import PodInterface, pod135
+from ..phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
+
+
+@dataclass(frozen=True)
+class ActivityTotals:
+    """Population-level (transitions, zeros) totals for one encoding run."""
+
+    transitions: int
+    zeros: int
+    bursts: int
+
+    @property
+    def mean_transitions(self) -> float:
+        return self.transitions / self.bursts
+
+    @property
+    def mean_zeros(self) -> float:
+        return self.zeros / self.bursts
+
+    def mean_cost(self, model: CostModel) -> float:
+        """Mean abstract cost per burst."""
+        return model.activity_cost(self.transitions, self.zeros) / self.bursts
+
+    def mean_energy(self, energy_model: InterfaceEnergyModel) -> float:
+        """Mean physical energy per burst in joules."""
+        return energy_model.burst_energy(self.transitions, self.zeros) / self.bursts
+
+
+def collect_activity(scheme: DbiScheme, bursts: Sequence[Burst]) -> ActivityTotals:
+    """Encode the population once and tally totals."""
+    transitions = 0
+    zeros = 0
+    for burst in bursts:
+        encoded = scheme.encode(burst)
+        n_transitions, n_zeros = encoded.activity()
+        transitions += n_transitions
+        zeros += n_zeros
+    return ActivityTotals(transitions=transitions, zeros=zeros,
+                          bursts=len(bursts))
+
+
+@dataclass
+class AlphaSweepResult:
+    """Fig. 3/4 data: mean cost per burst per scheme per AC-cost point."""
+
+    ac_costs: List[float]
+    #: scheme name -> list of mean costs aligned with :attr:`ac_costs`.
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def advantage_over_conventional(self) -> List[float]:
+        """Relative OPT gain vs best(DC, AC) at each point (the shaded area)."""
+        gains = []
+        for index in range(len(self.ac_costs)):
+            conventional = min(self.series["dbi-dc"][index],
+                               self.series["dbi-ac"][index])
+            gains.append(1.0 - self.series["dbi-opt"][index] / conventional)
+        return gains
+
+    def crossover_ac_cost(self, first: str = "dbi-ac",
+                          second: str = "dbi-dc") -> Optional[float]:
+        """First sweep point where *first* becomes cheaper than *second*."""
+        for ac_cost, a, b in zip(self.ac_costs, self.series[first],
+                                 self.series[second]):
+            if a < b:
+                return ac_cost
+        return None
+
+
+def alpha_sweep(bursts: Sequence[Burst], points: int = 51,
+                include_fixed: bool = False,
+                extra_schemes: Optional[Dict[str, DbiScheme]] = None) -> AlphaSweepResult:
+    """Reproduce Fig. 3 (and Fig. 4 with ``include_fixed=True``).
+
+    RAW/DC/AC/OPT(Fixed) encode once (their decisions don't depend on the
+    swept coefficients); OPT re-encodes at every point.
+    """
+    if points < 2:
+        raise ValueError("points must be >= 2")
+    ac_costs = [i / (points - 1) for i in range(points)]
+
+    static_schemes: Dict[str, DbiScheme] = {
+        "raw": Raw(),
+        "dbi-dc": DbiDc(),
+        "dbi-ac": DbiAc(),
+    }
+    if include_fixed:
+        static_schemes["dbi-opt-fixed"] = DbiOptimal(CostModel.fixed())
+    if extra_schemes:
+        static_schemes.update(extra_schemes)
+    static_activity = {name: collect_activity(scheme, bursts)
+                       for name, scheme in static_schemes.items()}
+
+    result = AlphaSweepResult(ac_costs=ac_costs)
+    for name in static_schemes:
+        result.series[name] = []
+    result.series["dbi-opt"] = []
+
+    for ac_cost in ac_costs:
+        model = CostModel.from_ac_fraction(ac_cost)
+        for name, activity in static_activity.items():
+            result.series[name].append(activity.mean_cost(model))
+        optimal = collect_activity(DbiOptimal(model), bursts)
+        result.series["dbi-opt"].append(optimal.mean_cost(model))
+    return result
+
+
+@dataclass
+class DataRateSweepResult:
+    """Fig. 7 data: normalised energy per burst per scheme per data rate."""
+
+    data_rates_hz: List[float]
+    #: scheme name -> normalised-to-RAW energies aligned with data rates.
+    normalized: Dict[str, List[float]] = field(default_factory=dict)
+    #: scheme name -> absolute energies in joules.
+    absolute: Dict[str, List[float]] = field(default_factory=dict)
+
+    def best_gain(self, scheme: str) -> Tuple[float, float]:
+        """(data rate, normalised energy) at *scheme*'s best point."""
+        series = self.normalized[scheme]
+        index = min(range(len(series)), key=series.__getitem__)
+        return self.data_rates_hz[index], series[index]
+
+
+def data_rate_sweep(bursts: Sequence[Burst],
+                    interface: Optional[PodInterface] = None,
+                    c_load_farads: float = 3 * PICOFARAD,
+                    data_rates_hz: Optional[Sequence[float]] = None) -> DataRateSweepResult:
+    """Reproduce Fig. 7: interface energy vs data rate, normalised to RAW.
+
+    OPT re-encodes at every rate with the physical (E_transition, E_zero)
+    weights; OPT (Fixed) encodes once with alpha=beta=1 but its activity is
+    priced with the physical model, exactly as hardware with hardwired
+    coefficients would behave.
+    """
+    pod = interface if interface is not None else pod135()
+    rates = list(data_rates_hz) if data_rates_hz is not None else [
+        0.5 * GBPS * step for step in range(1, 41)]
+    if not rates:
+        raise ValueError("no data rates given")
+
+    static_activity = {
+        "raw": collect_activity(Raw(), bursts),
+        "dbi-dc": collect_activity(DbiDc(), bursts),
+        "dbi-ac": collect_activity(DbiAc(), bursts),
+        "dbi-opt-fixed": collect_activity(DbiOptimal(CostModel.fixed()), bursts),
+    }
+
+    result = DataRateSweepResult(data_rates_hz=rates)
+    names = list(static_activity) + ["dbi-opt"]
+    for name in names:
+        result.normalized[name] = []
+        result.absolute[name] = []
+
+    for rate in rates:
+        energy_model = InterfaceEnergyModel(pod, rate, c_load_farads)
+        raw_energy = static_activity["raw"].mean_energy(energy_model)
+        for name, activity in static_activity.items():
+            energy = activity.mean_energy(energy_model)
+            result.absolute[name].append(energy)
+            result.normalized[name].append(energy / raw_energy)
+        optimal_activity = collect_activity(
+            DbiOptimal(energy_model.cost_model()), bursts)
+        energy = optimal_activity.mean_energy(energy_model)
+        result.absolute["dbi-opt"].append(energy)
+        result.normalized["dbi-opt"].append(energy / raw_energy)
+    return result
+
+
+@dataclass
+class LoadSweepResult:
+    """Fig. 8 data: OPT(Fixed)+encoder energy vs best conventional."""
+
+    data_rates_hz: List[float]
+    #: c_load (farads) -> normalised series aligned with data rates.
+    normalized: Dict[float, List[float]] = field(default_factory=dict)
+
+    def best_gain(self, c_load_farads: float) -> Tuple[float, float]:
+        """(data rate, normalised energy) at the load's best point."""
+        series = self.normalized[c_load_farads]
+        index = min(range(len(series)), key=series.__getitem__)
+        return self.data_rates_hz[index], series[index]
+
+
+def load_sweep(bursts: Sequence[Burst],
+               interface: Optional[PodInterface] = None,
+               c_loads_farads: Sequence[float] = (1e-12, 2e-12, 3e-12,
+                                                  4e-12, 6e-12, 8e-12),
+               data_rates_hz: Optional[Sequence[float]] = None,
+               encoder_energy_j: Optional[Dict[str, float]] = None) -> LoadSweepResult:
+    """Reproduce Fig. 8: total (interface + encoder) energy per burst of
+    OPT (Fixed), normalised to the better of DBI DC / DBI AC, across loads.
+
+    ``encoder_energy_j`` maps scheme name -> encoding energy per burst in
+    joules; when omitted, the gate-level synthesis estimates from
+    :mod:`repro.hw.synthesis` are used.
+    """
+    pod = interface if interface is not None else pod135()
+    rates = list(data_rates_hz) if data_rates_hz is not None else [
+        0.5 * GBPS * step for step in range(1, 41)]
+    if encoder_energy_j is None:
+        from ..hw.synthesis import encoder_energy_per_burst
+        encoder_energy_j = encoder_energy_per_burst()
+    for required in ("dbi-dc", "dbi-ac", "dbi-opt-fixed"):
+        if required not in encoder_energy_j:
+            raise KeyError(f"encoder_energy_j missing entry for {required!r}")
+
+    activity = {
+        "dbi-dc": collect_activity(DbiDc(), bursts),
+        "dbi-ac": collect_activity(DbiAc(), bursts),
+        "dbi-opt-fixed": collect_activity(DbiOptimal(CostModel.fixed()), bursts),
+    }
+
+    result = LoadSweepResult(data_rates_hz=rates)
+    for c_load in c_loads_farads:
+        series: List[float] = []
+        for rate in rates:
+            energy_model = InterfaceEnergyModel(pod, rate, c_load)
+            totals = {
+                name: activity[name].mean_energy(energy_model)
+                + encoder_energy_j[name]
+                for name in activity
+            }
+            conventional = min(totals["dbi-dc"], totals["dbi-ac"])
+            series.append(totals["dbi-opt-fixed"] / conventional)
+        result.normalized[c_load] = series
+    return result

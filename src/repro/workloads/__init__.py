@@ -1,0 +1,59 @@
+"""Workload generators: random bursts, directed patterns, synthetic traces."""
+
+from .generator import Workload, make_workload, workload_names
+from .patterns import (
+    PATTERN_NAMES,
+    all_ones,
+    all_zeros,
+    checkerboard,
+    pattern_suite,
+    ramp,
+    static_checkerboard,
+    walking_ones,
+    walking_zeros,
+)
+from .random_data import (
+    DEFAULT_SEED,
+    PAPER_SAMPLE_COUNT,
+    biased_bursts,
+    burst_stream,
+    correlated_bursts,
+    random_bursts,
+    random_payload,
+)
+from .traces import (
+    float_trace,
+    gpu_frame_trace,
+    image_trace,
+    pointer_trace,
+    text_trace,
+    zero_run_trace,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "PAPER_SAMPLE_COUNT",
+    "PATTERN_NAMES",
+    "Workload",
+    "all_ones",
+    "all_zeros",
+    "biased_bursts",
+    "burst_stream",
+    "checkerboard",
+    "correlated_bursts",
+    "float_trace",
+    "gpu_frame_trace",
+    "image_trace",
+    "make_workload",
+    "pattern_suite",
+    "pointer_trace",
+    "ramp",
+    "random_bursts",
+    "random_payload",
+    "static_checkerboard",
+    "text_trace",
+    "walking_ones",
+    "walking_zeros",
+    "workload_names",
+    "zero_run_trace",
+]

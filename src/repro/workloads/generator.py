@@ -1,0 +1,87 @@
+"""Unified workload registry.
+
+Benchmarks and examples refer to workloads by name; each named workload
+produces a list of bursts deterministically (seeded) so figures regenerate
+bit-identically.  Payload-style traces are chunked into bursts here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..core.burst import DEFAULT_BURST_LENGTH, Burst, chunk_bytes
+from . import patterns, random_data, traces
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, reproducible burst set."""
+
+    name: str
+    description: str
+    bursts: tuple
+
+    def __len__(self) -> int:
+        return len(self.bursts)
+
+
+def _bursts_from_payload(payload: bytes, burst_length: int) -> List[Burst]:
+    return chunk_bytes(list(payload), burst_length)
+
+
+def make_workload(name: str, count: int = 1000,
+                  burst_length: int = DEFAULT_BURST_LENGTH,
+                  seed: int = random_data.DEFAULT_SEED) -> Workload:
+    """Instantiate a named workload with roughly *count* bursts.
+
+    Known names: ``random``, ``sparse``, ``dense``, ``correlated``,
+    ``text``, ``float``, ``image``, ``pointer``, ``zero-run``, ``gpu``,
+    ``patterns``.
+
+    >>> load = make_workload("random", count=10)
+    >>> len(load)
+    10
+    """
+    n_bytes = count * burst_length
+    builders: Dict[str, Callable[[], List[Burst]]] = {
+        "random": lambda: random_data.random_bursts(count, burst_length, seed),
+        "sparse": lambda: random_data.biased_bursts(count, 0.25, burst_length, seed),
+        "dense": lambda: random_data.biased_bursts(count, 0.75, burst_length, seed),
+        "correlated": lambda: random_data.correlated_bursts(count, 0.1, burst_length, seed),
+        "text": lambda: _bursts_from_payload(traces.text_trace(n_bytes, seed), burst_length),
+        "float": lambda: _bursts_from_payload(traces.float_trace(n_bytes // 4, seed), burst_length),
+        "image": lambda: _bursts_from_payload(
+            traces.image_trace(width=256, height=max(1, n_bytes // 256), seed=seed)[:n_bytes],
+            burst_length),
+        "pointer": lambda: _bursts_from_payload(traces.pointer_trace(n_bytes // 8, seed=seed), burst_length),
+        "zero-run": lambda: _bursts_from_payload(traces.zero_run_trace(n_bytes, seed=seed), burst_length),
+        "gpu": lambda: _bursts_from_payload(traces.gpu_frame_trace(n_bytes, seed), burst_length),
+        "patterns": lambda: patterns.pattern_suite(burst_length),
+    }
+    descriptions = {
+        "random": "iid uniform bytes (the paper's Fig. 3/4 workload)",
+        "sparse": "bits one with p=0.25 (zero-heavy)",
+        "dense": "bits one with p=0.75 (zero-light)",
+        "correlated": "bitflip random walk, p=0.1 per bit (low AC activity)",
+        "text": "ASCII text (DQ7 pinned low)",
+        "float": "float32 samples of a noisy sine",
+        "image": "smooth 8-bit image rows",
+        "pointer": "64-bit heap pointers",
+        "zero-run": "sparse buffers with zero runs",
+        "gpu": "GPU-frame-like traffic mixture",
+        "patterns": "directed corner-case suite",
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        known = ", ".join(sorted(builders))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return Workload(name=name, description=descriptions[name],
+                    bursts=tuple(builder()))
+
+
+def workload_names() -> List[str]:
+    """All names accepted by :func:`make_workload`."""
+    return ["random", "sparse", "dense", "correlated", "text", "float",
+            "image", "pointer", "zero-run", "gpu", "patterns"]

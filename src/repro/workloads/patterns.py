@@ -1,0 +1,80 @@
+"""Deterministic corner-case burst patterns.
+
+Directed patterns for unit tests, hardware-model validation and worst-case
+analysis: all-zeros (maximum DC stress), alternating checkerboards (maximum
+AC stress), walking ones/zeros (classic signal-integrity patterns), and the
+JEDEC-style PRBS-ish mixtures.  Each generator documents which scheme it is
+designed to stress.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.burst import DEFAULT_BURST_LENGTH, Burst
+
+
+def all_zeros(burst_length: int = DEFAULT_BURST_LENGTH) -> Burst:
+    """Worst case for DC energy: every lane low every beat.
+
+    DBI DC/OPT invert every byte, converting 64 zeros into 8 DBI zeros.
+    """
+    return Burst([0x00] * burst_length)
+
+
+def all_ones(burst_length: int = DEFAULT_BURST_LENGTH) -> Burst:
+    """Best case: nothing to do — zero DC and zero AC cost after encoding."""
+    return Burst([0xFF] * burst_length)
+
+
+def checkerboard(burst_length: int = DEFAULT_BURST_LENGTH) -> Burst:
+    """0x55/0xAA alternation: every lane toggles every beat (AC worst case).
+
+    DBI AC/OPT can replace eight toggling data lanes per beat with a single
+    DBI-lane toggle.
+    """
+    return Burst([0x55 if i % 2 == 0 else 0xAA for i in range(burst_length)])
+
+
+def static_checkerboard(burst_length: int = DEFAULT_BURST_LENGTH) -> Burst:
+    """Constant 0x55: half the lanes sit at zero, no toggles after beat 1."""
+    return Burst([0x55] * burst_length)
+
+
+def walking_ones(burst_length: int = DEFAULT_BURST_LENGTH) -> Burst:
+    """A single one rotating through the byte (signal-integrity pattern)."""
+    return Burst([1 << (i % 8) for i in range(burst_length)])
+
+
+def walking_zeros(burst_length: int = DEFAULT_BURST_LENGTH) -> Burst:
+    """A single zero rotating through the byte."""
+    return Burst([(~(1 << (i % 8))) & 0xFF for i in range(burst_length)])
+
+
+def ramp(burst_length: int = DEFAULT_BURST_LENGTH, start: int = 0) -> Burst:
+    """Incrementing counter bytes — the classic address/stride pattern."""
+    return Burst([(start + i) & 0xFF for i in range(burst_length)])
+
+
+def pattern_suite(burst_length: int = DEFAULT_BURST_LENGTH) -> List[Burst]:
+    """The full directed suite, one burst per named pattern."""
+    return [
+        all_zeros(burst_length),
+        all_ones(burst_length),
+        checkerboard(burst_length),
+        static_checkerboard(burst_length),
+        walking_ones(burst_length),
+        walking_zeros(burst_length),
+        ramp(burst_length),
+    ]
+
+
+PATTERN_NAMES = [
+    "all_zeros",
+    "all_ones",
+    "checkerboard",
+    "static_checkerboard",
+    "walking_ones",
+    "walking_zeros",
+    "ramp",
+]

@@ -1,0 +1,146 @@
+"""Synthetic application-like memory traces.
+
+The paper motivates DBI with GPU memory interfaces (the LPGPU2 project);
+its quantitative evaluation uses random bursts, but any deployment question
+("how much does OPT save on *my* data?") needs realistic traffic.  Since no
+proprietary GPU traces ship with this repository, we synthesise byte
+streams whose first-order statistics match common traffic classes:
+
+* :func:`text_trace` — ASCII text (high bit always 0 → DC-heavy),
+* :func:`float_trace` — IEEE-754 float arrays of slowly varying signals
+  (correlated high bytes, noisy mantissas),
+* :func:`image_trace` — 8-bit image rows with spatial correlation,
+* :func:`pointer_trace` — 64-bit pointers into a heap region (shared high
+  bytes, strided low bytes),
+* :func:`zero_run_trace` — zero-page / sparse buffer traffic.
+
+Each returns a flat ``bytes`` payload to feed through
+:class:`repro.phy.bus.MemoryBus` or :func:`repro.core.burst.chunk_bytes`.
+The substitution rationale is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+import string
+from typing import List
+
+import numpy as np
+
+from .random_data import DEFAULT_SEED
+
+#: Printable-character population reused by :func:`text_trace`.
+_TEXT_ALPHABET = (string.ascii_lowercase * 6 + string.ascii_uppercase
+                  + string.digits + " " * 12 + ".,;:\n")
+
+
+def text_trace(n_bytes: int, seed: int = DEFAULT_SEED) -> bytes:
+    """ASCII-text-like payload (every byte < 0x80, space-heavy).
+
+    Text keeps DQ7 permanently low — a standing DC cost that DBI DC halves
+    and DBI OPT trades optimally against the transition cost.
+    """
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be >= 0")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(_TEXT_ALPHABET), size=n_bytes)
+    return bytes(ord(_TEXT_ALPHABET[i]) for i in indices)
+
+
+def float_trace(n_values: int, seed: int = DEFAULT_SEED) -> bytes:
+    """Little-endian float32 samples of a noisy sine (sensor/HPC-like).
+
+    Exponent bytes barely change (AC-cheap), mantissa bytes are nearly
+    random (AC-expensive) — a bimodal lane profile typical of numeric
+    kernels.
+    """
+    if n_values < 0:
+        raise ValueError("n_values must be >= 0")
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_values, dtype=np.float64)
+    signal = np.sin(2 * math.pi * t / 64.0) + 0.01 * rng.standard_normal(n_values)
+    return signal.astype("<f4").tobytes()
+
+
+def image_trace(width: int = 256, height: int = 64,
+                seed: int = DEFAULT_SEED) -> bytes:
+    """8-bit grayscale image with smooth spatial gradients plus noise.
+
+    Neighbouring pixels differ by a few LSBs, so transitions concentrate in
+    the low lanes — a good showcase for the joint DC/AC optimisation.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be >= 1")
+    rng = np.random.default_rng(seed)
+    x = np.arange(width, dtype=np.float64)
+    y = np.arange(height, dtype=np.float64)[:, None]
+    base = 128 + 96 * np.sin(2 * math.pi * x / width) * np.cos(2 * math.pi * y / height)
+    noisy = base + 8 * rng.standard_normal((height, width))
+    return np.clip(noisy, 0, 255).astype(np.uint8).tobytes()
+
+
+def pointer_trace(n_pointers: int, heap_base: int = 0x7F5A_3000_0000,
+                  stride: int = 64, seed: int = DEFAULT_SEED) -> bytes:
+    """Little-endian 64-bit pointers into one heap region.
+
+    The top bytes are constant (zero transitions, mixed zeros), the low
+    bytes stride — the classic pointer-chasing lane profile.
+    """
+    if n_pointers < 0:
+        raise ValueError("n_pointers must be >= 0")
+    if heap_base < 0 or stride < 1:
+        raise ValueError("heap_base must be >= 0 and stride >= 1")
+    rng = np.random.default_rng(seed)
+    offsets = rng.integers(0, 4096, size=n_pointers, dtype=np.uint64)
+    addresses = (heap_base + stride * offsets).astype("<u8")
+    return addresses.tobytes()
+
+
+def zero_run_trace(n_bytes: int, zero_fraction: float = 0.6,
+                   run_length: int = 32, seed: int = DEFAULT_SEED) -> bytes:
+    """Sparse-buffer traffic: runs of 0x00 interleaved with random data.
+
+    Zero pages and zero-initialised buffers are the DC worst case RAW can
+    produce; DBI DC/OPT collapse each all-zero byte to a single DBI zero.
+    """
+    if not 0.0 <= zero_fraction <= 1.0:
+        raise ValueError("zero_fraction must be in [0, 1]")
+    if n_bytes < 0 or run_length < 1:
+        raise ValueError("n_bytes must be >= 0 and run_length >= 1")
+    rng = np.random.default_rng(seed)
+    out: List[int] = []
+    while len(out) < n_bytes:
+        if rng.random() < zero_fraction:
+            out.extend([0x00] * run_length)
+        else:
+            out.extend(rng.integers(0, 256, size=run_length, dtype=np.uint8).tolist())
+    return bytes(out[:n_bytes])
+
+
+def gpu_frame_trace(n_bytes: int, seed: int = DEFAULT_SEED) -> bytes:
+    """A GPU-framebuffer-like mixture (the paper's motivating traffic).
+
+    Interleaves RGBA-ish image data, float vertex data, pointer tables and
+    zero-filled regions in proportions loosely modelled on graphics
+    workloads: 50 % texture/framebuffer, 25 % float geometry, 10 %
+    pointers/descriptors, 15 % cleared memory.
+    """
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be >= 0")
+    parts = [
+        image_trace(width=256, height=max(1, n_bytes // 2 // 256 + 1), seed=seed),
+        float_trace(max(1, n_bytes // 4 // 4 + 1), seed=seed + 1),
+        pointer_trace(max(1, n_bytes // 10 // 8 + 1), seed=seed + 2),
+        zero_run_trace(max(1, n_bytes * 15 // 100 + 1), seed=seed + 3),
+    ]
+    want = [n_bytes // 2, n_bytes // 4, n_bytes // 10,
+            n_bytes - n_bytes // 2 - n_bytes // 4 - n_bytes // 10]
+    rng = np.random.default_rng(seed + 4)
+    chunks: List[bytes] = []
+    for part, length in zip(parts, want):
+        chunks.append(part[:length])
+    # Shuffle at 256-byte granularity to interleave traffic classes.
+    blob = b"".join(chunks)
+    blocks = [blob[i:i + 256] for i in range(0, len(blob), 256)]
+    rng.shuffle(blocks)
+    return b"".join(blocks)[:n_bytes]

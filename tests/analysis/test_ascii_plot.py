@@ -1,0 +1,78 @@
+"""Unit tests for ASCII plotting."""
+
+import pytest
+
+from repro.analysis.ascii_plot import AsciiPlot, quick_plot, sparkline
+
+
+class TestAsciiPlot:
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiPlot().render()
+
+    def test_mismatched_series_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError):
+            plot.add_series("a", [1, 2], [1.0])
+
+    def test_empty_series_rejected(self):
+        plot = AsciiPlot()
+        with pytest.raises(ValueError):
+            plot.add_series("a", [], [])
+
+    def test_too_many_series(self):
+        plot = AsciiPlot()
+        for index in range(8):
+            plot.add_series(f"s{index}", [0, 1], [0, 1])
+        with pytest.raises(ValueError):
+            plot.add_series("overflow", [0, 1], [0, 1])
+
+    def test_render_contains_title_and_legend(self):
+        plot = AsciiPlot(title="my title", width=30, height=6)
+        plot.add_series("alpha", [0, 1, 2], [0.0, 2.0, 1.0])
+        text = plot.render()
+        assert "my title" in text
+        assert "o=alpha" in text
+
+    def test_render_line_count(self):
+        plot = AsciiPlot(width=20, height=5)
+        plot.add_series("a", [0, 1], [0.0, 1.0])
+        lines = plot.render().splitlines()
+        # height rows + axis + labels + legend (no title).
+        assert len(lines) == 5 + 3
+
+    def test_flat_series_handled(self):
+        plot = AsciiPlot(width=10, height=4)
+        plot.add_series("flat", [0, 1], [1.0, 1.0])
+        assert plot.render()
+
+    def test_extreme_points_plotted_at_edges(self):
+        plot = AsciiPlot(width=11, height=5)
+        plot.add_series("a", [0, 10], [0.0, 1.0])
+        rows = plot.render().splitlines()
+        grid = rows[:5]
+        assert grid[0].rstrip().endswith("o")   # max at top-right
+        assert "o" in grid[-1]                    # min at bottom-left
+
+
+class TestQuickPlot:
+    def test_multi_series(self):
+        text = quick_plot([0, 1], {"a": [0, 1], "b": [1, 0]}, title="t")
+        assert "a" in text and "b" in text
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_levels(self):
+        line = sparkline([0, 10])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_flat(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""

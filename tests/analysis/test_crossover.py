@@ -1,0 +1,86 @@
+"""Unit tests for crossover/landmark extraction."""
+
+import pytest
+
+from repro.analysis.crossover import (
+    advantage_region,
+    elementwise_min,
+    interpolated_crossing,
+    peak_advantage,
+)
+
+
+class TestInterpolatedCrossing:
+    def test_exact_midpoint(self):
+        assert interpolated_crossing([0, 1], [2, 0], [1, 1]) == pytest.approx(0.5)
+
+    def test_no_crossing(self):
+        assert interpolated_crossing([0, 1], [2, 2], [1, 1]) is None
+
+    def test_crossing_at_first_point(self):
+        assert interpolated_crossing([0, 1], [0, 0], [1, 1]) == 0
+
+    def test_touching_then_crossing(self):
+        # Equal at x=1 (delta 0), below at x=2: crossing at x=1.
+        assert interpolated_crossing([0, 1, 2], [3, 1, 0],
+                                     [1, 1, 1]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            interpolated_crossing([0], [1, 2], [1, 2])
+
+    def test_linear_series(self):
+        xs = [0.0, 0.25, 0.5, 0.75, 1.0]
+        first = [1.0 - x for x in xs]
+        second = [x for x in xs]
+        assert interpolated_crossing(xs, first, second) == pytest.approx(0.5)
+
+
+class TestAdvantageRegion:
+    def test_single_region(self):
+        xs = [0, 1, 2, 3, 4]
+        candidate = [2, 0.5, 0.5, 0.5, 2]
+        reference = [1, 1, 1, 1, 1]
+        assert advantage_region(xs, candidate, reference) == (1, 3)
+
+    def test_no_region(self):
+        assert advantage_region([0, 1], [2, 2], [1, 1]) is None
+
+    def test_widest_region_chosen(self):
+        xs = list(range(7))
+        candidate = [0, 2, 0, 0, 0, 2, 0]
+        reference = [1] * 7
+        assert advantage_region(xs, candidate, reference) == (2, 4)
+
+    def test_region_extends_to_boundary(self):
+        xs = [0, 1, 2]
+        assert advantage_region(xs, [0, 0, 0], [1, 1, 1]) == (0, 2)
+
+
+class TestPeakAdvantage:
+    def test_basic(self):
+        x, gain = peak_advantage([0, 1], [1.0, 0.5], [1.0, 1.0])
+        assert (x, gain) == (1, 0.5)
+
+    def test_negative_gain_possible(self):
+        x, gain = peak_advantage([0, 1], [2.0, 1.5], [1.0, 1.0])
+        assert gain == pytest.approx(-0.5)
+        assert x == 1
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            peak_advantage([0], [1.0], [0.0])
+
+
+class TestElementwiseMin:
+    def test_basic(self):
+        assert elementwise_min([1, 5], [3, 2]) == [1, 2]
+
+    def test_three_series(self):
+        assert elementwise_min([3, 3], [2, 4], [5, 1]) == [2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            elementwise_min()
+        with pytest.raises(ValueError):
+            elementwise_min([1], [1, 2])

@@ -1,0 +1,107 @@
+"""Unit tests for SSO (simultaneous switching) analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sso import (
+    DBI_DC_IDLE_FIRST_BEAT_BOUND,
+    DBI_DC_TOGGLE_BOUND,
+    sso_comparison,
+    sso_of_scheme,
+    sso_of_words,
+)
+from repro.baselines import DbiAc, DbiDc, Raw
+from repro.core.burst import Burst
+from repro.workloads.random_data import random_bursts
+
+word_lists = st.lists(st.integers(min_value=0, max_value=0x1FF),
+                      min_size=1, max_size=24)
+
+
+class TestSsoOfWords:
+    def test_worst_case(self):
+        stats = sso_of_words([0x000, 0x1FF, 0x000])
+        assert stats.max_switching == 9
+        assert stats.total_switching == 27
+        assert stats.histogram == {9: 3}
+
+    def test_quiet_bus(self):
+        stats = sso_of_words([0x1FF] * 4)
+        assert stats.max_switching == 0
+        assert stats.mean_switching == 0.0
+
+    @given(word_lists)
+    def test_histogram_sums_to_beats(self, words):
+        stats = sso_of_words(words)
+        assert sum(stats.histogram.values()) == stats.beats == len(words)
+
+    @given(word_lists)
+    def test_total_matches_transition_count(self, words):
+        from repro.core.bitops import total_transitions
+        stats = sso_of_words(words)
+        assert stats.total_switching == total_transitions(words)
+
+    def test_exceed_fraction(self):
+        stats = sso_of_words([0x000, 0x1FF])  # 9 then 9 lanes switch
+        assert stats.exceed_fraction(8) == 1.0
+        assert stats.exceed_fraction(9) == 0.0
+
+    def test_empty_exceed_fraction(self):
+        stats = sso_of_words([])
+        assert stats.exceed_fraction(0) == 0.0
+
+
+class TestSsoOfScheme:
+    @pytest.fixture(scope="class")
+    def population(self):
+        return random_bursts(count=150, seed=44)
+
+    def test_dc_toggle_bound(self, population):
+        """DBI DC words carry <= 4 zeros each, so at most 8 lanes toggle
+        per beat (the Kim-et-al. SSO benefit); RAW can toggle all 9."""
+        stats = sso_of_scheme(DbiDc(), population)
+        assert stats.max_switching <= DBI_DC_TOGGLE_BOUND
+
+    def test_dc_first_beat_bound_from_idle(self, population):
+        """From the idle-high bus, the first beat toggles at most 5 lanes
+        under DBI DC (each toggling lane is one of <= 4 data zeros, plus
+        possibly the DBI lane)."""
+        from repro.core.bitops import ALL_ONES_WORD, popcount
+        scheme = DbiDc()
+        for burst in population:
+            first_word = scheme.encode(burst).words[0]
+            assert popcount(ALL_ONES_WORD ^ first_word) \
+                <= DBI_DC_IDLE_FIRST_BEAT_BOUND
+
+    def test_raw_saturates_all_data_lanes(self):
+        """RAW's checkerboard worst case toggles all 8 data lanes every
+        beat (the DBI lane is pinned high, so 8 is RAW's ceiling too —
+        but RAW pays it on *every* beat, unlike DBI DC)."""
+        burst = Burst([0x00, 0xFF] * 4)
+        raw = sso_of_scheme(Raw(), [burst])
+        dc = sso_of_scheme(DbiDc(), [burst])
+        assert raw.max_switching == 8
+        assert raw.exceed_fraction(7) == 1.0
+        assert dc.exceed_fraction(7) < raw.exceed_fraction(7)
+
+    def test_ac_minimises_mean_switching(self, population):
+        """DBI AC's objective IS per-beat switching: its mean must not
+        exceed RAW's or DC's."""
+        raw = sso_of_scheme(Raw(), population).mean_switching
+        dc = sso_of_scheme(DbiDc(), population).mean_switching
+        ac = sso_of_scheme(DbiAc(), population).mean_switching
+        assert ac <= raw
+        assert ac <= dc
+
+    def test_chained_mode_runs(self, population):
+        stats = sso_of_scheme(DbiAc(), population[:20], chained=True)
+        assert stats.beats == 20 * 8
+
+
+def test_sso_comparison_rows():
+    population = random_bursts(count=50, seed=9)
+    rows = sso_comparison({"raw": Raw(), "dbi-dc": DbiDc()}, population)
+    assert len(rows) == 2
+    assert rows[0][0] == "raw"
+    assert isinstance(rows[0][1], int)

@@ -1,0 +1,73 @@
+"""Unit tests for the greedy weighted heuristic (Chang-style)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DbiAc, DbiDc, DbiGreedyWeighted
+from repro.core.burst import Burst
+from repro.core.costs import CostModel
+from repro.core.encoder import DbiOptimal
+
+bursts = st.lists(st.integers(min_value=0, max_value=255),
+                  min_size=1, max_size=16).map(Burst)
+
+
+def test_requires_cost_model():
+    with pytest.raises(TypeError):
+        DbiGreedyWeighted(0.5)
+
+
+@given(bursts)
+def test_dc_only_reduces_to_dbi_dc(burst):
+    """With alpha = 0 the greedy rule degenerates to the DC threshold."""
+    model = CostModel.dc_only()
+    greedy = DbiGreedyWeighted(model).encode(burst)
+    dc = DbiDc().encode(burst)
+    assert greedy.cost(model) == dc.cost(model)
+
+
+@given(bursts)
+def test_ac_only_reduces_to_dbi_ac(burst):
+    """With beta = 0 the greedy rule IS the DBI AC rule."""
+    model = CostModel.ac_only()
+    assert (DbiGreedyWeighted(model).encode(burst).invert_flags
+            == DbiAc().encode(burst).invert_flags)
+
+
+@settings(max_examples=100, deadline=None)
+@given(bursts)
+def test_never_beats_optimal(burst):
+    model = CostModel.fixed()
+    greedy = DbiGreedyWeighted(model).encode(burst).cost(model)
+    optimal = DbiOptimal(model).encode(burst).cost(model)
+    assert greedy >= optimal
+
+
+def test_strictly_suboptimal_somewhere():
+    """Greedy is genuinely weaker: on the paper's example burst the
+    shortest path beats the greedy decision sequence."""
+    from repro.core.burst import PAPER_FIG2_BURST
+    model = CostModel.fixed()
+    greedy = DbiGreedyWeighted(model).encode(PAPER_FIG2_BURST).cost(model)
+    optimal = DbiOptimal(model).encode(PAPER_FIG2_BURST).cost(model)
+    assert optimal == 52
+    assert greedy >= optimal
+
+
+def test_average_gap_on_random_traffic(medium_random_bursts):
+    """On random bursts the greedy heuristic pays a measurable average
+    penalty versus the optimum (the value of global search)."""
+    model = CostModel.fixed()
+    greedy_scheme = DbiGreedyWeighted(model)
+    optimal_scheme = DbiOptimal(model)
+    greedy_total = sum(greedy_scheme.encode(b).cost(model)
+                       for b in medium_random_bursts)
+    optimal_total = sum(optimal_scheme.encode(b).cost(model)
+                        for b in medium_random_bursts)
+    assert greedy_total > optimal_total
+
+
+@given(bursts)
+def test_round_trip(burst):
+    DbiGreedyWeighted(CostModel.fixed()).encode(burst).verify()

@@ -1,0 +1,74 @@
+"""Unit tests for DBI AC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import DbiAc, should_invert_ac
+from repro.core.bitops import ALL_ONES_WORD, make_word, transitions
+from repro.core.burst import Burst
+
+bursts = st.lists(st.integers(min_value=0, max_value=255),
+                  min_size=1, max_size=16).map(Burst)
+words = st.integers(min_value=0, max_value=0x1FF)
+bytes_ = st.integers(min_value=0, max_value=255)
+
+
+class TestDecision:
+    def test_idle_bus_inverts_zero_byte(self):
+        # 0x00 raw from idle-high: 8 toggles; inverted: 1 (DBI lane only).
+        assert should_invert_ac(0x00, ALL_ONES_WORD)
+
+    def test_idle_bus_keeps_ones_byte(self):
+        assert not should_invert_ac(0xFF, ALL_ONES_WORD)
+
+    @given(bytes_, words)
+    def test_decision_minimises_step_transitions(self, byte, prev):
+        inverted = should_invert_ac(byte, prev)
+        chosen = transitions(prev, make_word(byte, inverted))
+        other = transitions(prev, make_word(byte, not inverted))
+        assert chosen <= other
+
+    @given(bytes_, words)
+    def test_tie_keeps_raw(self, byte, prev):
+        raw_cost = transitions(prev, make_word(byte, False))
+        inv_cost = transitions(prev, make_word(byte, True))
+        if raw_cost == inv_cost:
+            assert not should_invert_ac(byte, prev)
+
+    @given(bytes_)
+    def test_idle_boundary_matches_dc_decision(self, byte):
+        """Paper §II consequence: from the all-ones bus, the AC decision
+        coincides with the DC decision for the first byte."""
+        from repro.baselines import should_invert_dc
+        assert should_invert_ac(byte, ALL_ONES_WORD) == should_invert_dc(byte)
+
+
+class TestScheme:
+    @given(bursts, words)
+    def test_greedy_chain_consistency(self, burst, prev):
+        """Re-deriving each decision from the transmitted prefix matches."""
+        encoded = DbiAc().encode(burst, prev_word=prev)
+        state = prev
+        for byte, flag in zip(burst, encoded.invert_flags):
+            assert flag == should_invert_ac(byte, state)
+            state = make_word(byte, flag)
+
+    @given(bursts)
+    def test_transitions_never_exceed_raw(self, burst):
+        from repro.baselines import Raw
+        ac = DbiAc().encode(burst).transitions()
+        raw = Raw().encode(burst).transitions()
+        assert ac <= raw
+
+    def test_checkerboard_collapses_to_dbi_toggles(self):
+        """0x55/0xAA alternation: AC replaces 8 data toggles per beat by a
+        single DBI-lane toggle."""
+        burst = Burst([0x55, 0xAA] * 4)
+        encoded = DbiAc().encode(burst)
+        # First beat pays for entering the pattern; after that 1 toggle/beat.
+        assert encoded.transitions() <= 3 + 1 * (len(burst) - 1) + 8
+
+    @given(bursts)
+    def test_round_trip(self, burst):
+        DbiAc().encode(burst).verify()

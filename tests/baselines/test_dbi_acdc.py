@@ -1,0 +1,59 @@
+"""Unit tests for DBI ACDC (Hollis's mode-switching scheme)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import DbiAc, DbiAcDc, should_invert_dc
+from repro.core.bitops import ALL_ONES_WORD, make_word
+from repro.core.burst import Burst
+
+bursts = st.lists(st.integers(min_value=0, max_value=255),
+                  min_size=1, max_size=16).map(Burst)
+words = st.integers(min_value=0, max_value=0x1FF)
+
+
+@given(bursts)
+def test_first_byte_uses_dc_rule(burst):
+    encoded = DbiAcDc().encode(burst)
+    assert encoded.invert_flags[0] == should_invert_dc(burst[0])
+
+
+@given(bursts, words)
+def test_first_byte_ignores_bus_state(burst, prev):
+    """Unlike AC, the ACDC first-byte decision is boundary-independent."""
+    encoded = DbiAcDc().encode(burst, prev_word=prev)
+    assert encoded.invert_flags[0] == should_invert_dc(burst[0])
+
+
+@given(bursts)
+def test_equals_ac_from_idle_boundary(burst):
+    """Paper §II: identical to DBI AC under the all-ones boundary."""
+    assert (DbiAcDc().encode(burst).invert_flags
+            == DbiAc().encode(burst).invert_flags)
+
+
+def test_differs_from_ac_for_other_boundaries():
+    """The equivalence is a boundary-condition artefact: from a low bus
+    state the two schemes genuinely diverge."""
+    burst = Burst([0x0F] * 2)
+    prev = 0x000  # all lanes low, DBI low
+    ac = DbiAc().encode(burst, prev_word=prev).invert_flags
+    acdc = DbiAcDc().encode(burst, prev_word=prev).invert_flags
+    assert ac != acdc
+
+
+@given(bursts, words)
+def test_tail_follows_ac_chain(burst, prev):
+    """Bytes after the first follow the greedy AC rule given the actual
+    transmitted prefix."""
+    from repro.baselines import should_invert_ac
+    encoded = DbiAcDc().encode(burst, prev_word=prev)
+    state = make_word(burst[0], encoded.invert_flags[0])
+    for byte, flag in zip(burst.data[1:], encoded.invert_flags[1:]):
+        assert flag == should_invert_ac(byte, state)
+        state = make_word(byte, flag)
+
+
+@given(bursts)
+def test_round_trip(burst):
+    DbiAcDc().encode(burst).verify()

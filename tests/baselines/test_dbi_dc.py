@@ -1,0 +1,68 @@
+"""Unit tests for DBI DC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import DbiDc, should_invert_dc
+from repro.core.bitops import zeros_in_byte, zeros_in_word
+from repro.core.burst import Burst
+
+bursts = st.lists(st.integers(min_value=0, max_value=255),
+                  min_size=1, max_size=16).map(Burst)
+bytes_ = st.integers(min_value=0, max_value=255)
+
+
+class TestDecision:
+    def test_threshold_boundary(self):
+        # Exactly 4 zeros: keep raw (JEDEC: "4 or fewer" stays raw).
+        assert not should_invert_dc(0b00001111)
+        # 5 zeros: invert.
+        assert should_invert_dc(0b00000111)
+
+    def test_extremes(self):
+        assert should_invert_dc(0x00)
+        assert not should_invert_dc(0xFF)
+
+    @given(bytes_)
+    def test_decision_matches_zero_count(self, byte):
+        assert should_invert_dc(byte) == (zeros_in_byte(byte) >= 5)
+
+
+class TestScheme:
+    @given(bursts)
+    def test_stateless_per_byte(self, burst):
+        """Decisions are independent of position and neighbours."""
+        encoded = DbiDc().encode(burst)
+        for byte, flag in zip(burst, encoded.invert_flags):
+            assert flag == should_invert_dc(byte)
+
+    @given(bursts)
+    def test_prev_word_irrelevant(self, burst):
+        a = DbiDc().encode(burst, prev_word=0x000)
+        b = DbiDc().encode(burst, prev_word=0x1FF)
+        assert a.invert_flags == b.invert_flags
+
+    @given(bursts)
+    def test_word_zero_guarantee(self, burst):
+        """No transmitted word carries more than 4 zeros."""
+        for word in DbiDc().encode(burst).words:
+            assert zeros_in_word(word) <= 4
+
+    @given(bursts)
+    def test_minimises_zeros_globally(self, burst):
+        """DBI DC achieves the minimum possible zero count (per-byte
+        minimisation is global because zeros are position-independent)."""
+        encoded = DbiDc().encode(burst)
+        best = sum(min(zeros_in_byte(byte), 8 - zeros_in_byte(byte) + 1)
+                   for byte in burst)
+        assert encoded.zeros() == best
+
+    def test_worst_case_burst(self):
+        encoded = DbiDc().encode(Burst([0x00] * 8))
+        # Each all-zero byte becomes all-ones data + a DBI zero.
+        assert encoded.zeros() == 8
+
+    @given(bursts)
+    def test_round_trip(self, burst):
+        DbiDc().encode(burst).verify()

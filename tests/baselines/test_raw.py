@@ -1,0 +1,44 @@
+"""Unit tests for the RAW (unencoded) baseline."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import Raw
+from repro.core.burst import Burst
+
+bursts = st.lists(st.integers(min_value=0, max_value=255),
+                  min_size=1, max_size=16).map(Burst)
+
+
+@given(bursts)
+def test_never_inverts(burst):
+    assert Raw().encode(burst).invert_flags == (False,) * len(burst)
+
+
+@given(bursts)
+def test_dbi_lane_held_high(burst):
+    for word in Raw().encode(burst).words:
+        assert word & 0x100
+
+
+@given(bursts)
+def test_zeros_match_payload(burst):
+    """RAW adds no zeros beyond the payload's own zero bits."""
+    assert Raw().encode(burst).zeros() == burst.zeros()
+
+
+@given(bursts)
+def test_dbi_lane_never_toggles(burst):
+    """With the DBI lane pinned high, transitions come only from data."""
+    encoded = Raw().encode(burst)
+    data_transitions = 0
+    prev = 0xFF
+    for byte in burst:
+        data_transitions += bin(prev ^ byte).count("1")
+        prev = byte
+    assert encoded.transitions() == data_transitions
+
+
+def test_round_trip():
+    burst = Burst(range(8))
+    Raw().encode(burst).verify()

@@ -1,0 +1,168 @@
+"""Unit tests for the bit-manipulation substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitops
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert bitops.popcount(0) == 0
+
+    def test_all_ones_byte(self):
+        assert bitops.popcount(0xFF) == 8
+
+    def test_single_bits(self):
+        for position in range(16):
+            assert bitops.popcount(1 << position) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_matches_bin_count(self, value):
+        assert bitops.popcount(value) == bin(value).count("1")
+
+
+class TestByteWordValidation:
+    def test_check_byte_accepts_bounds(self):
+        assert bitops.check_byte(0) == 0
+        assert bitops.check_byte(255) == 255
+
+    def test_check_byte_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bitops.check_byte(256)
+        with pytest.raises(ValueError):
+            bitops.check_byte(-1)
+
+    def test_check_byte_rejects_bool(self):
+        with pytest.raises(TypeError):
+            bitops.check_byte(True)
+
+    def test_check_byte_rejects_float(self):
+        with pytest.raises(TypeError):
+            bitops.check_byte(1.0)
+
+    def test_check_word_accepts_bounds(self):
+        assert bitops.check_word(0) == 0
+        assert bitops.check_word(0x1FF) == 0x1FF
+
+    def test_check_word_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bitops.check_word(0x200)
+
+
+class TestWordAssembly:
+    def test_non_inverted_sets_dbi(self):
+        assert bitops.make_word(0x00, inverted=False) == 0x100
+        assert bitops.make_word(0xFF, inverted=False) == 0x1FF
+
+    def test_inverted_clears_dbi_and_complements(self):
+        assert bitops.make_word(0x00, inverted=True) == 0x0FF
+        assert bitops.make_word(0xFF, inverted=True) == 0x000
+
+    @given(st.integers(min_value=0, max_value=255), st.booleans())
+    def test_decode_round_trip(self, byte, inverted):
+        assert bitops.decode_word(bitops.make_word(byte, inverted)) == byte
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_word_dbi_flag(self, byte):
+        assert bitops.word_dbi(bitops.make_word(byte, False)) == 1
+        assert bitops.word_dbi(bitops.make_word(byte, True)) == 0
+
+    @given(st.integers(min_value=0, max_value=255), st.booleans())
+    def test_word_byte_extracts_data_lanes(self, byte, inverted):
+        word = bitops.make_word(byte, inverted)
+        expected = (byte ^ 0xFF) if inverted else byte
+        assert bitops.word_byte(word) == expected
+
+
+class TestActivityCounts:
+    def test_zeros_in_word_all_ones(self):
+        assert bitops.zeros_in_word(0x1FF) == 0
+
+    def test_zeros_in_word_all_zeros(self):
+        assert bitops.zeros_in_word(0) == 9
+
+    def test_zeros_in_byte(self):
+        assert bitops.zeros_in_byte(0b10110111) == 2
+
+    def test_transitions_identity(self):
+        assert bitops.transitions(0x155, 0x155) == 0
+
+    def test_transitions_full_flip(self):
+        assert bitops.transitions(0x1FF, 0x000) == 9
+
+    @given(st.integers(min_value=0, max_value=0x1FF),
+           st.integers(min_value=0, max_value=0x1FF))
+    def test_transitions_symmetric(self, a, b):
+        assert bitops.transitions(a, b) == bitops.transitions(b, a)
+
+    @given(st.integers(min_value=0, max_value=0x1FF),
+           st.integers(min_value=0, max_value=0x1FF),
+           st.integers(min_value=0, max_value=0x1FF))
+    def test_transitions_triangle_inequality(self, a, b, c):
+        assert (bitops.transitions(a, c)
+                <= bitops.transitions(a, b) + bitops.transitions(b, c))
+
+    @given(st.integers(min_value=0, max_value=255), st.booleans())
+    def test_inversion_complements_zero_count(self, byte, inverted):
+        raw = bitops.make_word(byte, False)
+        inv = bitops.make_word(byte, True)
+        # raw zeros: zeros of byte; inverted zeros: ones of byte + DBI zero.
+        assert bitops.zeros_in_word(raw) == bitops.zeros_in_byte(byte)
+        assert bitops.zeros_in_word(inv) == 9 - bitops.zeros_in_byte(byte)
+
+
+class TestParsingFormatting:
+    def test_parse_bits_paper_byte(self):
+        assert bitops.parse_bits("10001110") == 0x8E
+
+    def test_parse_bits_ignores_spaces_and_underscores(self):
+        assert bitops.parse_bits("1000_1110") == bitops.parse_bits("1000 1110")
+
+    def test_parse_bits_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            bitops.parse_bits("10021110")
+
+    def test_parse_bits_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bitops.parse_bits("  ")
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_format_parse_round_trip(self, byte):
+        assert bitops.parse_bits(bitops.format_bits(byte)) == byte
+
+    def test_format_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bitops.format_bits(256, width=8)
+
+
+class TestLaneTransforms:
+    def test_bytes_to_lanes_simple(self):
+        lanes = bitops.bytes_to_lanes([0b1, 0b0, 0b1])
+        assert lanes[0] == 0b101
+        assert all(lane == 0 for lane in lanes[1:])
+
+    @given(st.lists(st.integers(min_value=0, max_value=255),
+                    min_size=1, max_size=16))
+    def test_bytes_to_lanes_preserves_bit_count(self, data):
+        lanes = bitops.bytes_to_lanes(data)
+        assert (sum(bitops.popcount(lane) for lane in lanes)
+                == sum(bitops.popcount(byte) for byte in data))
+
+    def test_iter_bits_lsb_first(self):
+        assert list(bitops.iter_bits(0b1101, 4)) == [1, 0, 1, 1]
+
+    def test_hamming_weight_table(self):
+        table = bitops.hamming_weight_table(8)
+        assert len(table) == 256
+        assert all(table[i] == bin(i).count("1") for i in range(256))
+
+    def test_total_zeros_and_transitions(self):
+        words = [0x1FF, 0x0FF, 0x1FF]
+        assert bitops.total_zeros(words) == 1  # only the DBI bit of 0x0FF
+        assert bitops.total_transitions(words) == 0 + 1 + 1

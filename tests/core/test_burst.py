@@ -1,0 +1,116 @@
+"""Unit tests for the Burst container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.burst import Burst, PAPER_FIG2_BURST, chunk_bytes
+
+byte_lists = st.lists(st.integers(min_value=0, max_value=255),
+                      min_size=1, max_size=32)
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        assert Burst([1, 2, 3]).data == (1, 2, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Burst([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Burst([0, 256])
+
+    def test_from_bit_strings(self):
+        burst = Burst.from_bit_strings(["00000001", "10000000"])
+        assert burst.data == (1, 128)
+
+    def test_from_bytes(self):
+        assert Burst.from_bytes(b"\x01\x02").data == (1, 2)
+
+    def test_from_int_little_endian(self):
+        assert Burst.from_int(0x0201, length=2).data == (1, 2)
+
+    def test_from_int_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Burst.from_int(0x10000, length=2)
+
+    def test_immutable(self):
+        burst = Burst([1])
+        with pytest.raises(AttributeError):
+            burst.data = (2,)
+
+
+class TestAccessors:
+    def test_len_iter_getitem(self):
+        burst = Burst([9, 8, 7])
+        assert len(burst) == 3
+        assert list(burst) == [9, 8, 7]
+        assert burst[1] == 8
+
+    def test_to_bytes_round_trip(self):
+        burst = Burst([0, 127, 255])
+        assert Burst.from_bytes(burst.to_bytes()) == burst
+
+    @given(byte_lists)
+    def test_bit_strings_round_trip(self, data):
+        burst = Burst(data)
+        assert Burst.from_bit_strings(burst.bit_strings()) == burst
+
+    @given(byte_lists)
+    def test_zeros_counts_zero_bits(self, data):
+        burst = Burst(data)
+        expected = sum(8 - bin(byte).count("1") for byte in data)
+        assert burst.zeros() == expected
+
+    @given(byte_lists)
+    def test_inverted_involution(self, data):
+        burst = Burst(data)
+        assert burst.inverted().inverted() == burst
+
+    @given(byte_lists)
+    def test_inverted_complements_zeros(self, data):
+        burst = Burst(data)
+        assert burst.zeros() + burst.inverted().zeros() == 8 * len(data)
+
+
+class TestPaperBurst:
+    def test_length(self):
+        assert len(PAPER_FIG2_BURST) == 8
+
+    def test_first_and_last_bytes(self):
+        assert PAPER_FIG2_BURST[0] == 0b10001110
+        assert PAPER_FIG2_BURST[7] == 0b11000100
+
+    def test_raw_zero_count(self):
+        # Visible in Fig. 2: the raw burst has 28 zero bits.
+        assert PAPER_FIG2_BURST.zeros() == 28
+
+
+class TestChunking:
+    def test_exact_chunks(self):
+        bursts = chunk_bytes(range(8), burst_length=4)
+        assert [b.data for b in bursts] == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_padding_with_idle_high(self):
+        bursts = chunk_bytes([1, 2, 3], burst_length=4)
+        assert bursts[0].data == (1, 2, 3, 0xFF)
+
+    def test_padding_custom_byte(self):
+        bursts = chunk_bytes([1], burst_length=2, pad_byte=0x00)
+        assert bursts[0].data == (1, 0)
+
+    def test_invalid_burst_length(self):
+        with pytest.raises(ValueError):
+            chunk_bytes([1], burst_length=0)
+
+    def test_empty_payload(self):
+        assert chunk_bytes([], burst_length=4) == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=64),
+           st.integers(min_value=1, max_value=16))
+    def test_chunking_preserves_payload(self, payload, burst_length):
+        bursts = chunk_bytes(payload, burst_length)
+        recovered = [byte for burst in bursts for byte in burst][:len(payload)]
+        assert recovered == payload

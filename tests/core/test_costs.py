@@ -1,0 +1,129 @@
+"""Unit tests for cost models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel, QuantizedCostModel
+
+
+class TestCostModelValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            CostModel(1.0, -1.0)
+
+    def test_both_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(0.0, 0.0)
+
+    def test_single_zero_allowed(self):
+        assert CostModel(0.0, 1.0).alpha == 0.0
+        assert CostModel(1.0, 0.0).beta == 0.0
+
+
+class TestConstructors:
+    def test_fixed(self):
+        model = CostModel.fixed()
+        assert (model.alpha, model.beta) == (1.0, 1.0)
+
+    def test_dc_only(self):
+        assert CostModel.dc_only().ac_fraction == 0.0
+
+    def test_ac_only(self):
+        assert CostModel.ac_only().ac_fraction == 1.0
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_from_ac_fraction_round_trip(self, fraction):
+        model = CostModel.from_ac_fraction(fraction)
+        assert model.ac_fraction == pytest.approx(fraction)
+        assert model.alpha + model.beta == pytest.approx(1.0)
+
+    def test_from_ac_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CostModel.from_ac_fraction(1.5)
+        with pytest.raises(ValueError):
+            CostModel.from_ac_fraction(-0.1)
+
+    def test_from_energies(self):
+        model = CostModel.from_energies(2e-12, 1e-12)
+        assert model.ac_fraction == pytest.approx(2 / 3)
+
+
+class TestCosts:
+    def test_word_cost_counts_dbi_lane(self):
+        model = CostModel.fixed()
+        # 0x1FF -> 0x0FF: DBI lane falls (1 transition), one zero on DBI.
+        assert model.word_cost(0x1FF, 0x0FF) == 2.0
+
+    def test_word_cost_pure_dc(self):
+        model = CostModel.dc_only()
+        assert model.word_cost(0x1FF, 0x000) == 9.0
+
+    def test_word_cost_pure_ac(self):
+        model = CostModel.ac_only()
+        assert model.word_cost(0x1FF, 0x000) == 9.0
+
+    def test_activity_cost(self):
+        model = CostModel(2.0, 3.0)
+        assert model.activity_cost(5, 7) == 2.0 * 5 + 3.0 * 7
+
+    def test_activity_cost_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel.fixed().activity_cost(-1, 0)
+
+    @given(st.floats(min_value=0.1, max_value=10.0),
+           st.integers(min_value=0, max_value=0x1FF),
+           st.integers(min_value=0, max_value=0x1FF))
+    def test_scaling_scales_cost_linearly(self, factor, prev, word):
+        base = CostModel(1.0, 2.0)
+        scaled = base.scaled(factor)
+        assert scaled.word_cost(prev, word) == pytest.approx(
+            factor * base.word_cost(prev, word))
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CostModel.fixed().scaled(0.0)
+
+
+class TestQuantization:
+    def test_fixed_point_is_exact(self):
+        quantized = QuantizedCostModel.from_cost_model(CostModel.fixed(), bits=3)
+        assert quantized.ac_fraction == pytest.approx(0.5)
+        assert quantized.quantization_error == pytest.approx(0.0)
+
+    def test_three_bit_range(self):
+        quantized = QuantizedCostModel.from_cost_model(
+            CostModel.from_ac_fraction(0.7), bits=3)
+        assert 0 <= quantized.alpha <= 7
+        assert 0 <= quantized.beta <= 7
+
+    def test_non_integer_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizedCostModel(1.5, 1.0, bits=3)
+
+    def test_overflowing_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizedCostModel(9.0, 1.0, bits=3)
+
+    @given(st.floats(min_value=0.02, max_value=0.98),
+           st.integers(min_value=2, max_value=6))
+    def test_quantization_error_bounded(self, fraction, bits):
+        target = CostModel.from_ac_fraction(fraction)
+        quantized = QuantizedCostModel.from_cost_model(target, bits=bits)
+        # With b-bit coefficients the ratio grid spacing around 0.5 is
+        # roughly 1/(2^b); allow a generous bound.
+        assert quantized.quantization_error <= 1.0 / (1 << bits)
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_more_bits_never_hurt(self, bits):
+        target = CostModel.from_ac_fraction(0.37)
+        coarse = QuantizedCostModel.from_cost_model(target, bits=bits)
+        fine = QuantizedCostModel.from_cost_model(target, bits=bits + 1)
+        assert fine.quantization_error <= coarse.quantization_error + 1e-12
+
+    def test_cost_model_quantized_shortcut(self):
+        quantized = CostModel.fixed().quantized(3)
+        assert isinstance(quantized, QuantizedCostModel)
+        assert quantized.bits == 3

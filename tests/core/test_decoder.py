@@ -1,0 +1,69 @@
+"""Unit tests for the shared DBI decoder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitops import make_word
+from repro.core.burst import Burst
+from repro.core.decoder import (
+    decode_stream,
+    decode_words,
+    invert_flags_from_words,
+    verify_round_trip,
+    verify_stream,
+)
+from repro.core.schemes import EncodedBurst, get_scheme
+
+byte_lists = st.lists(st.integers(min_value=0, max_value=255),
+                      min_size=1, max_size=12)
+flag_lists = st.lists(st.booleans(), min_size=1, max_size=12)
+
+
+@given(byte_lists, flag_lists)
+def test_decode_words_round_trip(data, flags):
+    flags = (flags * len(data))[:len(data)]
+    words = [make_word(byte, flag) for byte, flag in zip(data, flags)]
+    assert decode_words(words).data == tuple(data)
+
+
+@given(byte_lists, flag_lists)
+def test_invert_flags_recovered(data, flags):
+    flags = (flags * len(data))[:len(data)]
+    words = [make_word(byte, flag) for byte, flag in zip(data, flags)]
+    assert invert_flags_from_words(words) == list(flags)
+
+
+def test_decode_stream_order():
+    scheme = get_scheme("dbi-dc")
+    bursts = [Burst([i]) for i in (0, 128, 255)]
+    encoded = [scheme.encode(b) for b in bursts]
+    assert decode_stream(encoded) == bursts
+
+
+def test_verify_round_trip_true_for_all_schemes(small_random_bursts):
+    from repro.core.schemes import available_schemes
+    for name in available_schemes():
+        scheme = get_scheme(name)
+        for burst in small_random_bursts[:10]:
+            assert verify_round_trip(scheme.encode(burst))
+
+
+def test_verify_stream():
+    scheme = get_scheme("dbi-opt")
+    encoded = scheme.encode_stream([Burst([1, 2]), Burst([3, 4])])
+    assert verify_stream(encoded)
+
+
+def test_wire_corruption_changes_decoded_data():
+    """Flipping the DBI lane on the wire decodes to complemented data —
+    the decoder has no redundancy, so the corruption must surface."""
+    burst = Burst([0x0F])
+    encoded = get_scheme("raw").encode(burst)
+    corrupted_words = [word ^ 0x100 for word in encoded.words]
+    assert decode_words(corrupted_words).data == (0xF0,)
+
+
+def test_decode_words_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        decode_words([0x200])

@@ -1,0 +1,100 @@
+"""Unit tests for the optimal encoders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.burst import Burst
+from repro.core.costs import CostModel, QuantizedCostModel
+from repro.core.encoder import DbiOptimal, DbiOptimalFixed, DbiOptimalQuantized
+from repro.core.trellis import solve
+
+byte_lists = st.lists(st.integers(min_value=0, max_value=255),
+                      min_size=1, max_size=10)
+
+
+class TestDbiOptimal:
+    def test_requires_cost_model(self):
+        with pytest.raises(TypeError):
+            DbiOptimal("not a model")
+
+    def test_matches_solve(self, paper_burst, fixed_model):
+        scheme = DbiOptimal(fixed_model)
+        encoded = scheme.encode(paper_burst)
+        assert encoded.invert_flags == solve(paper_burst, fixed_model).invert_flags
+
+    @settings(max_examples=80, deadline=None)
+    @given(byte_lists)
+    def test_round_trip(self, data):
+        encoded = DbiOptimal(CostModel.fixed()).encode(Burst(data))
+        encoded.verify()
+
+    def test_dc_only_matches_dbi_dc_cost(self, medium_random_bursts):
+        """Paper: OPT with alpha=0 is identical to DBI DC (in cost)."""
+        from repro.baselines import DbiDc
+        model = CostModel.dc_only()
+        optimal = DbiOptimal(model)
+        baseline = DbiDc()
+        for burst in medium_random_bursts[:100]:
+            assert (optimal.encode(burst).cost(model)
+                    == pytest.approx(baseline.encode(burst).cost(model)))
+
+    def test_ac_only_matches_dbi_ac_cost(self, medium_random_bursts):
+        """Paper: OPT with beta=0 performs identical to DBI AC."""
+        from repro.baselines import DbiAc
+        model = CostModel.ac_only()
+        optimal = DbiOptimal(model)
+        baseline = DbiAc()
+        for burst in medium_random_bursts[:100]:
+            assert (optimal.encode(burst).cost(model)
+                    == pytest.approx(baseline.encode(burst).cost(model)))
+
+
+class TestDbiOptimalFixed:
+    def test_uses_unit_coefficients(self):
+        scheme = DbiOptimalFixed()
+        assert scheme.model.alpha == 1.0
+        assert scheme.model.beta == 1.0
+        assert scheme.name == "dbi-opt-fixed"
+
+    def test_same_decisions_as_explicit_fixed_model(self, paper_burst):
+        explicit = DbiOptimal(CostModel.fixed())
+        assert (DbiOptimalFixed().encode(paper_burst).invert_flags
+                == explicit.encode(paper_burst).invert_flags)
+
+
+class TestDbiOptimalQuantized:
+    def test_name_tracks_bits(self):
+        scheme = DbiOptimalQuantized(CostModel.fixed(), bits=4)
+        assert scheme.name == "dbi-opt-q4"
+        assert isinstance(scheme.model, QuantizedCostModel)
+
+    def test_unit_ratio_survives_quantization(self, paper_burst, fixed_model):
+        quantized = DbiOptimalQuantized(CostModel.fixed(), bits=3)
+        exact = DbiOptimal(fixed_model)
+        assert (quantized.encode(paper_burst).cost(fixed_model)
+                == exact.encode(paper_burst).cost(fixed_model))
+
+    @settings(max_examples=40, deadline=None)
+    @given(byte_lists, st.floats(min_value=0.05, max_value=0.95))
+    def test_quantized_never_better_than_exact(self, data, fraction):
+        """The exact optimum lower-bounds any quantised encoder."""
+        burst = Burst(data)
+        model = CostModel.from_ac_fraction(fraction)
+        exact_cost = DbiOptimal(model).encode(burst).cost(model)
+        quantized = DbiOptimalQuantized(model, bits=3)
+        quantized_cost = quantized.encode(burst).cost(model)
+        assert quantized_cost >= exact_cost - 1e-9
+
+    def test_more_bits_converge_to_exact(self, medium_random_bursts):
+        model = CostModel.from_ac_fraction(0.61)
+        exact = DbiOptimal(model)
+        gaps = []
+        for bits in (1, 3, 6):
+            quantized = DbiOptimalQuantized(model, bits=bits)
+            gap = 0.0
+            for burst in medium_random_bursts[:60]:
+                gap += (quantized.encode(burst).cost(model)
+                        - exact.encode(burst).cost(model))
+            gaps.append(gap)
+        assert gaps[0] >= gaps[1] >= gaps[2]

@@ -1,0 +1,86 @@
+"""The paper's Fig. 2 worked example, asserted number by number.
+
+These are the strongest anchors the paper text provides: the activity of
+DBI DC, DBI AC and DBI OPT on the example burst, the total costs, and the
+five Pareto-optimal trade-offs.
+"""
+
+import pytest
+
+from repro.baselines import DbiAc, DbiAcDc, DbiDc, Raw
+from repro.core.burst import PAPER_FIG2_BURST
+from repro.core.costs import CostModel
+from repro.core.encoder import DbiOptimal
+from repro.core.pareto import enumerate_encodings, pareto_front, supported_points
+from repro.core.trellis import solve
+
+#: (zeros, transitions) of the five Pareto points in Fig. 2's caption row.
+PAPER_PARETO = {(26, 42), (27, 28), (28, 24), (29, 23), (43, 22)}
+
+
+class TestFig2Anchors:
+    def test_dbi_dc_activity(self):
+        encoded = DbiDc().encode(PAPER_FIG2_BURST)
+        transitions, zeros = encoded.activity()
+        assert (zeros, transitions) == (26, 42)
+
+    def test_dbi_ac_activity(self):
+        encoded = DbiAc().encode(PAPER_FIG2_BURST)
+        transitions, zeros = encoded.activity()
+        assert (zeros, transitions) == (43, 22)
+
+    def test_acdc_equals_ac_under_idle_boundary(self):
+        """Paper §II: with all lines idling high, DBI AC == DBI ACDC."""
+        ac = DbiAc().encode(PAPER_FIG2_BURST)
+        acdc = DbiAcDc().encode(PAPER_FIG2_BURST)
+        assert ac.invert_flags == acdc.invert_flags
+
+    def test_optimal_cost_is_52(self):
+        solution = solve(PAPER_FIG2_BURST, CostModel.fixed())
+        assert solution.total_cost == 52
+
+    def test_optimal_activity_is_a_cost52_pareto_point(self):
+        """The paper shows (28 zeros, 24 transitions); (29, 23) ties at
+        cost 52 and is equally optimal — accept either."""
+        encoded = DbiOptimal(CostModel.fixed()).encode(PAPER_FIG2_BURST)
+        transitions, zeros = encoded.activity()
+        assert zeros + transitions == 52
+        assert (zeros, transitions) in {(28, 24), (29, 23)}
+
+    def test_dc_and_ac_costs_from_text(self):
+        """'DBI DC choose an encoding with a cost of 26+42=68 and DBI AC
+        selects an encoding with a cost of 43+22=65.'"""
+        model = CostModel.fixed()
+        assert DbiDc().encode(PAPER_FIG2_BURST).cost(model) == 68
+        assert DbiAc().encode(PAPER_FIG2_BURST).cost(model) == 65
+
+    def test_raw_burst_zero_count(self):
+        encoded = Raw().encode(PAPER_FIG2_BURST)
+        assert encoded.zeros() == 28
+
+    def test_pareto_front_matches_figure(self):
+        frontier = pareto_front(enumerate_encodings(PAPER_FIG2_BURST))
+        assert {(p.zeros, p.transitions) for p in frontier} == PAPER_PARETO
+
+    def test_all_five_points_supported(self):
+        """'If we vary the coefficients ... we find 5 other pareto optimal
+        encoding options': every frontier point is reachable by OPT."""
+        supported = {(z, t) for t, z in supported_points(PAPER_FIG2_BURST)}
+        assert supported == PAPER_PARETO
+
+    def test_neither_dc_nor_ac_reach_balanced_points(self):
+        """The three balanced trade-offs are invisible to DC and AC."""
+        model = CostModel.fixed()
+        dc_activity = DbiDc().encode(PAPER_FIG2_BURST).activity()
+        ac_activity = DbiAc().encode(PAPER_FIG2_BURST).activity()
+        balanced = {(28, 24), (29, 23), (27, 28)}
+        for transitions, zeros in (dc_activity, ac_activity):
+            assert (zeros, transitions) not in balanced
+
+    def test_first_byte_edge_weights(self):
+        """Fig. 2 labels the start edges 8 (raw) and 10 (inverted)."""
+        model = CostModel.fixed()
+        from repro.core.bitops import ALL_ONES_WORD, make_word
+        first = PAPER_FIG2_BURST[0]
+        assert model.word_cost(ALL_ONES_WORD, make_word(first, False)) == 8
+        assert model.word_cost(ALL_ONES_WORD, make_word(first, True)) == 10

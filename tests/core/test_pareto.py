@@ -1,0 +1,121 @@
+"""Unit tests for exhaustive enumeration and Pareto analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.burst import Burst
+from repro.core.pareto import (
+    EncodingPoint,
+    convex_hull_lower,
+    enumerate_encodings,
+    pareto_front,
+    pareto_summary,
+    supported_points,
+)
+
+tiny_bursts = st.lists(st.integers(min_value=0, max_value=255),
+                       min_size=1, max_size=6).map(Burst)
+
+
+class TestEnumeration:
+    def test_counts_all_patterns(self):
+        points = enumerate_encodings(Burst([1, 2, 3]))
+        assert len(points) == 8
+        assert len({p.invert_flags for p in points}) == 8
+
+    def test_single_byte_activity(self):
+        points = {p.invert_flags: p for p in enumerate_encodings(Burst([0x0F]))}
+        raw = points[(False,)]
+        inv = points[(True,)]
+        assert (raw.zeros, raw.transitions) == (4, 4)
+        assert (inv.zeros, inv.transitions) == (5, 5)
+
+    def test_rejects_long_bursts(self):
+        with pytest.raises(ValueError):
+            enumerate_encodings(Burst([0] * 21))
+
+
+class TestParetoFront:
+    def test_no_point_dominates_another(self):
+        frontier = pareto_front(enumerate_encodings(Burst([0x8E, 0x86, 0x96])))
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (a.transitions <= b.transitions
+                             and a.zeros <= b.zeros
+                             and (a.transitions < b.transitions
+                                  or a.zeros < b.zeros))
+                assert not dominates
+
+    def test_sorted_by_transitions(self):
+        frontier = pareto_front(enumerate_encodings(Burst([0x8E, 0x86, 0x96])))
+        transitions = [p.transitions for p in frontier]
+        assert transitions == sorted(transitions)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tiny_bursts)
+    def test_every_point_dominated_by_frontier(self, burst):
+        points = enumerate_encodings(burst)
+        frontier = pareto_front(points)
+        for point in points:
+            assert any(f.transitions <= point.transitions
+                       and f.zeros <= point.zeros for f in frontier)
+
+
+class TestSupportedPoints:
+    @settings(max_examples=20, deadline=None)
+    @given(tiny_bursts)
+    def test_supported_subset_of_frontier(self, burst):
+        frontier = {p.point for p in pareto_front(enumerate_encodings(burst))}
+        for point in supported_points(burst, resolution=64):
+            assert point in frontier
+
+    @settings(max_examples=20, deadline=None)
+    @given(tiny_bursts)
+    def test_supported_points_include_extremes(self, burst):
+        """The pure-DC and pure-AC optima are always supported."""
+        supported = supported_points(burst, resolution=64)
+        zeros_values = [z for _t, z in supported]
+        trans_values = [t for t, _z in supported]
+        frontier = pareto_front(enumerate_encodings(burst))
+        assert min(zeros_values) == min(p.zeros for p in frontier)
+        assert min(trans_values) == min(p.transitions for p in frontier)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tiny_bursts)
+    def test_supported_points_are_antichain(self, burst):
+        supported = supported_points(burst, resolution=64)
+        for a in supported:
+            for b in supported:
+                if a is b:
+                    continue
+                assert not (a[0] <= b[0] and a[1] <= b[1]
+                            and (a[0] < b[0] or a[1] < b[1]))
+
+
+class TestConvexHull:
+    def test_collinear_endpoints(self):
+        hull = convex_hull_lower([(0, 10), (5, 5), (10, 0)])
+        assert (0, 10) in hull and (10, 0) in hull
+
+    def test_interior_point_removed(self):
+        # (5, 6) lies above the segment (0,10)-(10,0).
+        hull = convex_hull_lower([(0, 10), (5, 6), (10, 0)])
+        assert (5, 6) not in hull
+
+    def test_below_segment_point_kept(self):
+        hull = convex_hull_lower([(0, 10), (5, 4), (10, 0)])
+        assert (5, 4) in hull
+
+    def test_small_inputs(self):
+        assert convex_hull_lower([(1, 1)]) == [(1, 1)]
+        assert convex_hull_lower([]) == []
+
+
+def test_pareto_summary_format(paper_burst):
+    text = pareto_summary(paper_burst)
+    assert text.startswith("| transitions | zeros | supported |")
+    # The five Pareto points of Fig. 2 produce five data rows.
+    assert text.count("\n") == 1 + 5

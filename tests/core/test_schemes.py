@@ -1,0 +1,106 @@
+"""Unit tests for the scheme interface, EncodedBurst and the registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.burst import Burst
+from repro.core.costs import CostModel
+from repro.core.schemes import (
+    DbiScheme,
+    EncodedBurst,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
+
+byte_lists = st.lists(st.integers(min_value=0, max_value=255),
+                      min_size=1, max_size=12)
+
+
+class TestEncodedBurst:
+    def test_flag_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedBurst(burst=Burst([1, 2]), invert_flags=(False,))
+
+    def test_words_follow_flags(self):
+        encoded = EncodedBurst(burst=Burst([0x0F, 0x0F]),
+                               invert_flags=(False, True))
+        assert encoded.words == (0x10F, 0x0F0)
+
+    def test_zeros_includes_dbi_lane(self):
+        encoded = EncodedBurst(burst=Burst([0xFF]), invert_flags=(True,))
+        # Inverted 0xFF -> data 0x00 (8 zeros) + DBI zero.
+        assert encoded.zeros() == 9
+
+    def test_transitions_from_idle_high(self):
+        encoded = EncodedBurst(burst=Burst([0x00]), invert_flags=(False,))
+        assert encoded.transitions() == 8
+
+    def test_transitions_with_custom_prev(self):
+        encoded = EncodedBurst(burst=Burst([0x00]), invert_flags=(False,),
+                               prev_word=0x100)
+        assert encoded.transitions() == 0
+
+    def test_cost_uses_model(self):
+        encoded = EncodedBurst(burst=Burst([0x00]), invert_flags=(False,))
+        assert encoded.cost(CostModel(2.0, 1.0)) == 2 * 8 + 1 * 8
+
+    @given(byte_lists, st.lists(st.booleans(), min_size=1, max_size=12))
+    def test_round_trip_any_flags(self, data, flags):
+        if len(flags) != len(data):
+            flags = (flags * len(data))[:len(data)]
+        encoded = EncodedBurst(burst=Burst(data), invert_flags=tuple(flags))
+        assert encoded.decode().data == tuple(data)
+        encoded.verify()
+
+    def test_last_word(self):
+        encoded = EncodedBurst(burst=Burst([0x01, 0x02]),
+                               invert_flags=(False, True))
+        assert encoded.last_word() == (0x02 ^ 0xFF)
+
+    def test_activity_pair_order(self):
+        encoded = EncodedBurst(burst=Burst([0x00]), invert_flags=(False,))
+        transitions, zeros = encoded.activity()
+        assert (transitions, zeros) == (8, 8)
+
+
+class TestRegistry:
+    def test_builtin_schemes_present(self):
+        names = available_schemes()
+        for expected in ("raw", "dbi-dc", "dbi-ac", "dbi-acdc",
+                         "dbi-opt", "dbi-opt-fixed", "dbi-greedy",
+                         "bus-invert"):
+            assert expected in names
+
+    def test_get_scheme_instantiates(self):
+        scheme = get_scheme("dbi-dc")
+        assert isinstance(scheme, DbiScheme)
+        assert scheme.name == "dbi-dc"
+
+    def test_get_scheme_returns_fresh_instances(self):
+        assert get_scheme("dbi-dc") is not get_scheme("dbi-dc")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            get_scheme("nope")
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            register_scheme("", lambda: None)
+
+
+class TestEncodeStream:
+    def test_state_threads_between_bursts(self):
+        scheme = get_scheme("dbi-ac")
+        bursts = [Burst([0x00] * 2), Burst([0x00] * 2)]
+        encoded = scheme.encode_stream(bursts)
+        assert len(encoded) == 2
+        # The second burst must start from the first burst's final word.
+        assert encoded[1].prev_word == encoded[0].last_word()
+
+    def test_stream_round_trips(self):
+        scheme = get_scheme("dbi-opt")
+        bursts = [Burst([i, 255 - i]) for i in range(10)]
+        for encoded in scheme.encode_stream(bursts):
+            encoded.verify()

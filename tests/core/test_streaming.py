@@ -1,0 +1,130 @@
+"""Unit and property tests for the streaming optimal encoder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.burst import Burst, chunk_bytes
+from repro.core.costs import CostModel
+from repro.core.encoder import DbiOptimal
+from repro.core.streaming import (
+    StreamingOptimalEncoder,
+    solve_stream,
+    stream_cost,
+    windowed_stream_cost,
+)
+
+streams = st.lists(st.integers(min_value=0, max_value=255),
+                   min_size=1, max_size=48)
+models = st.floats(min_value=0.05, max_value=0.95).map(
+    CostModel.from_ac_fraction)
+
+
+class TestSolveStream:
+    @settings(max_examples=60, deadline=None)
+    @given(streams, models)
+    def test_flags_achieve_reported_cost(self, data, model):
+        flags, cost = solve_stream(data, model)
+        assert stream_cost(data, flags, model) == pytest.approx(cost)
+
+    @settings(max_examples=60, deadline=None)
+    @given(streams, models)
+    def test_joint_beats_per_burst_chained(self, data, model):
+        """Joint optimisation never loses to chained per-burst optimum."""
+        __, joint = solve_stream(data, model)
+        scheme = DbiOptimal(model)
+        chained = 0.0
+        state = 0x1FF
+        for burst in chunk_bytes(data, 8):
+            encoded = scheme.encode(burst, prev_word=state)
+            chained += encoded.cost(model) - 0.0
+            state = encoded.last_word()
+        # Padding bytes (0xFF) add no cost, so totals are comparable.
+        assert joint <= chained + 1e-9
+
+    def test_joint_strictly_better_sometimes(self):
+        """A concrete stream where per-burst greediness leaves the bus in
+        a bad state for the next burst."""
+        model = CostModel.fixed()
+        # Burst 1 ends with a byte whose optimal polarity flips the bus;
+        # burst 2 starts with data matching the unflipped state.
+        data = [0x00] * 8 + [0xFF] * 8
+        __, joint = solve_stream(data, model)
+        scheme = DbiOptimal(model)
+        state = 0x1FF
+        chained = 0.0
+        for burst in chunk_bytes(data, 8):
+            encoded = scheme.encode(burst, prev_word=state)
+            chained += encoded.cost(model)
+            state = encoded.last_word()
+        assert joint <= chained
+
+    def test_stream_cost_validation(self):
+        with pytest.raises(ValueError):
+            stream_cost([1, 2], [True], CostModel.fixed())
+
+
+class TestStreamingEncoder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingOptimalEncoder(CostModel.fixed(), window=0)
+        with pytest.raises(ValueError):
+            StreamingOptimalEncoder(CostModel.fixed(), window=4, commit=5)
+
+    def test_default_commit_is_half_window(self):
+        encoder = StreamingOptimalEncoder(CostModel.fixed(), window=8)
+        assert encoder.commit == 4
+
+    @settings(max_examples=40, deadline=None)
+    @given(streams, st.integers(min_value=1, max_value=12))
+    def test_emits_every_byte_exactly_once(self, data, window):
+        encoder = StreamingOptimalEncoder(CostModel.fixed(), window=window)
+        out = encoder.push(data) + encoder.flush()
+        assert [byte for byte, __ in out] == list(data)
+        assert encoder.committed_bytes == len(data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(streams, st.integers(min_value=1, max_value=12))
+    def test_committed_cost_is_consistent(self, data, window):
+        model = CostModel.fixed()
+        encoder = StreamingOptimalEncoder(model, window=window)
+        out = encoder.push(data) + encoder.flush()
+        flags = [flag for __, flag in out]
+        assert encoder.committed_cost == pytest.approx(
+            stream_cost(data, flags, model))
+
+    def test_flush_empty(self):
+        encoder = StreamingOptimalEncoder(CostModel.fixed())
+        assert encoder.flush() == []
+
+    def test_full_window_equals_joint_optimum(self):
+        model = CostModel.fixed()
+        data = list(range(32))
+        __, optimum = solve_stream(data, model)
+        cost = windowed_stream_cost(data, model, window=len(data),
+                                    commit=len(data))
+        assert cost == pytest.approx(optimum)
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams)
+    def test_window_never_beats_optimum(self, data):
+        model = CostModel.fixed()
+        __, optimum = solve_stream(data, model)
+        for window in (1, 4, 8):
+            cost = windowed_stream_cost(data, model, window=window)
+            assert cost >= optimum - 1e-9
+
+    def test_larger_windows_help_on_average(self, medium_random_bursts):
+        model = CostModel.fixed()
+        data = [byte for burst in medium_random_bursts[:40] for byte in burst]
+        costs = [windowed_stream_cost(data, model, window=w)
+                 for w in (1, 4, 16)]
+        assert costs[0] >= costs[1] >= costs[2]
+
+    def test_bus_state_tracks_last_committed_word(self):
+        model = CostModel.fixed()
+        encoder = StreamingOptimalEncoder(model, window=2, commit=2)
+        out = encoder.push([0x00, 0x00])
+        assert len(out) == 2
+        from repro.core.bitops import make_word
+        assert encoder.bus_state == make_word(0x00, out[-1][1])

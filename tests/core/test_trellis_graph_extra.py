@@ -1,0 +1,66 @@
+"""Additional coverage for the explicit trellis graph artefacts."""
+
+import pytest
+
+from repro.core.burst import Burst
+from repro.core.costs import CostModel
+from repro.core.trellis import (
+    END_NODE,
+    START_NODE,
+    TrellisGraph,
+    flags_from_path,
+    node_name,
+    solve_on_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    return TrellisGraph(burst=Burst([0x0F, 0xF0]), model=CostModel.fixed())
+
+
+def test_node_name_format():
+    assert node_name(3, False) == "byte3:raw"
+    assert node_name(0, True) == "byte0:inv"
+
+
+def test_edge_words_recorded(graph):
+    for edge in graph.edges:
+        if edge.target == END_NODE:
+            assert edge.word is None
+        else:
+            assert edge.word is not None
+            assert 0 <= edge.word <= 0x1FF
+
+
+def test_missing_edge_raises(graph):
+    with pytest.raises(KeyError):
+        graph.edge_weight(START_NODE, END_NODE)
+
+
+def test_invalid_prev_word_rejected():
+    with pytest.raises(ValueError):
+        TrellisGraph(burst=Burst([1]), model=CostModel.fixed(),
+                     prev_word=0x3FF)
+
+
+def test_flags_from_path_skips_virtual_nodes():
+    path = [START_NODE, node_name(0, True), node_name(1, False), END_NODE]
+    assert flags_from_path(path) == (True, False)
+
+
+def test_single_byte_graph_solvable():
+    graph = TrellisGraph(burst=Burst([0x00]), model=CostModel.dc_only())
+    path, cost = solve_on_graph(graph)
+    assert flags_from_path(path) == (True,)
+    assert cost == 1.0
+
+
+def test_custom_boundary_changes_weights():
+    burst = Burst([0x00])
+    model = CostModel.ac_only()
+    from_idle = TrellisGraph(burst=burst, model=model, prev_word=0x1FF)
+    from_low = TrellisGraph(burst=burst, model=model, prev_word=0x000)
+    raw_node = node_name(0, False)
+    assert (from_idle.edge_weight(START_NODE, raw_node)
+            != from_low.edge_weight(START_NODE, raw_node))

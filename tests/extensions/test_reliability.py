@@ -1,0 +1,106 @@
+"""Unit and property tests for reliability analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DbiAc, DbiDc, Raw
+from repro.core.burst import Burst
+from repro.core.costs import CostModel
+from repro.core.encoder import DbiOptimal
+from repro.core.schemes import get_scheme
+from repro.extensions.reliability import (
+    decode_with_faults,
+    error_amplification,
+    fault_sweep,
+    wrong_decision_is_harmless,
+)
+
+bursts = st.lists(st.integers(min_value=0, max_value=255),
+                  min_size=1, max_size=12).map(Burst)
+
+
+class TestDecodeWithFaults:
+    def test_no_faults_round_trip(self):
+        encoded = DbiDc().encode(Burst([0x12, 0x34]))
+        decoded = decode_with_faults(encoded.words, [0, 0])
+        assert decoded.data == (0x12, 0x34)
+
+    def test_mask_length_checked(self):
+        encoded = DbiDc().encode(Burst([0x12]))
+        with pytest.raises(ValueError):
+            decode_with_faults(encoded.words, [0, 0])
+
+    def test_mask_range_checked(self):
+        encoded = DbiDc().encode(Burst([0x12]))
+        with pytest.raises(ValueError):
+            decode_with_faults(encoded.words, [0x200])
+
+    def test_dbi_lane_fault_complements_byte(self):
+        encoded = Raw().encode(Burst([0x0F]))
+        decoded = decode_with_faults(encoded.words, [0x100])
+        assert decoded.data == (0xF0,)
+
+
+class TestErrorAmplification:
+    @settings(max_examples=60, deadline=None)
+    @given(bursts, st.integers(min_value=0, max_value=7))
+    def test_data_lane_fault_is_single_bit(self, burst, lane):
+        """A data-lane fault corrupts exactly one decoded bit."""
+        encoded = DbiDc().encode(burst)
+        for beat in range(len(burst)):
+            assert error_amplification(encoded, beat, lane) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(bursts)
+    def test_dbi_lane_fault_is_eight_bits(self, burst):
+        """A DBI-lane fault complements the whole decoded byte."""
+        encoded = DbiAc().encode(burst)
+        for beat in range(len(burst)):
+            assert error_amplification(encoded, beat, 8) == 8
+
+    def test_bounds_checked(self):
+        encoded = Raw().encode(Burst([1]))
+        with pytest.raises(ValueError):
+            error_amplification(encoded, 0, 9)
+        with pytest.raises(IndexError):
+            error_amplification(encoded, 1, 0)
+
+
+class TestWrongDecisionHarmless:
+    @settings(max_examples=40, deadline=None)
+    @given(bursts)
+    def test_every_scheme(self, burst):
+        """The paper's analog-implementation premise: mis-decided invert
+        flags never corrupt data, for any scheme."""
+        for name in ("raw", "dbi-dc", "dbi-ac", "dbi-opt"):
+            assert wrong_decision_is_harmless(burst, get_scheme(name))
+
+
+class TestFaultSweep:
+    @pytest.fixture(scope="class")
+    def population(self):
+        from repro.workloads.random_data import random_bursts
+        return random_bursts(count=300, seed=55)
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            fault_sweep(DbiDc(), population, faults_per_burst=0)
+
+    def test_amplification_statistics(self, population):
+        """Uniform single-lane faults amplify by (8*1 + 1*8)/9 ~ 1.78 on
+        a DBI bus (vs exactly 1.0 without DBI)."""
+        stats = fault_sweep(DbiOptimal(CostModel.fixed()), population,
+                            faults_per_burst=2, seed=3)
+        assert stats.injected_faults == 600
+        assert stats.mean_amplification == pytest.approx(16 / 9, rel=0.15)
+
+    def test_dbi_amplification_exact(self, population):
+        stats = fault_sweep(DbiDc(), population, seed=11)
+        if stats.dbi_lane_faults:
+            assert stats.dbi_amplification == 8.0
+
+    def test_deterministic(self, population):
+        a = fault_sweep(DbiDc(), population[:50], seed=9)
+        b = fault_sweep(DbiDc(), population[:50], seed=9)
+        assert a == b

@@ -1,0 +1,47 @@
+"""Unit tests for activity stimulus helpers."""
+
+import pytest
+
+from repro.core.burst import Burst
+from repro.hw.activity import (
+    burst_to_vector,
+    measure_activity,
+    vectors_from_bursts,
+)
+from repro.hw.encoders import build_dc_encoder
+
+
+def test_burst_to_vector_contract():
+    vector = burst_to_vector(Burst([1, 2, 3]))
+    assert vector == {"byte0": 1, "byte1": 2, "byte2": 3, "prev_word": 0x1FF}
+
+
+def test_burst_to_vector_with_coefficients():
+    vector = burst_to_vector(Burst([1]), alpha=3, beta=5)
+    assert vector["alpha"] == 3
+    assert vector["beta"] == 5
+
+
+def test_vectors_from_bursts_length():
+    bursts = [Burst([1] * 8)] * 4
+    assert len(vectors_from_bursts(bursts)) == 4
+
+
+def test_measure_activity_runs():
+    netlist = build_dc_encoder(8)
+    report = measure_activity(netlist, n_bursts=20)
+    assert report.n_cycles == 19
+    assert report.switching_energy_per_cycle_j() > 0
+    assert 0 < report.mean_toggle_rate() < 1
+
+
+def test_measure_activity_deterministic():
+    netlist = build_dc_encoder(8)
+    a = measure_activity(netlist, n_bursts=15, seed=7)
+    b = measure_activity(netlist, n_bursts=15, seed=7)
+    assert a.gate_toggles == b.gate_toggles
+
+
+def test_measure_activity_validation():
+    with pytest.raises(ValueError):
+        measure_activity(build_dc_encoder(8), n_bursts=1)

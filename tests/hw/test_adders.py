@@ -1,0 +1,111 @@
+"""Tests for the adder-architecture option (ripple vs carry-select)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.burst import Burst
+from repro.core.costs import CostModel
+from repro.core.schemes import EncodedBurst
+from repro.core.trellis import solve
+from repro.hw.activity import netlist_invert_flags
+from repro.hw.components import add_many, carry_select_adder, ripple_adder
+from repro.hw.encoders import build_opt_encoder
+from repro.hw.netlist import Netlist
+
+
+class TestCarrySelectAdder:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255),
+           st.sampled_from((1, 2, 3, 4, 8)))
+    def test_matches_ripple(self, a, b, block):
+        nl = Netlist("cs")
+        a_bits = nl.add_input("a", 8)
+        b_bits = nl.add_input("b", 8)
+        out = carry_select_adder(nl, a_bits, b_bits, width=8, block=block)
+        nl.mark_output("s", out)
+        assert nl.evaluate({"a": a, "b": b})["s"] == (a + b) & 0xFF
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=255))
+    def test_mixed_width_operands(self, a, b):
+        nl = Netlist("cs")
+        a_bits = nl.add_input("a", 4)
+        b_bits = nl.add_input("b", 8)
+        out = carry_select_adder(nl, a_bits, b_bits, width=9)
+        nl.mark_output("s", out)
+        assert nl.evaluate({"a": a, "b": b})["s"] == a + b
+
+    def test_validation(self):
+        nl = Netlist("cs")
+        bits = nl.add_input("a", 4)
+        with pytest.raises(ValueError):
+            carry_select_adder(nl, bits, bits, width=0)
+        with pytest.raises(ValueError):
+            carry_select_adder(nl, bits, bits, width=4, block=0)
+
+    def test_standalone_speedup(self):
+        """With simultaneously arriving inputs, carry-select is faster
+        (shorter carry chain) at a gate-count premium."""
+        def build(fn):
+            nl = Netlist("t")
+            a = nl.add_input("a", 8)
+            b = nl.add_input("b", 8)
+            nl.mark_output("s", fn(nl, a, b))
+            return nl
+        ripple = build(lambda nl, a, b: ripple_adder(nl, a, b, width=8))
+        select = build(lambda nl, a, b: carry_select_adder(nl, a, b, 8))
+        assert select.critical_path_ps() < ripple.critical_path_ps()
+        assert select.n_gates > ripple.n_gates
+
+
+class TestAddManyArchitectures:
+    def test_unknown_architecture(self):
+        nl = Netlist("t")
+        bits = nl.add_input("a", 4)
+        with pytest.raises(ValueError):
+            add_many(nl, [bits], width=4, adder="kogge-stone")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=2,
+                    max_size=4))
+    def test_architectures_agree(self, values):
+        results = {}
+        for adder in ("ripple", "carry-select"):
+            nl = Netlist(adder)
+            operands = []
+            assignment = {}
+            for index, value in enumerate(values):
+                operands.append(nl.add_input(f"v{index}", 6))
+                assignment[f"v{index}"] = value
+            nl.mark_output("s", add_many(nl, operands, width=10, adder=adder))
+            results[adder] = nl.evaluate(assignment)["s"]
+        assert results["ripple"] == results["carry-select"] == sum(values)
+
+
+class TestEncoderAdderOption:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255),
+                    min_size=8, max_size=8).map(Burst))
+    def test_carry_select_encoder_still_optimal(self, burst):
+        netlist = build_opt_encoder(8, adder="carry-select")
+        model = CostModel.fixed()
+        flags = netlist_invert_flags(netlist, burst)
+        assert (EncodedBurst(burst=burst, invert_flags=flags).cost(model)
+                == solve(burst, model).total_cost)
+
+    def test_name_reflects_architecture(self):
+        assert build_opt_encoder(8, adder="carry-select").name \
+            == "dbi-opt-fixed-carry-select"
+
+    def test_chain_skew_negates_carry_select(self):
+        """The interesting negative result: the cost accumulator arrives
+        with a carry-shaped skew (low bits early, high bits late), which a
+        ripple adder absorbs for free; carry-select re-serialises after
+        the late bits and ends up no faster on the chain."""
+        ripple = build_opt_encoder(8, adder="ripple")
+        select = build_opt_encoder(8, adder="carry-select")
+        assert ripple.critical_path_ps() <= select.critical_path_ps()
+        assert select.n_gates > ripple.n_gates

@@ -1,0 +1,75 @@
+"""Unit tests for the standard-cell library."""
+
+import itertools
+
+import pytest
+
+from repro.hw.cells import DFF, LIBRARY, get_cell
+
+
+class TestLibrary:
+    def test_core_cells_present(self):
+        for name in ("INV", "NAND2", "NOR2", "AND2", "OR2", "XOR2",
+                     "XNOR2", "MUX2"):
+            assert name in LIBRARY
+
+    def test_get_cell_unknown(self):
+        with pytest.raises(KeyError, match="unknown cell"):
+            get_cell("NAND9")
+
+    def test_all_parameters_positive(self):
+        for cell in LIBRARY.values():
+            assert cell.area_um2 > 0
+            assert cell.leakage_nw > 0
+            assert cell.toggle_energy_fj > 0
+            assert cell.delay_ps > 0
+
+    def test_unit_conversions(self):
+        inv = get_cell("INV")
+        assert inv.leakage_w == pytest.approx(inv.leakage_nw * 1e-9)
+        assert inv.toggle_energy_j == pytest.approx(inv.toggle_energy_fj * 1e-15)
+        assert inv.delay_s == pytest.approx(inv.delay_ps * 1e-12)
+
+
+class TestTruthTables:
+    def test_inv(self):
+        inv = get_cell("INV")
+        assert inv.evaluate(0) == 1
+        assert inv.evaluate(1) == 0
+
+    @pytest.mark.parametrize("name,function", [
+        ("NAND2", lambda a, b: 1 - (a & b)),
+        ("NOR2", lambda a, b: 1 - (a | b)),
+        ("AND2", lambda a, b: a & b),
+        ("OR2", lambda a, b: a | b),
+        ("XOR2", lambda a, b: a ^ b),
+        ("XNOR2", lambda a, b: 1 - (a ^ b)),
+    ])
+    def test_two_input_cells(self, name, function):
+        cell = get_cell(name)
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert cell.evaluate(a, b) == function(a, b)
+
+    def test_mux2(self):
+        mux = get_cell("MUX2")
+        for d0, d1, s in itertools.product((0, 1), repeat=3):
+            assert mux.evaluate(d0, d1, s) == (d1 if s else d0)
+
+    def test_aoi_oai(self):
+        aoi = get_cell("AOI21")
+        oai = get_cell("OAI21")
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert aoi.evaluate(a, b, c) == 1 - ((a & b) | c)
+            assert oai.evaluate(a, b, c) == 1 - ((a | b) & c)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            get_cell("NAND2").evaluate(1)
+
+
+class TestRelativeCosts:
+    def test_xor_larger_than_nand(self):
+        assert get_cell("XOR2").area_um2 > get_cell("NAND2").area_um2
+
+    def test_dff_is_largest(self):
+        assert DFF.area_um2 > max(cell.area_um2 for cell in LIBRARY.values())

@@ -1,0 +1,210 @@
+"""Bit-true property tests for the datapath components."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.components import (
+    add_many,
+    full_adder,
+    half_adder,
+    less_than,
+    min_select,
+    multiply,
+    mux_bus,
+    popcount,
+    ripple_adder,
+    subtract_from_const,
+    xor_bus,
+    xor_with_bit,
+)
+from repro.hw.netlist import Netlist
+
+
+def _run(nl, outputs_name, bits, assignment):
+    nl.mark_output(outputs_name, bits)
+    return nl.evaluate(assignment)[outputs_name]
+
+
+class TestAdders:
+    def test_half_adder_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                nl = Netlist("ha")
+                an, = nl.add_input("a", 1)
+                bn, = nl.add_input("b", 1)
+                s, c = half_adder(nl, an, bn)
+                nl.mark_output("s", [s, c])
+                out = nl.evaluate({"a": a, "b": b})["s"]
+                assert out == a + b
+
+    def test_full_adder_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    nl = Netlist("fa")
+                    an, = nl.add_input("a", 1)
+                    bn, = nl.add_input("b", 1)
+                    cn, = nl.add_input("c", 1)
+                    s, c = full_adder(nl, an, bn, cn)
+                    nl.mark_output("s", [s, c])
+                    assert nl.evaluate({"a": a, "b": b, "c": cin})["s"] == a + b + cin
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_ripple_adder(self, a, b):
+        nl = Netlist("add")
+        a_bits = nl.add_input("a", 8)
+        b_bits = nl.add_input("b", 8)
+        total = ripple_adder(nl, a_bits, b_bits)
+        assert _run(nl, "sum", total, {"a": a, "b": b}) == a + b
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=255))
+    def test_mixed_width_adder(self, a, b):
+        nl = Netlist("add")
+        a_bits = nl.add_input("a", 4)
+        b_bits = nl.add_input("b", 8)
+        total = ripple_adder(nl, a_bits, b_bits)
+        assert _run(nl, "sum", total, {"a": a, "b": b}) == a + b
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=4))
+    def test_add_many(self, values):
+        nl = Netlist("addmany")
+        operands = []
+        assignment = {}
+        for index, value in enumerate(values):
+            bits = nl.add_input(f"v{index}", 6)
+            operands.append(bits)
+            assignment[f"v{index}"] = value
+        total = add_many(nl, operands, width=10)
+        assert _run(nl, "sum", total, assignment) == sum(values)
+
+
+class TestPopcount:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=255))
+    def test_popcount8(self, value):
+        nl = Netlist("pc")
+        bits = nl.add_input("x", 8)
+        count = popcount(nl, bits)
+        assert len(count) == 4
+        assert _run(nl, "count", count, {"x": value}) == bin(value).count("1")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=4095))
+    def test_popcount_any_width(self, width, value):
+        value &= (1 << width) - 1
+        nl = Netlist("pc")
+        bits = nl.add_input("x", width)
+        count = popcount(nl, bits)
+        assert _run(nl, "count", count, {"x": value}) == bin(value).count("1")
+
+
+class TestBitwiseBanks:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_xor_bus(self, a, b):
+        nl = Netlist("xor")
+        a_bits = nl.add_input("a", 8)
+        b_bits = nl.add_input("b", 8)
+        assert _run(nl, "y", xor_bus(nl, a_bits, b_bits),
+                    {"a": a, "b": b}) == a ^ b
+
+    def test_xor_bus_width_mismatch(self):
+        nl = Netlist("xor")
+        a_bits = nl.add_input("a", 4)
+        b_bits = nl.add_input("b", 8)
+        with pytest.raises(ValueError):
+            xor_bus(nl, a_bits, b_bits)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=255), st.booleans())
+    def test_xor_with_bit(self, value, control):
+        nl = Netlist("inv")
+        bits = nl.add_input("x", 8)
+        ctrl, = nl.add_input("c", 1)
+        expected = value ^ 0xFF if control else value
+        assert _run(nl, "y", xor_with_bit(nl, bits, ctrl),
+                    {"x": value, "c": int(control)}) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255), st.booleans())
+    def test_mux_bus(self, a, b, select):
+        nl = Netlist("mux")
+        a_bits = nl.add_input("a", 8)
+        b_bits = nl.add_input("b", 8)
+        s, = nl.add_input("s", 1)
+        expected = b if select else a
+        assert _run(nl, "y", mux_bus(nl, a_bits, b_bits, s),
+                    {"a": a, "b": b, "s": int(select)}) == expected
+
+
+class TestComparison:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_less_than(self, a, b):
+        nl = Netlist("lt")
+        a_bits = nl.add_input("a", 8)
+        b_bits = nl.add_input("b", 8)
+        lt = less_than(nl, a_bits, b_bits)
+        assert _run(nl, "lt", [lt], {"a": a, "b": b}) == int(a < b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=255))
+    def test_less_than_mixed_width(self, a, b):
+        nl = Netlist("lt")
+        a_bits = nl.add_input("a", 4)
+        b_bits = nl.add_input("b", 8)
+        lt = less_than(nl, a_bits, b_bits)
+        assert _run(nl, "lt", [lt], {"a": a, "b": b}) == int(a < b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_min_select(self, a, b):
+        nl = Netlist("min")
+        a_bits = nl.add_input("a", 8)
+        b_bits = nl.add_input("b", 8)
+        minimum, selector = min_select(nl, a_bits, b_bits)
+        nl.mark_output("min", minimum)
+        nl.mark_output("sel", [selector])
+        out = nl.evaluate({"a": a, "b": b})
+        assert out["min"] == min(a, b)
+        assert out["sel"] == int(b < a)
+
+
+class TestSubtractAndMultiply:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=8))
+    def test_subtract_from_const(self, x):
+        nl = Netlist("sub")
+        bits = nl.add_input("x", 4)
+        result = subtract_from_const(nl, 9, bits, 4)
+        assert _run(nl, "y", result, {"x": x}) == 9 - x
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=7))
+    def test_multiply(self, a, b):
+        nl = Netlist("mul")
+        a_bits = nl.add_input("a", 4)
+        b_bits = nl.add_input("b", 3)
+        product = multiply(nl, a_bits, b_bits)
+        assert len(product) == 7
+        assert _run(nl, "p", product, {"a": a, "b": b}) == a * b
+
+    def test_multiply_empty_rejected(self):
+        nl = Netlist("mul")
+        bits = nl.add_input("a", 2)
+        with pytest.raises(ValueError):
+            multiply(nl, bits, [])

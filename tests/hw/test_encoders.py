@@ -1,0 +1,182 @@
+"""Functional-equivalence tests: gate-level encoders vs algorithmic ones.
+
+The central hardware claim of the paper is that Fig. 5 computes exactly
+the trellis optimum.  These tests hold the structural netlists to that
+standard on random and directed stimuli.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DbiAc, DbiDc
+from repro.core.burst import Burst, PAPER_FIG2_BURST
+from repro.core.costs import CostModel
+from repro.core.schemes import EncodedBurst
+from repro.core.trellis import solve
+from repro.hw.activity import encode_with_netlist, netlist_invert_flags
+from repro.hw.encoders import (
+    build_ac_encoder,
+    build_dc_encoder,
+    build_decoder,
+    build_opt_encoder,
+)
+
+bursts8 = st.lists(st.integers(min_value=0, max_value=255),
+                   min_size=8, max_size=8).map(Burst)
+words = st.integers(min_value=0, max_value=0x1FF)
+
+
+@pytest.fixture(scope="module")
+def dc_netlist():
+    return build_dc_encoder(8)
+
+
+@pytest.fixture(scope="module")
+def ac_netlist():
+    return build_ac_encoder(8)
+
+
+@pytest.fixture(scope="module")
+def opt_netlist():
+    return build_opt_encoder(8)
+
+
+@pytest.fixture(scope="module")
+def opt_q3_netlist():
+    return build_opt_encoder(8, coefficient_bits=3)
+
+
+class TestDcEncoder:
+    @settings(max_examples=60, deadline=None)
+    @given(bursts8)
+    def test_matches_algorithm(self, dc_netlist, burst):
+        assert (netlist_invert_flags(dc_netlist, burst)
+                == DbiDc().encode(burst).invert_flags)
+
+    def test_words_match(self, dc_netlist):
+        burst = PAPER_FIG2_BURST
+        outputs = encode_with_netlist(dc_netlist, burst)
+        expected = DbiDc().encode(burst).words
+        for index in range(8):
+            assert outputs[f"word{index}"] == expected[index]
+
+
+class TestAcEncoder:
+    @settings(max_examples=60, deadline=None)
+    @given(bursts8, words)
+    def test_matches_algorithm_any_boundary(self, ac_netlist, burst, prev):
+        assert (netlist_invert_flags(ac_netlist, burst, prev_word=prev)
+                == DbiAc().encode(burst, prev_word=prev).invert_flags)
+
+
+class TestOptEncoder:
+    @settings(max_examples=60, deadline=None)
+    @given(bursts8)
+    def test_cost_optimal(self, opt_netlist, burst):
+        """The hardware must achieve the trellis-optimal cost (ties may
+        resolve differently in backtracking order)."""
+        model = CostModel.fixed()
+        flags = netlist_invert_flags(opt_netlist, burst)
+        hw_cost = EncodedBurst(burst=burst, invert_flags=flags).cost(model)
+        assert hw_cost == solve(burst, model).total_cost
+
+    @settings(max_examples=40, deadline=None)
+    @given(bursts8, words)
+    def test_cost_optimal_any_boundary(self, opt_netlist, burst, prev):
+        model = CostModel.fixed()
+        flags = netlist_invert_flags(opt_netlist, burst, prev_word=prev)
+        hw_cost = EncodedBurst(burst=burst, invert_flags=flags,
+                               prev_word=prev).cost(model)
+        assert hw_cost == solve(burst, model, prev_word=prev).total_cost
+
+    def test_cost_outputs_match_dp(self, opt_netlist):
+        """The exported cost/cost_inv buses equal the DP accumulators."""
+        burst = PAPER_FIG2_BURST
+        outputs = encode_with_netlist(opt_netlist, burst)
+        solution = solve(burst, CostModel.fixed())
+        final_raw, final_inv = solution.step_costs[-1]
+        assert outputs["cost"] == final_raw
+        assert outputs["cost_inv"] == final_inv
+
+    def test_paper_example_cost(self, opt_netlist):
+        flags = netlist_invert_flags(opt_netlist, PAPER_FIG2_BURST)
+        cost = EncodedBurst(burst=PAPER_FIG2_BURST,
+                            invert_flags=flags).cost(CostModel.fixed())
+        assert cost == 52
+
+
+class TestConfigurableEncoder:
+    @settings(max_examples=30, deadline=None)
+    @given(bursts8)
+    def test_unit_coefficients_match_fixed(self, opt_netlist, opt_q3_netlist,
+                                           burst):
+        fixed = netlist_invert_flags(opt_netlist, burst)
+        configurable = netlist_invert_flags(opt_q3_netlist, burst,
+                                            alpha=1, beta=1)
+        assert fixed == configurable
+
+    @settings(max_examples=25, deadline=None)
+    @given(bursts8,
+           st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=7))
+    def test_arbitrary_coefficients_optimal(self, opt_q3_netlist, burst,
+                                            alpha, beta):
+        if alpha == 0 and beta == 0:
+            alpha = 1
+        model = CostModel(float(alpha), float(beta))
+        flags = netlist_invert_flags(opt_q3_netlist, burst,
+                                     alpha=alpha, beta=beta)
+        hw_cost = EncodedBurst(burst=burst, invert_flags=flags).cost(model)
+        assert hw_cost == solve(burst, model).total_cost
+
+    def test_dc_extreme(self, opt_q3_netlist):
+        """alpha=0, beta=7: the configurable encoder acts like DBI DC."""
+        model = CostModel(0.0, 7.0)
+        burst = Burst([0x03] * 8)  # 6 zeros each: must invert
+        flags = netlist_invert_flags(opt_q3_netlist, burst, alpha=0, beta=7)
+        assert EncodedBurst(burst=burst, invert_flags=flags).cost(model) == \
+            solve(burst, model).total_cost
+        assert all(flags)
+
+
+class TestDecoder:
+    @settings(max_examples=40, deadline=None)
+    @given(bursts8)
+    def test_decodes_every_scheme(self, burst):
+        decoder = build_decoder(8)
+        for scheme in (DbiDc(), DbiAc()):
+            encoded = scheme.encode(burst)
+            assignment = {f"word{i}": word
+                          for i, word in enumerate(encoded.words)}
+            outputs = decoder.evaluate(assignment)
+            decoded = tuple(outputs[f"byte{i}"] for i in range(8))
+            assert decoded == burst.data
+
+
+class TestStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_dc_encoder(0)
+        with pytest.raises(ValueError):
+            build_opt_encoder(8, coefficient_bits=0)
+
+    def test_burst_length_parameterisation(self):
+        for length in (1, 4, 16):
+            netlist = build_opt_encoder(length)
+            burst = Burst(list(range(length)))
+            flags = netlist_invert_flags(netlist, burst)
+            model = CostModel.fixed()
+            assert (EncodedBurst(burst=burst, invert_flags=flags).cost(model)
+                    == solve(burst, model).total_cost)
+
+    def test_relative_sizes_match_paper_ordering(self, dc_netlist, ac_netlist,
+                                                 opt_netlist, opt_q3_netlist):
+        """Table I's area ordering emerges from the gate counts."""
+        assert (dc_netlist.area_um2() < ac_netlist.area_um2()
+                < opt_netlist.area_um2() < opt_q3_netlist.area_um2())
+
+    def test_dc_is_shallow_opt_is_deep(self, dc_netlist, opt_netlist):
+        """DBI DC is byte-parallel; OPT carries a serial chain across the
+        burst — visible as an order-of-magnitude depth gap."""
+        assert opt_netlist.logic_depth() > 5 * dc_netlist.logic_depth()

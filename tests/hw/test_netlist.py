@@ -1,0 +1,143 @@
+"""Unit tests for the netlist container and simulator."""
+
+import pytest
+
+from repro.hw.netlist import CONST0, CONST1, Netlist
+
+
+@pytest.fixture
+def xor_netlist():
+    nl = Netlist("xor")
+    a, = nl.add_input("a", 1)
+    b, = nl.add_input("b", 1)
+    nl.mark_output("y", [nl.gate("XOR2", a, b)])
+    return nl
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a", 1)
+        with pytest.raises(ValueError):
+            nl.add_input("a", 2)
+
+    def test_duplicate_output_rejected(self, xor_netlist):
+        with pytest.raises(ValueError):
+            xor_netlist.mark_output("y", [CONST0])
+
+    def test_zero_width_input_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("t").add_input("a", 0)
+
+    def test_gate_arity_checked(self):
+        nl = Netlist("t")
+        a, = nl.add_input("a", 1)
+        with pytest.raises(ValueError):
+            nl.gate("NAND2", a)
+
+    def test_undefined_net_rejected(self):
+        nl = Netlist("t")
+        with pytest.raises(ValueError):
+            nl.gate("INV", 99)
+
+    def test_constants(self):
+        nl = Netlist("t")
+        nets = nl.constant(0b101, 3)
+        assert nets == [CONST1, CONST0, CONST1]
+
+    def test_constant_overflow(self):
+        with pytest.raises(ValueError):
+            Netlist("t").constant(8, 3)
+
+
+class TestEvaluation:
+    def test_xor_truth_table(self, xor_netlist):
+        for a in (0, 1):
+            for b in (0, 1):
+                assert xor_netlist.evaluate({"a": a, "b": b})["y"] == a ^ b
+
+    def test_missing_input_rejected(self, xor_netlist):
+        with pytest.raises(KeyError):
+            xor_netlist.evaluate({"a": 1})
+
+    def test_input_overflow_rejected(self, xor_netlist):
+        with pytest.raises(ValueError):
+            xor_netlist.evaluate({"a": 2, "b": 0})
+
+    def test_bus_packing(self):
+        nl = Netlist("bus")
+        bits = nl.add_input("data", 4)
+        nl.mark_output("inverted", [nl.gate("INV", bit) for bit in bits])
+        assert nl.evaluate({"data": 0b0101})["inverted"] == 0b1010
+
+    def test_constant_nets_in_logic(self):
+        nl = Netlist("c")
+        a, = nl.add_input("a", 1)
+        nl.mark_output("y", [nl.gate("AND2", a, CONST1)])
+        assert nl.evaluate({"a": 1})["y"] == 1
+        assert nl.evaluate({"a": 0})["y"] == 0
+
+
+class TestStaticQueries:
+    def test_counts_and_area(self, xor_netlist):
+        assert xor_netlist.n_gates == 1
+        assert xor_netlist.cell_counts() == {"XOR2": 1}
+        from repro.hw.cells import get_cell
+        assert xor_netlist.area_um2() == pytest.approx(get_cell("XOR2").area_um2)
+        assert xor_netlist.leakage_w() == pytest.approx(get_cell("XOR2").leakage_w)
+
+    def test_critical_path_single_gate(self, xor_netlist):
+        from repro.hw.cells import get_cell
+        assert xor_netlist.critical_path_ps() == pytest.approx(
+            get_cell("XOR2").delay_ps)
+
+    def test_critical_path_chain(self):
+        nl = Netlist("chain")
+        a, = nl.add_input("a", 1)
+        net = a
+        for _ in range(5):
+            net = nl.gate("INV", net)
+        nl.mark_output("y", [net])
+        from repro.hw.cells import get_cell
+        assert nl.critical_path_ps() == pytest.approx(5 * get_cell("INV").delay_ps)
+        assert nl.logic_depth() == 5
+
+    def test_critical_path_takes_longest_branch(self):
+        nl = Netlist("branch")
+        a, = nl.add_input("a", 1)
+        short = nl.gate("INV", a)
+        long = nl.gate("XOR2", nl.gate("INV", nl.gate("INV", a)), a)
+        nl.mark_output("y", [nl.gate("AND2", short, long)])
+        from repro.hw.cells import get_cell
+        inv, xor2, and2 = (get_cell("INV").delay_ps,
+                           get_cell("XOR2").delay_ps,
+                           get_cell("AND2").delay_ps)
+        assert nl.critical_path_ps() == pytest.approx(2 * inv + xor2 + and2)
+
+
+class TestActivity:
+    def test_needs_two_vectors(self, xor_netlist):
+        with pytest.raises(ValueError):
+            xor_netlist.simulate_activity([{"a": 0, "b": 0}])
+
+    def test_toggle_counting(self, xor_netlist):
+        report = xor_netlist.simulate_activity([
+            {"a": 0, "b": 0},  # y = 0
+            {"a": 1, "b": 0},  # y = 1 (toggle)
+            {"a": 1, "b": 1},  # y = 0 (toggle)
+            {"a": 0, "b": 1},  # y = 1 (toggle)
+        ])
+        assert report.gate_toggles == [3]
+        assert report.n_cycles == 3
+
+    def test_energy_per_cycle(self, xor_netlist):
+        from repro.hw.cells import get_cell
+        report = xor_netlist.simulate_activity([
+            {"a": 0, "b": 0}, {"a": 1, "b": 0}])
+        assert report.switching_energy_per_cycle_j() == pytest.approx(
+            get_cell("XOR2").toggle_energy_j)
+
+    def test_static_input_no_energy(self, xor_netlist):
+        report = xor_netlist.simulate_activity([{"a": 1, "b": 0}] * 5)
+        assert report.switching_energy_per_cycle_j() == 0.0
+        assert report.mean_toggle_rate() == 0.0

@@ -1,0 +1,78 @@
+"""Unit tests for the pipeline cut analysis."""
+
+import pytest
+
+from repro.hw.cells import REGISTER_OVERHEAD_PS
+from repro.hw.encoders import build_ac_encoder, build_dc_encoder, build_opt_encoder
+from repro.hw.netlist import Netlist
+from repro.hw.pipeline import PipelinePlan, plan_pipeline, stages_for_frequency
+
+
+@pytest.fixture(scope="module")
+def opt_netlist():
+    return build_opt_encoder(8)
+
+
+class TestPlanPipeline:
+    def test_validation(self, opt_netlist):
+        with pytest.raises(ValueError):
+            plan_pipeline(opt_netlist, 0)
+
+    def test_single_stage_is_combinational(self, opt_netlist):
+        plan = plan_pipeline(opt_netlist, 1)
+        assert plan.stages == 1
+        assert plan.cut_widths == ()
+        assert plan.cycle_time_ps == pytest.approx(
+            opt_netlist.critical_path_ps() + REGISTER_OVERHEAD_PS)
+
+    def test_more_stages_reduce_cycle_time(self, opt_netlist):
+        times = [plan_pipeline(opt_netlist, stages).cycle_time_ps
+                 for stages in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+    def test_stage_delays_cover_critical_path(self, opt_netlist):
+        plan = plan_pipeline(opt_netlist, 4)
+        assert len(plan.stage_delays_ps) == 4
+        # No stage can be faster than path/stages (balancing bound).
+        assert max(plan.stage_delays_ps) >= \
+            opt_netlist.critical_path_ps() / 4 - 1e-9
+
+    def test_cut_widths_positive(self, opt_netlist):
+        plan = plan_pipeline(opt_netlist, 4)
+        assert len(plan.cut_widths) == 3
+        assert all(width > 0 for width in plan.cut_widths)
+        assert plan.total_register_bits == sum(plan.cut_widths)
+
+    def test_empty_netlist(self):
+        nl = Netlist("empty")
+        nl.add_input("a", 1)
+        plan = plan_pipeline(nl, 4)
+        assert plan.stages == 1
+
+    def test_eight_stage_opt_reaches_gddr5x_class_rates(self, opt_netlist):
+        """With the paper's 8 output pipeline stages the fixed-coefficient
+        design reaches the 1.5 GHz burst-rate class."""
+        plan = plan_pipeline(opt_netlist, 8)
+        assert plan.max_frequency_hz > 1.4e9
+
+
+class TestStagesForFrequency:
+    def test_dc_needs_no_pipelining(self):
+        assert stages_for_frequency(build_dc_encoder(8), 1.5e9) == 1
+
+    def test_chained_designs_need_stages(self):
+        ac_stages = stages_for_frequency(build_ac_encoder(8), 1.5e9)
+        assert ac_stages > 1
+
+    def test_deeper_design_needs_more_stages(self, opt_netlist):
+        q3 = build_opt_encoder(8, coefficient_bits=3)
+        assert (stages_for_frequency(q3, 1.5e9)
+                >= stages_for_frequency(opt_netlist, 1.5e9))
+
+    def test_unreachable_frequency_sentinel(self, opt_netlist):
+        # Register overhead bounds any pipeline below ~10 GHz.
+        assert stages_for_frequency(opt_netlist, 100e9, max_stages=8) == 9
+
+    def test_validation(self, opt_netlist):
+        with pytest.raises(ValueError):
+            stages_for_frequency(opt_netlist, 0.0)

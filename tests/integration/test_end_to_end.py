@@ -1,0 +1,110 @@
+"""End-to-end integration tests across subpackages."""
+
+import pytest
+
+from repro import (
+    Burst,
+    CostModel,
+    DbiAc,
+    DbiDc,
+    DbiOptimal,
+    Raw,
+    available_schemes,
+    chunk_bytes,
+    get_scheme,
+)
+from repro.hw.activity import netlist_invert_flags
+from repro.hw.encoders import build_opt_encoder
+from repro.phy.bus import MemoryBus
+from repro.phy.devices import gddr5x
+from repro.phy.lane import LaneGroup
+from repro.phy.power import GBPS, PICOFARAD
+from repro.workloads.traces import gpu_frame_trace
+
+
+class TestBusVsDirectEncoding:
+    def test_lane_counters_agree_with_scheme_activity(self):
+        """Wire-level lane counters == word-level scheme tallies."""
+        payload = gpu_frame_trace(1024, seed=3)
+        bus = MemoryBus(DbiDc, byte_lanes=1, burst_length=8)
+        stats = bus.write(payload)
+        group_zeros = bus.lanes[0].group.total_zero_beats
+        group_transitions = bus.lanes[0].group.total_transitions
+        assert stats.zeros == group_zeros
+        assert stats.transitions == group_transitions
+
+    def test_bus_stream_equals_chained_scheme(self):
+        payload = list(range(64))
+        bus = MemoryBus(DbiAc, byte_lanes=1, burst_length=8)
+        bus_stats = bus.write(bytes(payload))
+        scheme = DbiAc()
+        encoded = scheme.encode_stream(chunk_bytes(payload, 8))
+        zeros = sum(e.zeros() for e in encoded)
+        transitions_total = 0
+        prev = 0x1FF
+        for e in encoded:
+            transitions_total += e.transitions()
+            prev = e.last_word()
+        assert bus_stats.zeros == zeros
+        assert bus_stats.transitions == transitions_total
+
+
+class TestHardwareSoftwareAgreement:
+    def test_netlist_vs_scheme_on_trace_data(self):
+        """The gate-level OPT encoder agrees with the library encoder on
+        realistic (non-uniform) traffic, not just random vectors."""
+        model = CostModel.fixed()
+        scheme = DbiOptimal(model)
+        netlist = build_opt_encoder(8)
+        payload = gpu_frame_trace(512, seed=9)
+        for burst in chunk_bytes(list(payload), 8)[:32]:
+            hw_flags = netlist_invert_flags(netlist, burst)
+            sw_cost = scheme.encode(burst).cost(model)
+            from repro.core.schemes import EncodedBurst
+            hw_cost = EncodedBurst(burst=burst, invert_flags=hw_flags).cost(model)
+            assert hw_cost == sw_cost
+
+
+class TestPhysicalConsistency:
+    def test_cost_model_ranking_matches_energy_ranking(self):
+        """Minimising the abstract cost with physical coefficients is the
+        same as minimising joules: rankings must agree on every burst."""
+        profile = gddr5x()
+        energy_model = profile.energy_model(data_rate_hz=12 * GBPS)
+        cost_model = energy_model.cost_model()
+        schemes = [Raw(), DbiDc(), DbiAc(), DbiOptimal(cost_model)]
+        burst = Burst([0x12, 0x00, 0xFE, 0x77, 0x3C, 0x81, 0x55, 0xAA])
+        costs = []
+        energies = []
+        for scheme in schemes:
+            encoded = scheme.encode(burst)
+            costs.append(encoded.cost(cost_model))
+            energies.append(energy_model.encoded_burst_energy(encoded))
+        assert sorted(range(4), key=costs.__getitem__) == \
+            sorted(range(4), key=energies.__getitem__)
+        # And the abstract cost *is* the energy for this coefficient choice.
+        for cost, energy in zip(costs, energies):
+            assert cost == pytest.approx(energy)
+
+    def test_dbi_dc_bounds_sso_on_full_channel(self):
+        """Across a full x32 channel, DBI DC caps per-lane-group SSO at 5."""
+        payload = bytes([0x00, 0xFF] * 256)
+        bus = MemoryBus(DbiDc, byte_lanes=4, burst_length=8)
+        bus.write(payload)
+        for lane in bus.lanes:
+            transitions = [l.transitions for l in lane.group.lanes]
+            assert max(transitions) <= lane.stats.beats
+
+
+class TestRegistryCompleteness:
+    def test_every_registered_scheme_is_evaluable(self, small_random_bursts):
+        from repro.sim.runner import evaluate
+        result = evaluate(available_schemes(), small_random_bursts[:10])
+        assert set(result.schemes()) == set(available_schemes())
+
+    def test_every_scheme_round_trips_on_patterns(self):
+        from repro.workloads.patterns import pattern_suite
+        for name in available_schemes():
+            scheme = get_scheme(name)
+            for burst in pattern_suite(8):
+                scheme.encode(burst).verify()

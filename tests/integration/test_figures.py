@@ -1,0 +1,167 @@
+"""Integration shape checks for every figure (small populations).
+
+The full-resolution regenerations live in ``benchmarks/``; these tests
+assert the same qualitative landmarks quickly enough for the unit suite.
+"""
+
+import pytest
+
+from repro.analysis.crossover import (
+    advantage_region,
+    elementwise_min,
+    interpolated_crossing,
+    peak_advantage,
+)
+from repro.phy.pod import pod135
+from repro.phy.power import GBPS, PICOFARAD
+from repro.sim.sweep import alpha_sweep, data_rate_sweep, load_sweep
+from repro.workloads.random_data import random_bursts
+
+
+@pytest.fixture(scope="module")
+def population():
+    return random_bursts(count=600, seed=2018)
+
+
+@pytest.fixture(scope="module")
+def fig34(population):
+    return alpha_sweep(population, points=21, include_fixed=True)
+
+
+class TestFig3Shape:
+    def test_raw_flat_near_32(self, fig34):
+        """Uniform random bursts cost ~32 regardless of the split."""
+        for value in fig34.series["raw"]:
+            assert value == pytest.approx(32.0, abs=0.8)
+
+    def test_dc_increasing_ac_decreasing(self, fig34):
+        dc = fig34.series["dbi-dc"]
+        ac = fig34.series["dbi-ac"]
+        assert dc[0] < dc[-1]
+        assert ac[0] > ac[-1]
+
+    def test_ac_dc_crossover_near_056(self, fig34):
+        crossover = interpolated_crossing(fig34.ac_costs,
+                                          fig34.series["dbi-ac"],
+                                          fig34.series["dbi-dc"])
+        assert crossover == pytest.approx(0.56, abs=0.05)
+
+    def test_opt_peak_gain_5_to_8_percent(self, fig34):
+        best = elementwise_min(fig34.series["dbi-dc"], fig34.series["dbi-ac"])
+        __, gain = peak_advantage(fig34.ac_costs, fig34.series["dbi-opt"], best)
+        assert 0.05 < gain < 0.08
+
+    def test_dc_near_opt_below_015(self, fig34):
+        """'DBI DC works almost as well as the optimum encoding until the
+        AC cost reaches 0.15.'"""
+        for ac_cost, dc, opt in zip(fig34.ac_costs, fig34.series["dbi-dc"],
+                                    fig34.series["dbi-opt"]):
+            if ac_cost <= 0.15:
+                assert dc / opt < 1.01
+
+    def test_ac_near_opt_above_085(self, fig34):
+        for ac_cost, ac, opt in zip(fig34.ac_costs, fig34.series["dbi-ac"],
+                                    fig34.series["dbi-opt"]):
+            if ac_cost >= 0.85:
+                assert ac / opt < 1.02
+
+    def test_dc_and_ac_worse_than_raw_at_wrong_extremes(self, fig34):
+        """'Both DBI AC and DBI DC perform worse than unencoded (RAW)
+        data, when used together with high DC cost or AC cost.'"""
+        assert fig34.series["dbi-dc"][-1] > fig34.series["raw"][-1]
+        assert fig34.series["dbi-ac"][0] > fig34.series["raw"][0]
+
+
+class TestFig4Shape:
+    def test_fixed_close_to_opt_in_core_region(self, fig34):
+        for ac_cost, fixed, opt in zip(fig34.ac_costs,
+                                       fig34.series["dbi-opt-fixed"],
+                                       fig34.series["dbi-opt"]):
+            if 0.3 <= ac_cost <= 0.7:
+                assert fixed / opt < 1.02
+
+    def test_fixed_beats_conventional_in_paper_region(self, fig34):
+        """'The encoding with fixed coefficients performs better than
+        previous scheme from an AC cost of 0.23 to 0.79.'"""
+        best = elementwise_min(fig34.series["dbi-dc"], fig34.series["dbi-ac"])
+        region = advantage_region(fig34.ac_costs,
+                                  fig34.series["dbi-opt-fixed"], best)
+        assert region is not None
+        start, end = region
+        assert start <= 0.30
+        assert end >= 0.70
+
+    def test_fixed_peak_gain_close_to_opt(self, fig34):
+        """Paper: 6.75% (OPT) vs 6.58% (Fixed) — nearly identical."""
+        best = elementwise_min(fig34.series["dbi-dc"], fig34.series["dbi-ac"])
+        __, opt_gain = peak_advantage(fig34.ac_costs,
+                                      fig34.series["dbi-opt"], best)
+        __, fixed_gain = peak_advantage(fig34.ac_costs,
+                                        fig34.series["dbi-opt-fixed"], best)
+        assert fixed_gain > 0.9 * opt_gain
+
+
+class TestFig7Shape:
+    @pytest.fixture(scope="class")
+    def sweep(self, population):
+        rates = [GBPS * g for g in (1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 18, 20)]
+        return data_rate_sweep(population[:300], interface=pod135(),
+                               c_load_farads=3 * PICOFARAD,
+                               data_rates_hz=rates)
+
+    def test_dc_best_at_low_rates(self, sweep):
+        """'DBI DC performs better than DBI OPT (Fixed) until 3.8 Gbps.'"""
+        assert sweep.normalized["dbi-dc"][0] < sweep.normalized["dbi-opt-fixed"][0]
+
+    def test_fixed_wins_at_high_rates(self, sweep):
+        index = sweep.data_rates_hz.index(14 * GBPS)
+        assert (sweep.normalized["dbi-opt-fixed"][index]
+                < sweep.normalized["dbi-dc"][index])
+
+    def test_ac_never_beats_fixed_below_20gbps(self, sweep):
+        """'DBI AC would require a significantly higher frequency than
+        20 Gbps to perform better than this scheme.'"""
+        for ac, fixed in zip(sweep.normalized["dbi-ac"],
+                             sweep.normalized["dbi-opt-fixed"]):
+            assert fixed <= ac
+
+    def test_opt_is_lower_envelope(self, sweep):
+        for index in range(len(sweep.data_rates_hz)):
+            others = [sweep.normalized[name][index]
+                      for name in ("raw", "dbi-dc", "dbi-ac",
+                                   "dbi-opt-fixed")]
+            assert sweep.normalized["dbi-opt"][index] <= min(others) + 1e-9
+
+    def test_crossover_dc_fixed_near_3_8gbps(self, population):
+        rates = [0.5 * GBPS * step for step in range(2, 21)]  # 1..10 Gbps
+        sweep = data_rate_sweep(population[:300], data_rates_hz=rates)
+        gbps = [rate / 1e9 for rate in rates]
+        crossover = interpolated_crossing(gbps,
+                                          sweep.normalized["dbi-opt-fixed"],
+                                          sweep.normalized["dbi-dc"])
+        assert crossover == pytest.approx(3.8, abs=1.0)
+
+
+class TestFig8Shape:
+    @pytest.fixture(scope="class")
+    def sweep(self, population):
+        rates = [GBPS * g for g in (2, 4, 6, 8, 10, 12, 14, 16, 18, 20)]
+        return load_sweep(population[:300],
+                          c_loads_farads=[1e-12, 3e-12, 8e-12],
+                          data_rates_hz=rates)
+
+    def test_meaningful_savings_at_3pf(self, sweep):
+        __, best = sweep.best_gain(3e-12)
+        assert best < 0.97  # >= 3% saving including encoder energy
+
+    def test_higher_load_lowers_best_rate(self, sweep):
+        """'Higher capacitive load reduces the frequency where the highest
+        reduction of energy is achieved.'"""
+        rate_3pf, __ = sweep.best_gain(3e-12)
+        rate_8pf, __ = sweep.best_gain(8e-12)
+        assert rate_8pf < rate_3pf
+
+    def test_light_load_weakest_case(self, sweep):
+        __, best_1pf = sweep.best_gain(1e-12)
+        __, best_3pf = sweep.best_gain(3e-12)
+        assert best_3pf < best_1pf

@@ -1,0 +1,130 @@
+"""Unit tests for the multi-lane memory bus simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DbiDc, Raw
+from repro.core.burst import Burst
+from repro.phy.bus import BusStatistics, MemoryBus
+from repro.phy.pod import pod135
+from repro.phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
+
+payloads = st.binary(min_size=1, max_size=256)
+
+
+@pytest.fixture
+def energy_model():
+    return InterfaceEnergyModel(pod135(), 12 * GBPS, 3 * PICOFARAD)
+
+
+class TestBusStatistics:
+    def test_merge(self):
+        a = BusStatistics(bursts=1, beats=8, zeros=3, transitions=4,
+                          energy_joules=1e-12)
+        b = BusStatistics(bursts=2, beats=16, zeros=5, transitions=6,
+                          energy_joules=2e-12)
+        merged = a.merge(b)
+        assert merged.bursts == 3
+        assert merged.zeros == 8
+        assert merged.energy_joules == pytest.approx(3e-12)
+
+    def test_means(self):
+        stats = BusStatistics(bursts=4, beats=32, zeros=8, transitions=12,
+                              energy_joules=4e-12)
+        assert stats.zeros_per_burst == 2.0
+        assert stats.transitions_per_burst == 3.0
+        assert stats.energy_per_burst == pytest.approx(1e-12)
+
+    def test_empty_means(self):
+        stats = BusStatistics()
+        assert stats.zeros_per_burst == 0.0
+        assert stats.energy_per_burst == 0.0
+
+
+class TestMemoryBus:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBus(Raw, byte_lanes=0)
+        with pytest.raises(ValueError):
+            MemoryBus(Raw, burst_length=0)
+
+    def test_striping(self):
+        bus = MemoryBus(Raw, byte_lanes=2, burst_length=2)
+        bus.write(bytes([1, 2, 3, 4]))
+        # Lane 0 gets bytes 1, 3; lane 1 gets bytes 2, 4.
+        assert bus.lanes[0].stats.bursts == 1
+        assert bus.lanes[1].stats.bursts == 1
+
+    def test_burst_count(self):
+        bus = MemoryBus(Raw, byte_lanes=4, burst_length=8)
+        stats = bus.write(bytes(range(64)))
+        # 64 bytes / 4 lanes = 16 bytes per lane = 2 bursts per lane.
+        assert stats.bursts == 8
+        assert stats.beats == 64
+
+    def test_tail_padding_adds_no_zero_cost(self):
+        bus = MemoryBus(Raw, byte_lanes=1, burst_length=8)
+        stats = bus.write(bytes([0xFF] * 3))
+        assert stats.zeros == 0
+        assert stats.transitions == 0
+
+    @given(payloads)
+    @settings(max_examples=30, deadline=None)
+    def test_write_returns_call_delta(self, payload):
+        bus = MemoryBus(DbiDc, byte_lanes=2, burst_length=4)
+        first = bus.write(payload)
+        second = bus.write(payload)
+        cumulative = bus.statistics()
+        assert cumulative.bursts == first.bursts + second.bursts
+        assert cumulative.zeros == first.zeros + second.zeros
+
+    def test_energy_accounting(self, energy_model):
+        bus = MemoryBus(Raw, byte_lanes=1, burst_length=8,
+                        energy_model=energy_model)
+        stats = bus.write(bytes([0x00] * 8))
+        expected = energy_model.burst_energy(stats.transitions, stats.zeros)
+        assert stats.energy_joules == pytest.approx(expected)
+
+    def test_state_threads_across_writes(self):
+        """Chained bursts: the second burst sees the first one's final
+        word, so a constant stream stops paying transitions."""
+        bus = MemoryBus(Raw, byte_lanes=1, burst_length=4)
+        bus.write(bytes([0x55] * 4))
+        second = bus.write(bytes([0x55] * 4))
+        assert second.transitions == 0
+
+    def test_write_bursts_single_lane(self):
+        bus = MemoryBus(DbiDc, byte_lanes=2, burst_length=4)
+        stats = bus.write_bursts([Burst([0x00] * 4)], lane=1)
+        assert stats.bursts == 1
+        assert bus.lanes[1].stats.bursts == 1
+        assert bus.lanes[0].stats.bursts == 0
+
+    def test_write_bursts_lane_bounds(self):
+        bus = MemoryBus(Raw, byte_lanes=2)
+        with pytest.raises(IndexError):
+            bus.write_bursts([Burst([1])], lane=2)
+
+    def test_reset(self):
+        bus = MemoryBus(DbiDc, byte_lanes=2, burst_length=4)
+        bus.write(bytes(range(16)))
+        bus.reset()
+        stats = bus.statistics()
+        assert stats.bursts == 0
+        assert all(lane.state_word == 0x1FF for lane in bus.lanes)
+
+    def test_dc_beats_raw_on_zero_heavy_payload(self, energy_model):
+        payload = bytes([0x00] * 64)
+        raw_bus = MemoryBus(Raw, byte_lanes=4, energy_model=energy_model)
+        dc_bus = MemoryBus(DbiDc, byte_lanes=4, energy_model=energy_model)
+        raw_stats = raw_bus.write(payload)
+        dc_stats = dc_bus.write(payload)
+        assert dc_stats.energy_joules < raw_stats.energy_joules
+
+    def test_lane_isolation(self):
+        """Encoders must not share state across lanes."""
+        bus = MemoryBus(DbiDc, byte_lanes=2, burst_length=2)
+        bus.write(bytes([0x00, 0xFF, 0x00, 0xFF]))
+        # Lane 0 saw two 0x00 bytes, lane 1 two 0xFF bytes.
+        assert bus.lanes[0].stats.zeros != bus.lanes[1].stats.zeros

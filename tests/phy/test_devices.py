@@ -1,0 +1,69 @@
+"""Unit tests for JEDEC device profiles."""
+
+import pytest
+
+from repro.phy.devices import DeviceProfile, PROFILES, ddr4, gddr5, gddr5x, get_profile
+from repro.phy.pod import pod135
+
+
+class TestValidation:
+    def test_dq_width_multiple_of_eight(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="x", interface=pod135(), dq_width=12,
+                          max_data_rate_hz=1e9, default_c_load_farads=1e-12)
+
+    def test_positive_rate_and_load(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="x", interface=pod135(), dq_width=8,
+                          max_data_rate_hz=0.0, default_c_load_farads=1e-12)
+        with pytest.raises(ValueError):
+            DeviceProfile(name="x", interface=pod135(), dq_width=8,
+                          max_data_rate_hz=1e9, default_c_load_farads=0.0)
+
+
+class TestBuiltins:
+    def test_families(self):
+        assert gddr5().interface.name == "POD135"
+        assert gddr5x().interface.name == "POD135"
+        assert ddr4().interface.name == "POD12"
+
+    def test_gddr5x_rate_matches_paper(self):
+        """'Current GDDR5X uses up to 12 Gbps data rate per pin.'"""
+        assert gddr5x().max_data_rate_hz == pytest.approx(12e9)
+
+    def test_graphics_part_lane_structure(self):
+        profile = gddr5x()
+        assert profile.byte_lanes == 4
+        assert profile.pins_with_dbi == 36
+
+    def test_burst_length_is_jedec_bl8(self):
+        for profile in (gddr5(), gddr5x(), ddr4()):
+            assert profile.burst_length == 8
+
+
+class TestHelpers:
+    def test_energy_model_defaults(self):
+        model = gddr5x().energy_model()
+        assert model.data_rate_hz == pytest.approx(12e9)
+        assert model.c_load_farads == pytest.approx(3e-12)
+
+    def test_energy_model_overrides(self):
+        model = gddr5x().energy_model(data_rate_hz=8e9, c_load_farads=2e-12)
+        assert model.data_rate_hz == pytest.approx(8e9)
+        assert model.c_load_farads == pytest.approx(2e-12)
+
+    def test_data_rate_range(self):
+        rates = gddr5x().data_rate_range(points=12)
+        assert len(rates) == 12
+        assert rates[-1] == pytest.approx(12e9)
+        assert rates[0] > 0
+
+    def test_data_rate_range_validation(self):
+        with pytest.raises(ValueError):
+            gddr5x().data_rate_range(points=1)
+
+    def test_registry(self):
+        assert set(PROFILES) == {"gddr5", "gddr5x", "ddr4"}
+        assert get_profile("GDDR5X").name == "GDDR5X"
+        with pytest.raises(KeyError):
+            get_profile("hbm")

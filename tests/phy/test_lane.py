@@ -1,0 +1,102 @@
+"""Unit tests for per-lane state tracking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitops import total_transitions, total_zeros
+from repro.phy.lane import Lane, LaneGroup
+
+word_lists = st.lists(st.integers(min_value=0, max_value=0x1FF),
+                      min_size=1, max_size=32)
+
+
+class TestLane:
+    def test_initial_state_idle_high(self):
+        assert Lane().level == 1
+
+    def test_drive_counts(self):
+        lane = Lane()
+        for level in (0, 0, 1, 0):
+            lane.drive(level)
+        assert lane.zero_beats == 3
+        assert lane.transitions == 3  # 1->0, 0->1, 1->0
+        assert lane.beats == 4
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            Lane().drive(2)
+
+    def test_fractions(self):
+        lane = Lane()
+        lane.drive(0)
+        lane.drive(1)
+        assert lane.zero_fraction == pytest.approx(0.5)
+        assert lane.toggle_rate == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        lane = Lane()
+        assert lane.zero_fraction == 0.0
+        assert lane.toggle_rate == 0.0
+
+    def test_reset(self):
+        lane = Lane()
+        lane.drive(0)
+        lane.reset()
+        assert (lane.level, lane.zero_beats, lane.transitions, lane.beats) == (1, 0, 0, 0)
+
+
+class TestLaneGroup:
+    def test_needs_nine_lanes(self):
+        with pytest.raises(ValueError):
+            LaneGroup(lanes=[Lane() for _ in range(8)])
+
+    def test_lane_names(self):
+        names = [lane.name for lane in LaneGroup().lanes]
+        assert names == [f"DQ{i}" for i in range(8)] + ["DBI"]
+
+    @given(word_lists)
+    def test_matches_word_level_tallies(self, words):
+        """Per-wire accounting must agree with the aggregate word-level
+        counts used by the encoders."""
+        group = LaneGroup()
+        group.drive_words(words)
+        assert group.total_zero_beats == total_zeros(words)
+        assert group.total_transitions == total_transitions(words)
+
+    @given(word_lists)
+    def test_state_word_tracks_last(self, words):
+        group = LaneGroup()
+        group.drive_words(words)
+        assert group.state_word == words[-1]
+
+    def test_per_lane_stats_structure(self):
+        group = LaneGroup()
+        group.drive_word(0x000)
+        stats = group.per_lane_stats()
+        assert len(stats) == 9
+        assert all(zeros == 1 for _name, zeros, _trans in stats)
+
+    def test_max_simultaneous_switching(self):
+        group = LaneGroup()
+        # From idle-high, 0x000 toggles all nine lanes at once.
+        assert group.max_simultaneous_switching([0x000, 0x1FF]) == 9
+
+    def test_sso_reduced_by_dbi_dc(self):
+        """Kim et al.'s point (paper ref. [14]): DBI DC bounds worst-case
+        simultaneous switching."""
+        from repro.baselines import DbiDc, Raw
+        from repro.core.burst import Burst
+        burst = Burst([0x00, 0xFF] * 4)
+        raw_words = Raw().encode(burst).words
+        dc_words = DbiDc().encode(burst).words
+        group = LaneGroup()
+        assert group.max_simultaneous_switching(raw_words) == 8
+        assert group.max_simultaneous_switching(dc_words) <= 5
+
+    def test_reset_to_pattern(self):
+        group = LaneGroup()
+        group.drive_word(0x000)
+        group.reset(0x155)
+        assert group.state_word == 0x155
+        assert group.total_transitions == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the POD electrical model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.pod import PodInterface, pod12, pod135, pod15
+
+
+class TestValidation:
+    def test_rejects_non_positive_voltage(self):
+        with pytest.raises(ValueError):
+            PodInterface(vddq=0.0)
+
+    def test_rejects_non_positive_resistance(self):
+        with pytest.raises(ValueError):
+            PodInterface(vddq=1.35, r_pullup=0.0)
+        with pytest.raises(ValueError):
+            PodInterface(vddq=1.35, r_pulldown=-1.0)
+
+
+class TestElectrics:
+    def test_termination_current(self):
+        pod = PodInterface(vddq=1.0, r_pullup=60.0, r_pulldown=40.0)
+        assert pod.termination_current == pytest.approx(0.01)
+
+    def test_zero_power(self):
+        pod = PodInterface(vddq=1.0, r_pullup=60.0, r_pulldown=40.0)
+        assert pod.zero_power == pytest.approx(0.01)
+
+    def test_v_swing_divider(self):
+        """Paper Eq. 3: swing = VDDQ * R_pu / (R_pu + R_pd)."""
+        pod = pod135()
+        assert pod.v_swing == pytest.approx(1.35 * 60 / 100)
+
+    def test_swing_plus_vlow_is_vddq(self):
+        pod = pod135()
+        assert pod.v_swing + pod.v_low == pytest.approx(pod.vddq)
+
+    @given(st.floats(min_value=0.5, max_value=2.0),
+           st.floats(min_value=10.0, max_value=200.0),
+           st.floats(min_value=10.0, max_value=200.0))
+    def test_zero_energy_scales_with_v_squared(self, vddq, r_pu, r_pd):
+        base = PodInterface(vddq=vddq, r_pullup=r_pu, r_pulldown=r_pd)
+        doubled = PodInterface(vddq=2 * vddq, r_pullup=r_pu, r_pulldown=r_pd)
+        rate = 1e9
+        assert (doubled.energy_per_zero(rate)
+                == pytest.approx(4 * base.energy_per_zero(rate)))
+
+    def test_energy_per_zero_inverse_in_rate(self):
+        """Paper Eq. 1: E_zero has a 1/f factor — halving the rate doubles
+        the per-bit DC energy."""
+        pod = pod135()
+        assert (pod.energy_per_zero(6e9)
+                == pytest.approx(2 * pod.energy_per_zero(12e9)))
+
+    def test_energy_per_transition_linear_in_load(self):
+        """Paper Eq. 2: E_transition is proportional to c_load."""
+        pod = pod135()
+        assert (pod.energy_per_transition(6e-12)
+                == pytest.approx(2 * pod.energy_per_transition(3e-12)))
+
+    def test_paper_operating_point_magnitudes(self):
+        """At POD135, 12 Gbps, 3 pF: E_zero ~ 1.5 pJ, E_transition ~ 1.6 pJ
+        (comparable, which is why alpha = beta works so well there)."""
+        pod = pod135()
+        e_zero = pod.energy_per_zero(12e9)
+        e_transition = pod.energy_per_transition(3e-12)
+        assert e_zero == pytest.approx(1.52e-12, rel=0.02)
+        assert e_transition == pytest.approx(1.64e-12, rel=0.02)
+
+    def test_rate_and_load_validation(self):
+        pod = pod135()
+        with pytest.raises(ValueError):
+            pod.energy_per_zero(0.0)
+        with pytest.raises(ValueError):
+            pod.energy_per_transition(-1e-12)
+
+
+class TestProfiles:
+    def test_voltages(self):
+        assert pod135().vddq == 1.35
+        assert pod12().vddq == 1.2
+        assert pod15().vddq == 1.5
+
+    def test_names(self):
+        assert pod135().name == "POD135"
+        assert pod12().name == "POD12"
+        assert pod15().name == "POD15"
+
+    def test_scaled_keeps_network(self):
+        scaled = pod135().scaled(1.2)
+        assert scaled.vddq == 1.2
+        assert scaled.r_pullup == pod135().r_pullup
+        assert scaled.name == "POD120"

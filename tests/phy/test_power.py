@@ -1,0 +1,113 @@
+"""Unit tests for the CACTI-IO-derived energy model (paper Eqs. 1-4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.burst import Burst
+from repro.core.schemes import get_scheme
+from repro.phy.pod import pod12, pod135
+from repro.phy.power import (
+    GBPS,
+    InterfaceEnergyModel,
+    PICOFARAD,
+    crossover_data_rate,
+)
+
+
+@pytest.fixture
+def model():
+    return InterfaceEnergyModel(pod135(), 12 * GBPS, 3 * PICOFARAD)
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            InterfaceEnergyModel(pod135(), 0.0, 3e-12)
+
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            InterfaceEnergyModel(pod135(), 1e9, 0.0)
+
+    def test_rejects_negative_activity(self, model):
+        with pytest.raises(ValueError):
+            model.burst_energy(-1, 0)
+
+
+class TestEquations:
+    def test_eq1_energy_per_zero(self, model):
+        expected = 1.35 ** 2 / (60 + 40) / (12 * GBPS)
+        assert model.energy_per_zero == pytest.approx(expected)
+
+    def test_eq2_energy_per_transition(self, model):
+        v_swing = 1.35 * 60 / 100
+        expected = 0.5 * 1.35 * v_swing * 3e-12
+        assert model.energy_per_transition == pytest.approx(expected)
+
+    def test_eq3_swing(self, model):
+        assert model.v_swing == pytest.approx(1.35 * 0.6)
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    def test_eq4_linearity(self, zeros, transitions):
+        m = InterfaceEnergyModel(pod135(), 12 * GBPS, 3 * PICOFARAD)
+        assert m.burst_energy(transitions, zeros) == pytest.approx(
+            zeros * m.energy_per_zero + transitions * m.energy_per_transition)
+
+    def test_encoded_burst_energy(self, model):
+        encoded = get_scheme("raw").encode(Burst([0x00]))
+        # 8 zeros + 8 transitions from idle-high.
+        expected = model.burst_energy(8, 8)
+        assert model.encoded_burst_energy(encoded) == pytest.approx(expected)
+
+
+class TestCostBridge:
+    def test_cost_model_coefficients(self, model):
+        cost = model.cost_model()
+        assert cost.alpha == pytest.approx(model.energy_per_transition)
+        assert cost.beta == pytest.approx(model.energy_per_zero)
+
+    def test_ac_fraction_increases_with_rate(self):
+        low = InterfaceEnergyModel(pod135(), 2 * GBPS, 3 * PICOFARAD)
+        high = InterfaceEnergyModel(pod135(), 18 * GBPS, 3 * PICOFARAD)
+        assert high.ac_fraction > low.ac_fraction
+
+    def test_with_data_rate_and_load(self, model):
+        faster = model.with_data_rate(20 * GBPS)
+        assert faster.data_rate_hz == 20 * GBPS
+        assert faster.c_load_farads == model.c_load_farads
+        heavier = model.with_load(8 * PICOFARAD)
+        assert heavier.c_load_farads == 8 * PICOFARAD
+        assert heavier.data_rate_hz == model.data_rate_hz
+
+
+class TestCrossover:
+    def test_balanced_point_for_paper_setup(self):
+        """The transition-equals-zero rate for POD135 + 3 pF sits in the
+        10-15 Gbps band — the paper's peak-gain region."""
+        rate = crossover_data_rate(pod135(), 3 * PICOFARAD)
+        assert 10e9 < rate < 15e9
+
+    def test_heavier_load_lowers_crossover(self):
+        """Fig. 8's trend: more load shifts the sweet spot down."""
+        light = crossover_data_rate(pod135(), 1 * PICOFARAD)
+        heavy = crossover_data_rate(pod135(), 8 * PICOFARAD)
+        assert heavy < light
+
+    def test_at_crossover_ac_fraction_is_half(self):
+        rate = crossover_data_rate(pod135(), 3 * PICOFARAD, ac_fraction=0.5)
+        model = InterfaceEnergyModel(pod135(), rate, 3 * PICOFARAD)
+        assert model.ac_fraction == pytest.approx(0.5)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            crossover_data_rate(pod135(), 3e-12, ac_fraction=0.0)
+        with pytest.raises(ValueError):
+            crossover_data_rate(pod135(), 3e-12, ac_fraction=1.0)
+
+    def test_pod12_similar_normalised_behaviour(self):
+        """Paper: 'results for DDR4 with POD12 are almost identical' —
+        the AC fraction at a given operating point barely moves."""
+        a = InterfaceEnergyModel(pod135(), 10 * GBPS, 3 * PICOFARAD)
+        b = InterfaceEnergyModel(pod12(), 10 * GBPS, 3 * PICOFARAD)
+        assert a.ac_fraction == pytest.approx(b.ac_fraction, abs=0.05)

@@ -1,0 +1,60 @@
+"""Unit tests for the SSTL reference model."""
+
+import pytest
+
+from repro.phy.sstl import SstlInterface, sstl135, sstl15
+
+
+def test_vtt_is_midrail():
+    assert sstl15().vtt == pytest.approx(0.75)
+
+
+def test_level_symmetry():
+    """The defining SSTL property: zeros and ones burn the same power,
+    which is why DBI DC is pointless on SSTL links."""
+    sstl = sstl15()
+    assert sstl.energy_per_zero(1e9) == pytest.approx(sstl.energy_per_one(1e9))
+
+
+def test_level_power_positive_and_smaller_than_pod_zero_power():
+    from repro.phy.pod import pod15
+    sstl = sstl15()
+    pod = pod15()
+    assert sstl.level_power > 0
+    # Centre-tap termination halves the driving voltage, so per-level
+    # power is below POD's zero power for comparable networks.
+    assert sstl.level_power < pod.zero_power
+
+
+def test_transition_energy_positive():
+    assert sstl135().energy_per_transition(3e-12) > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SstlInterface(vddq=-1.0)
+    with pytest.raises(ValueError):
+        SstlInterface(vddq=1.5, r_termination=0.0)
+    with pytest.raises(ValueError):
+        sstl15().energy_per_zero(0.0)
+    with pytest.raises(ValueError):
+        sstl15().energy_per_transition(0.0)
+
+
+def test_dbi_dc_saves_nothing_on_sstl():
+    """End-to-end sanity: the total level energy of a burst on SSTL is
+    identical whether or not bytes are inverted (only transitions matter),
+    so a zero-minimising code cannot help."""
+    from repro.baselines import DbiDc, Raw
+    from repro.core.burst import Burst
+    sstl = sstl15()
+    burst = Burst([0x00] * 8)
+    raw = Raw().encode(burst)
+    dc = DbiDc().encode(burst)
+    rate = 1.6e9
+
+    def level_energy(encoded):
+        beats = len(encoded) * 9
+        return beats * sstl.energy_per_zero(rate)  # same for 0 and 1
+
+    assert level_energy(raw) == pytest.approx(level_energy(dc))

@@ -1,0 +1,75 @@
+"""Unit tests for scheme metrics."""
+
+import pytest
+
+from repro.core.burst import Burst
+from repro.core.costs import CostModel
+from repro.core.schemes import get_scheme
+from repro.phy.pod import pod135
+from repro.phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
+from repro.sim.metrics import EvaluationResult, SchemeMetrics
+
+
+@pytest.fixture
+def metrics():
+    m = SchemeMetrics(scheme="raw")
+    scheme = get_scheme("raw")
+    for burst in (Burst([0x00] * 4), Burst([0xFF] * 4)):
+        m.record(scheme.encode(burst))
+    return m
+
+
+class TestSchemeMetrics:
+    def test_record_tallies(self, metrics):
+        assert metrics.bursts == 2
+        assert metrics.total_bytes == 8
+        assert metrics.zeros == 32  # the all-zero burst
+        assert metrics.transitions == 8
+
+    def test_means(self, metrics):
+        assert metrics.mean_zeros == 16.0
+        assert metrics.mean_transitions == 4.0
+
+    def test_invert_rate_zero_for_raw(self, metrics):
+        assert metrics.invert_rate == 0.0
+
+    def test_mean_cost(self, metrics):
+        model = CostModel(2.0, 1.0)
+        assert metrics.mean_cost(model) == pytest.approx((2 * 8 + 32) / 2)
+
+    def test_mean_energy(self, metrics):
+        energy_model = InterfaceEnergyModel(pod135(), 12 * GBPS, 3 * PICOFARAD)
+        expected = energy_model.burst_energy(8, 32) / 2
+        assert metrics.mean_energy(energy_model) == pytest.approx(expected)
+
+    def test_empty_metrics(self):
+        empty = SchemeMetrics(scheme="x")
+        assert empty.mean_zeros == 0.0
+        assert empty.mean_cost(CostModel.fixed()) == 0.0
+        assert empty.invert_rate == 0.0
+
+
+class TestEvaluationResult:
+    @pytest.fixture
+    def result(self):
+        from repro.sim.runner import evaluate
+        return evaluate(["raw", "dbi-dc", "dbi-opt"],
+                        [Burst([0x00] * 8), Burst([0x13] * 8)],
+                        workload="unit")
+
+    def test_getitem_and_schemes(self, result):
+        assert result.schemes() == ["raw", "dbi-dc", "dbi-opt"]
+        assert result["raw"].bursts == 2
+
+    def test_relative_cost(self, result):
+        model = CostModel.fixed()
+        rel = result.relative_cost("dbi-opt", "raw", model)
+        assert 0 < rel <= 1.0
+
+    def test_best_scheme(self, result):
+        model = CostModel.dc_only()
+        assert result.best_scheme(model, ["raw", "dbi-dc"]) == "dbi-dc"
+
+    def test_best_scheme_empty_candidates(self, result):
+        with pytest.raises(ValueError):
+            result.best_scheme(CostModel.fixed(), [])

@@ -1,0 +1,81 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.phy.power import GBPS
+from repro.sim.report import (
+    csv_table,
+    format_alpha_sweep,
+    format_data_rate_sweep,
+    format_evaluation,
+    format_load_sweep,
+    markdown_table,
+    savings_summary,
+)
+from repro.sim.runner import evaluate
+from repro.sim.sweep import alpha_sweep, data_rate_sweep, load_sweep
+from repro.workloads.random_data import random_bursts
+
+
+@pytest.fixture(scope="module")
+def population():
+    return random_bursts(count=80, seed=17)
+
+
+class TestTables:
+    def test_markdown_structure(self):
+        text = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_markdown_width_mismatch(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+
+    def test_csv(self):
+        text = csv_table(["x", "y"], [[1, 2.5]])
+        assert text == "x,y\n1,2.5\n"
+
+    def test_csv_width_mismatch(self):
+        with pytest.raises(ValueError):
+            csv_table(["x"], [[1, 2]])
+
+
+class TestSweepFormatters:
+    def test_alpha_sweep_table(self, population):
+        result = alpha_sweep(population, points=11)
+        text = format_alpha_sweep(result, points=6)
+        assert "ac cost" in text
+        assert "dbi-opt" in text
+
+    def test_data_rate_table(self, population):
+        result = data_rate_sweep(population[:40],
+                                 data_rates_hz=[4 * GBPS, 8 * GBPS])
+        text = format_data_rate_sweep(result, every=1)
+        assert "Gbps" in text
+        assert "4.0" in text
+
+    def test_load_sweep_table(self, population):
+        result = load_sweep(population[:40], data_rates_hz=[4 * GBPS],
+                            c_loads_farads=[1e-12, 3e-12],
+                            encoder_energy_j={"dbi-dc": 0.0, "dbi-ac": 0.0,
+                                              "dbi-opt-fixed": 0.0})
+        text = format_load_sweep(result, every=1)
+        assert "1 pF" in text and "3 pF" in text
+
+
+class TestEvaluationFormatting:
+    def test_format_evaluation(self, population):
+        result = evaluate(["raw", "dbi-dc"], population[:20])
+        text = format_evaluation(result)
+        assert "raw" in text and "dbi-dc" in text
+        assert "mean cost" in text
+
+    def test_savings_summary(self, population):
+        result = evaluate(["dbi-dc", "dbi-ac", "dbi-opt"], population[:40])
+        summary = savings_summary(result, CostModel.fixed())
+        assert summary["optimal"] <= summary["best_conventional"]
+        assert summary["saving_percent"] >= 0

@@ -1,0 +1,61 @@
+"""Unit tests for the evaluation runner."""
+
+import pytest
+
+from repro.core.burst import Burst
+from repro.core.costs import CostModel
+from repro.core.encoder import DbiOptimal
+from repro.sim.runner import evaluate, evaluate_named
+
+
+def test_empty_population_rejected():
+    with pytest.raises(ValueError):
+        evaluate(["raw"], [])
+
+
+def test_duplicate_scheme_names_rejected():
+    with pytest.raises(ValueError):
+        evaluate(["raw", "raw"], [Burst([1])])
+
+
+def test_accepts_instances_and_names():
+    result = evaluate(["raw", DbiOptimal(CostModel.fixed())], [Burst([0x00])])
+    assert set(result.schemes()) == {"raw", "dbi-opt"}
+
+
+def test_independent_mode_restarts_from_idle():
+    """In the paper's per-burst mode every burst pays the idle-high entry
+    cost again."""
+    bursts = [Burst([0x55] * 4)] * 3
+    result = evaluate(["raw"], bursts, chained=False)
+    per_burst = result["raw"].mean_transitions
+    single = evaluate(["raw"], bursts[:1])["raw"].mean_transitions
+    assert per_burst == pytest.approx(single)
+
+
+def test_chained_mode_amortises_entry():
+    bursts = [Burst([0x55] * 4)] * 3
+    independent = evaluate(["raw"], bursts, chained=False)["raw"].transitions
+    chained = evaluate(["raw"], bursts, chained=True)["raw"].transitions
+    assert chained < independent
+
+
+def test_evaluate_named_allows_parameterised_duplicates():
+    schemes = {
+        "opt-dc-ish": DbiOptimal(CostModel.from_ac_fraction(0.1)),
+        "opt-ac-ish": DbiOptimal(CostModel.from_ac_fraction(0.9)),
+    }
+    result = evaluate_named(schemes, [Burst([0x0F, 0xF0] * 2)])
+    assert set(result.schemes()) == set(schemes)
+
+
+def test_workload_label_propagates():
+    result = evaluate(["raw"], [Burst([1])], workload="mylabel")
+    assert result.workload == "mylabel"
+
+
+def test_metrics_match_direct_encoding(small_random_bursts):
+    from repro.baselines import DbiDc
+    result = evaluate(["dbi-dc"], small_random_bursts)
+    direct_zeros = sum(DbiDc().encode(b).zeros() for b in small_random_bursts)
+    assert result["dbi-dc"].zeros == direct_zeros

@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fridge"])
+
+
+class TestEncode:
+    def test_default_burst_all_schemes(self, capsys):
+        code, out, __ = run_cli(capsys, "encode")
+        assert code == 0
+        assert "dbi-opt" in out
+        assert "10001110" in out  # the paper's default burst
+
+    def test_bits_input(self, capsys):
+        code, out, __ = run_cli(capsys, "encode", "--bits", "00000000",
+                                "--scheme", "dbi-dc")
+        assert code == 0
+        assert "| dbi-dc |" in out
+        assert "I" in out  # the zero byte is inverted
+
+    def test_hex_input(self, capsys):
+        code, out, __ = run_cli(capsys, "encode", "--hex", "8e", "86",
+                                "--scheme", "dbi-opt")
+        assert code == 0
+        assert "10001110 10000110" in out
+
+    def test_custom_coefficients(self, capsys):
+        code, out, __ = run_cli(capsys, "encode", "--hex", "0f",
+                                "--alpha", "0", "--beta", "2",
+                                "--scheme", "dbi-dc")
+        assert code == 0
+        assert "b=2" in out
+
+
+class TestSchemes:
+    def test_lists_all(self, capsys):
+        code, out, __ = run_cli(capsys, "schemes")
+        assert code == 0
+        from repro.core.schemes import available_schemes
+        for name in available_schemes():
+            assert name in out
+
+
+class TestPareto:
+    def test_default_burst(self, capsys):
+        code, out, __ = run_cli(capsys, "pareto")
+        assert code == 0
+        assert "| transitions | zeros |" in out
+
+    def test_too_long_burst(self, capsys):
+        code, __, err = run_cli(capsys, "pareto", "--hex", *(["00"] * 17))
+        assert code == 2
+        assert "at most 16" in err
+
+
+class TestSweeps:
+    def test_sweep_alpha_small(self, capsys):
+        code, out, __ = run_cli(capsys, "sweep-alpha", "--samples", "60",
+                                "--points", "5")
+        assert code == 0
+        assert "AC/DC crossover" in out
+        assert "OPT peak gain" in out
+
+    def test_sweep_alpha_plot(self, capsys):
+        code, out, __ = run_cli(capsys, "sweep-alpha", "--samples", "40",
+                                "--points", "3", "--plot")
+        assert code == 0
+        assert "o=raw" in out
+
+    def test_sweep_rate_small(self, capsys):
+        code, out, __ = run_cli(capsys, "sweep-rate", "--samples", "40",
+                                "--max-gbps", "4")
+        assert code == 0
+        assert "Gbps" in out
+
+    def test_sweep_rate_pod12(self, capsys):
+        code, out, __ = run_cli(capsys, "sweep-rate", "--samples", "40",
+                                "--max-gbps", "2", "--interface", "pod12")
+        assert code == 0
+
+    def test_sweep_load_small(self, capsys):
+        code, out, __ = run_cli(capsys, "sweep-load", "--samples", "40",
+                                "--max-gbps", "4", "--loads-pf", "3", "8")
+        assert code == 0
+        assert "best saving" in out
+
+
+class TestTable1:
+    def test_table1_prints_rows(self, capsys):
+        code, out, __ = run_cli(capsys, "table1")
+        assert code == 0
+        assert "DBI OPT (Fixed Coeff.)" in out
+        assert "Energy/Burst" in out

@@ -1,0 +1,47 @@
+"""Unit tests for the unified workload registry."""
+
+import pytest
+
+from repro.workloads.generator import Workload, make_workload, workload_names
+
+
+def test_all_names_instantiable():
+    for name in workload_names():
+        load = make_workload(name, count=20)
+        assert isinstance(load, Workload)
+        assert len(load) > 0
+        assert load.description
+
+def test_burst_lengths_respected():
+    load = make_workload("random", count=10, burst_length=4)
+    assert all(len(b) == 4 for b in load.bursts)
+
+
+def test_count_honoured_for_random_family():
+    for name in ("random", "sparse", "dense", "correlated"):
+        assert len(make_workload(name, count=17)) == 17
+
+
+def test_deterministic():
+    a = make_workload("gpu", count=30, seed=5)
+    b = make_workload("gpu", count=30, seed=5)
+    assert a.bursts == b.bursts
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError, match="unknown workload"):
+        make_workload("netflix")
+
+
+def test_sparse_vs_dense_zero_statistics():
+    sparse = make_workload("sparse", count=200)
+    dense = make_workload("dense", count=200)
+    sparse_zeros = sum(b.zeros() for b in sparse.bursts)
+    dense_zeros = sum(b.zeros() for b in dense.bursts)
+    assert sparse_zeros > dense_zeros
+
+
+def test_patterns_workload_is_directed_suite():
+    load = make_workload("patterns")
+    from repro.workloads.patterns import PATTERN_NAMES
+    assert len(load) == len(PATTERN_NAMES)

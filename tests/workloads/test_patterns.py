@@ -1,0 +1,77 @@
+"""Unit tests for directed corner-case patterns."""
+
+import pytest
+
+from repro.baselines import DbiAc, DbiDc, Raw
+from repro.core.costs import CostModel
+from repro.core.encoder import DbiOptimal
+from repro.workloads.patterns import (
+    PATTERN_NAMES,
+    all_ones,
+    all_zeros,
+    checkerboard,
+    pattern_suite,
+    ramp,
+    static_checkerboard,
+    walking_ones,
+    walking_zeros,
+)
+
+
+def test_all_zeros_is_dc_worst_case():
+    burst = all_zeros(8)
+    assert Raw().encode(burst).zeros() == 64
+    assert DbiDc().encode(burst).zeros() == 8  # one DBI zero per byte
+
+
+def test_all_ones_is_free():
+    burst = all_ones(8)
+    encoded = DbiOptimal(CostModel.fixed()).encode(burst)
+    assert encoded.cost(CostModel.fixed()) == 0
+
+
+def test_checkerboard_is_ac_worst_case():
+    burst = checkerboard(8)
+    raw_transitions = Raw().encode(burst).transitions()
+    ac_transitions = DbiAc().encode(burst).transitions()
+    # RAW toggles every data lane every beat (after entering the pattern).
+    assert raw_transitions >= 8 * (len(burst) - 1)
+    assert ac_transitions < raw_transitions / 2
+
+
+def test_static_checkerboard_only_transitions_once():
+    burst = static_checkerboard(8)
+    assert Raw().encode(burst).transitions() == 4  # entry from idle-high
+
+
+def test_walking_patterns_structure():
+    ones = walking_ones(8)
+    zeros = walking_zeros(8)
+    assert [bin(byte).count("1") for byte in ones] == [1] * 8
+    assert [bin(byte).count("1") for byte in zeros] == [7] * 8
+    assert ones.inverted() == zeros
+
+
+def test_ramp_wraps():
+    burst = ramp(4, start=254)
+    assert burst.data == (254, 255, 0, 1)
+
+
+def test_pattern_suite_complete():
+    suite = pattern_suite(8)
+    assert len(suite) == len(PATTERN_NAMES)
+    assert all(len(b) == 8 for b in suite)
+
+
+def test_custom_burst_length():
+    assert len(all_zeros(16)) == 16
+    assert len(checkerboard(3)) == 3
+
+
+def test_optimal_dominates_on_every_pattern():
+    model = CostModel.fixed()
+    optimal = DbiOptimal(model)
+    for burst in pattern_suite(8):
+        opt_cost = optimal.encode(burst).cost(model)
+        for scheme in (Raw(), DbiDc(), DbiAc()):
+            assert opt_cost <= scheme.encode(burst).cost(model)

@@ -1,0 +1,99 @@
+"""Unit tests for random burst generators."""
+
+import pytest
+
+from repro.workloads.random_data import (
+    biased_bursts,
+    burst_stream,
+    correlated_bursts,
+    random_bursts,
+    random_payload,
+)
+
+
+class TestRandomBursts:
+    def test_count_and_length(self):
+        bursts = random_bursts(count=7, burst_length=5)
+        assert len(bursts) == 7
+        assert all(len(b) == 5 for b in bursts)
+
+    def test_deterministic_with_seed(self):
+        assert random_bursts(count=5, seed=1) == random_bursts(count=5, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert random_bursts(count=5, seed=1) != random_bursts(count=5, seed=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_bursts(count=0)
+        with pytest.raises(ValueError):
+            random_bursts(count=1, burst_length=0)
+
+    def test_statistics_are_uniform(self):
+        bursts = random_bursts(count=2000, seed=7)
+        total_zeros = sum(b.zeros() for b in bursts)
+        total_bits = 2000 * 8 * 8
+        # A uniform source has a zero fraction of 0.5 +- small noise.
+        assert abs(total_zeros / total_bits - 0.5) < 0.01
+
+
+class TestBiasedBursts:
+    def test_extreme_densities(self):
+        ones = biased_bursts(4, one_density=1.0, burst_length=2)
+        zeros = biased_bursts(4, one_density=0.0, burst_length=2)
+        assert all(byte == 0xFF for b in ones for byte in b)
+        assert all(byte == 0x00 for b in zeros for byte in b)
+
+    def test_density_tracks_target(self):
+        bursts = biased_bursts(1000, one_density=0.25, seed=3)
+        ones = sum(8 * len(b) - b.zeros() for b in bursts)
+        bits = sum(8 * len(b) for b in bursts)
+        assert abs(ones / bits - 0.25) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            biased_bursts(1, one_density=1.5)
+        with pytest.raises(ValueError):
+            biased_bursts(0, one_density=0.5)
+
+
+class TestCorrelatedBursts:
+    def test_zero_flip_probability_freezes_stream(self):
+        bursts = correlated_bursts(3, flip_probability=0.0, burst_length=4,
+                                   seed=5)
+        first = bursts[0][0]
+        assert all(byte == first for b in bursts for byte in b)
+
+    def test_low_flip_probability_reduces_transitions(self):
+        from repro.baselines import Raw
+        calm = correlated_bursts(200, flip_probability=0.05, seed=11)
+        wild = correlated_bursts(200, flip_probability=0.5, seed=11)
+        raw = Raw()
+        calm_trans = sum(raw.encode(b).transitions() for b in calm)
+        wild_trans = sum(raw.encode(b).transitions() for b in wild)
+        assert calm_trans < wild_trans
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlated_bursts(1, flip_probability=-0.1)
+        with pytest.raises(ValueError):
+            correlated_bursts(0)
+
+
+class TestPayloadAndStream:
+    def test_payload_length_and_determinism(self):
+        assert len(random_payload(100)) == 100
+        assert random_payload(50, seed=2) == random_payload(50, seed=2)
+
+    def test_payload_validation(self):
+        with pytest.raises(ValueError):
+            random_payload(-1)
+
+    def test_stream_limit(self):
+        bursts = list(burst_stream(limit=5))
+        assert len(bursts) == 5
+
+    def test_stream_matches_seed(self):
+        a = list(burst_stream(seed=9, limit=3))
+        b = list(burst_stream(seed=9, limit=3))
+        assert a == b

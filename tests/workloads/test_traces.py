@@ -1,0 +1,104 @@
+"""Unit tests for synthetic application traces."""
+
+import pytest
+
+from repro.workloads.traces import (
+    float_trace,
+    gpu_frame_trace,
+    image_trace,
+    pointer_trace,
+    text_trace,
+    zero_run_trace,
+)
+
+
+class TestTextTrace:
+    def test_ascii_only(self):
+        payload = text_trace(2000)
+        assert all(byte < 0x80 for byte in payload)
+
+    def test_deterministic(self):
+        assert text_trace(100, seed=4) == text_trace(100, seed=4)
+
+    def test_length(self):
+        assert len(text_trace(123)) == 123
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            text_trace(-1)
+
+
+class TestFloatTrace:
+    def test_length_is_four_bytes_per_value(self):
+        assert len(float_trace(100)) == 400
+
+    def test_decodable_as_floats(self):
+        import numpy as np
+        values = np.frombuffer(float_trace(64), dtype="<f4")
+        assert len(values) == 64
+        assert np.all(np.abs(values) < 2.0)
+
+    def test_exponent_bytes_are_stable(self):
+        """The high byte of consecutive float32 samples rarely changes —
+        the lane profile the trace is designed to exhibit."""
+        payload = float_trace(512)
+        high_bytes = payload[3::4]
+        changes = sum(1 for a, b in zip(high_bytes, high_bytes[1:]) if a != b)
+        assert changes < len(high_bytes) / 2
+
+
+class TestImageTrace:
+    def test_dimensions(self):
+        assert len(image_trace(width=64, height=4)) == 256
+
+    def test_smoothness(self):
+        payload = image_trace(width=256, height=2)
+        diffs = [abs(a - b) for a, b in zip(payload, payload[1:])]
+        assert sum(diffs) / len(diffs) < 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            image_trace(width=0)
+
+
+class TestPointerTrace:
+    def test_length(self):
+        assert len(pointer_trace(10)) == 80
+
+    def test_high_bytes_constant(self):
+        payload = pointer_trace(64)
+        top_bytes = payload[7::8]
+        assert len(set(top_bytes)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pointer_trace(1, stride=0)
+
+
+class TestZeroRunTrace:
+    def test_zero_fraction(self):
+        payload = zero_run_trace(8192, zero_fraction=0.6, seed=2)
+        zero_bytes = sum(1 for byte in payload if byte == 0)
+        assert zero_bytes / len(payload) > 0.4
+
+    def test_pure_random_limit(self):
+        payload = zero_run_trace(4096, zero_fraction=0.0, seed=2)
+        zero_bytes = sum(1 for byte in payload if byte == 0)
+        assert zero_bytes / len(payload) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zero_run_trace(10, zero_fraction=2.0)
+
+
+class TestGpuFrameTrace:
+    def test_length(self):
+        assert len(gpu_frame_trace(10000)) == 10000
+
+    def test_deterministic(self):
+        assert gpu_frame_trace(1024, seed=8) == gpu_frame_trace(1024, seed=8)
+
+    def test_mixture_contains_zero_runs(self):
+        payload = gpu_frame_trace(16384)
+        zero_bytes = sum(1 for byte in payload if byte == 0)
+        assert zero_bytes > len(payload) * 0.05
