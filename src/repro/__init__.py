@@ -27,6 +27,31 @@ Quickstart::
     burst = Burst([0x8E, 0x86, 0x96, 0xE9, 0x7D, 0xB7, 0x57, 0xC4])
     encoded = DbiOptimal(CostModel.fixed()).encode(burst)
     print(encoded.invert_flags, encoded.activity())
+
+Backends
+--------
+Two interchangeable execution backends produce bit-identical results:
+
+* ``reference`` — the pure-Python per-burst path above (the executable
+  specification; always available).
+* ``vector`` — a NumPy batch backend (:mod:`repro.core.vectorized`) that
+  encodes whole ``(batch, n)`` populations array-at-a-time; this is what
+  makes million-burst sweeps practical.
+
+Batch entry points (``DbiScheme.encode_batch``, ``sim.runner.evaluate``,
+``sim.sweep.collect_activity`` and the figure sweeps) accept
+``backend="auto" | "reference" | "vector"``; ``auto`` (default) uses
+``vector`` whenever NumPy is importable.  The process-wide default can be
+set with :func:`repro.set_default_backend` or the ``REPRO_BACKEND``
+environment variable.  NumPy is optional — the ``backend="auto"`` entry
+points transparently fall back to the reference path without it (only
+the raw array API :func:`repro.solve_batch` requires NumPy outright)::
+
+    from repro import Burst, CostModel, DbiOptimal, solve_batch
+
+    scheme = DbiOptimal(CostModel.fixed())
+    encoded = scheme.encode_batch([Burst([0x00] * 8)] * 1000)     # any env
+    flags, costs = solve_batch([[0x00] * 8] * 1000, scheme.model)  # NumPy only
 """
 
 from . import baselines as _baselines  # noqa: F401 - populates the registry
@@ -40,14 +65,21 @@ from .core import (
     DbiOptimalQuantized,
     DbiScheme,
     EncodedBurst,
+    HAVE_NUMPY,
     PAPER_FIG2_BURST,
     QuantizedCostModel,
+    available_backends,
     available_schemes,
     brute_force,
     chunk_bytes,
+    get_default_backend,
     get_scheme,
     register_scheme,
+    resolve_backend,
+    set_default_backend,
     solve,
+    solve_batch,
+    solve_stream_batch,
 )
 from .baselines import BusInvert, DbiAc, DbiAcDc, DbiDc, DbiGreedyWeighted, Raw
 
@@ -68,14 +100,21 @@ __all__ = [
     "DbiOptimalQuantized",
     "DbiScheme",
     "EncodedBurst",
+    "HAVE_NUMPY",
     "PAPER_FIG2_BURST",
     "QuantizedCostModel",
     "Raw",
+    "available_backends",
     "available_schemes",
     "brute_force",
     "chunk_bytes",
+    "get_default_backend",
     "get_scheme",
     "register_scheme",
+    "resolve_backend",
+    "set_default_backend",
     "solve",
+    "solve_batch",
+    "solve_stream_batch",
     "__version__",
 ]

@@ -45,5 +45,10 @@ class BusInvert(DbiScheme):
         return EncodedBurst(burst=burst, invert_flags=tuple(flags),
                             prev_word=prev_word)
 
+    def batch_flags(self, data, prev_words):
+        from ..core.vectorized import businvert_flags
+
+        return businvert_flags(data, prev_words)
+
 
 register_scheme("bus-invert", BusInvert)

@@ -51,6 +51,11 @@ class DbiGreedyWeighted(DbiScheme):
         return EncodedBurst(burst=burst, invert_flags=tuple(flags),
                             prev_word=prev_word)
 
+    def batch_flags(self, data, prev_words):
+        from ..core.vectorized import greedy_flags
+
+        return greedy_flags(data, self.model, prev_words)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DbiGreedyWeighted(alpha={self.model.alpha}, beta={self.model.beta})"
 

@@ -46,5 +46,10 @@ class DbiAc(DbiScheme):
         return EncodedBurst(burst=burst, invert_flags=tuple(flags),
                             prev_word=prev_word)
 
+    def batch_flags(self, data, prev_words):
+        from ..core.vectorized import ac_flags
+
+        return ac_flags(data, prev_words)
+
 
 register_scheme("dbi-ac", DbiAc)

@@ -23,6 +23,10 @@ class DbiAcDc(DbiScheme):
     """First byte DBI DC, remaining bytes DBI AC (Hollis 2009)."""
 
     name = "dbi-acdc"
+    # The first byte's DC rule looks only at the byte and the AC chain
+    # threads from the scheme's own transmitted words, so the flags never
+    # read the incoming bus state — chained mode stays vectorizable.
+    stateful_flags = False
 
     def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
         flags = []
@@ -35,6 +39,11 @@ class DbiAcDc(DbiScheme):
             last = make_word(byte, inverted)
         return EncodedBurst(burst=burst, invert_flags=tuple(flags),
                             prev_word=prev_word)
+
+    def batch_flags(self, data, prev_words):
+        from ..core.vectorized import acdc_flags
+
+        return acdc_flags(data, prev_words)
 
 
 register_scheme("dbi-acdc", DbiAcDc)

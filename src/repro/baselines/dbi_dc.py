@@ -36,10 +36,16 @@ class DbiDc(DbiScheme):
     """Zero-minimising DBI (the GDDR5/DDR4 standard write encoding)."""
 
     name = "dbi-dc"
+    stateful_flags = False
 
     def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
         flags = tuple(should_invert_dc(byte) for byte in burst)
         return EncodedBurst(burst=burst, invert_flags=flags, prev_word=prev_word)
+
+    def batch_flags(self, data, prev_words):
+        from ..core.vectorized import dc_flags
+
+        return dc_flags(data, prev_words)
 
 
 register_scheme("dbi-dc", DbiDc)

@@ -21,11 +21,17 @@ class Raw(DbiScheme):
     """
 
     name = "raw"
+    stateful_flags = False
 
     def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
         return EncodedBurst(burst=burst,
                             invert_flags=(False,) * len(burst),
                             prev_word=prev_word)
+
+    def batch_flags(self, data, prev_words):
+        from ..core.vectorized import raw_flags
+
+        return raw_flags(data, prev_words)
 
 
 register_scheme("raw", Raw)

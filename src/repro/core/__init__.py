@@ -47,6 +47,16 @@ from .schemes import (
     register_scheme,
 )
 from .trellis import TrellisGraph, TrellisSolution, brute_force, solve
+from .vectorized import (
+    HAVE_NUMPY,
+    available_backends,
+    get_default_backend,
+    pack_bursts,
+    resolve_backend,
+    set_default_backend,
+    solve_batch,
+    solve_stream_batch,
+)
 
 __all__ = [
     "ALL_ONES_WORD",
@@ -54,6 +64,14 @@ __all__ = [
     "BYTE_WIDTH",
     "Burst",
     "CostModel",
+    "HAVE_NUMPY",
+    "available_backends",
+    "get_default_backend",
+    "pack_bursts",
+    "resolve_backend",
+    "set_default_backend",
+    "solve_batch",
+    "solve_stream_batch",
     "DBI_BIT",
     "DEFAULT_BURST_LENGTH",
     "DbiOptimal",

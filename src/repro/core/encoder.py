@@ -44,6 +44,12 @@ class DbiOptimal(DbiScheme):
         return EncodedBurst(burst=burst, invert_flags=solution.invert_flags,
                             prev_word=prev_word)
 
+    def batch_flags(self, data, prev_words):
+        from .vectorized import solve_batch
+
+        flags, _costs = solve_batch(data, self.model, prev_words=prev_words)
+        return flags
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DbiOptimal(alpha={self.model.alpha}, beta={self.model.beta})"
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .bitops import (
     ALL_ONES_WORD,
@@ -23,6 +23,7 @@ from .bitops import (
 )
 from .burst import Burst
 from .costs import CostModel
+from .vectorized import try_vector_pack
 
 
 @dataclass(frozen=True)
@@ -113,6 +114,11 @@ class DbiScheme(abc.ABC):
     #: Short identifier used in tables, plots and the registry.
     name: str = "abstract"
 
+    #: Whether the invert decisions depend on the incoming bus state.
+    #: State-free schemes (RAW, DBI DC) stay fully vectorizable even in
+    #: chained transmission mode.
+    stateful_flags: bool = True
+
     @abc.abstractmethod
     def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
         """Encode one burst given the previous bus state."""
@@ -127,6 +133,49 @@ class DbiScheme(abc.ABC):
             encoded.append(result)
             state = result.last_word()
         return encoded
+
+    # -- batch API ---------------------------------------------------------
+    def batch_flags(self, data, prev_words):
+        """Vector kernel: invert flags for a packed ``(batch, n)`` array.
+
+        ``data`` is a ``uint8`` array (one burst per row), ``prev_words``
+        a ``(batch,)`` array of per-row boundary words.  Returns a
+        ``(batch, n)`` bool array bit-identical to calling :meth:`encode`
+        row by row.  Schemes without a vector kernel leave this
+        unimplemented and :meth:`encode_batch` falls back to the
+        reference per-burst path.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no vector kernel")
+
+    def supports_batch(self) -> bool:
+        """True when this scheme provides a vectorized :meth:`batch_flags`."""
+        return type(self).batch_flags is not DbiScheme.batch_flags
+
+    def encode_batch(self, bursts: Iterable[Burst],
+                     prev_word: int = ALL_ONES_WORD,
+                     backend: Optional[str] = None) -> List[EncodedBurst]:
+        """Encode a whole burst population (independent boundaries).
+
+        With the ``vector`` backend (the default whenever NumPy is
+        available) equal-length populations are encoded array-at-a-time
+        through :meth:`batch_flags`; ragged populations, schemes without
+        a kernel, and the ``reference`` backend use the per-burst path.
+        Results are identical either way.
+        """
+        burst_list = list(bursts)
+        data = try_vector_pack(self, burst_list, backend) if burst_list else None
+        if data is not None:
+            import numpy as np
+
+            prev = np.full(data.shape[0], prev_word, dtype=np.int64)
+            flags = self.batch_flags(data, prev)
+            return [
+                EncodedBurst(burst=burst,
+                             invert_flags=tuple(map(bool, row)),
+                             prev_word=prev_word)
+                for burst, row in zip(burst_list, flags)
+            ]
+        return [self.encode(burst, prev_word=prev_word) for burst in burst_list]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -7,15 +7,29 @@ Evaluates a set of DBI schemes over a common burst population and collects
   the idle-high bus (``prev_word = 0x1FF``);
 * **chained**: bus state threads from each burst into the next, modelling
   back-to-back write bursts.
+
+Two execution backends (see :mod:`repro.core.vectorized`):
+
+* ``reference`` — the pure-Python per-burst path (the executable spec);
+* ``vector`` — whole populations encoded array-at-a-time through each
+  scheme's NumPy kernel, with identical results.
+
+``backend="auto"`` (the default) selects ``vector`` whenever NumPy is
+available and the scheme/mode combination is vectorizable: equal-length
+bursts, a scheme with a batch kernel, and — in chained mode — flag
+decisions that do not depend on the incoming bus state (RAW, DBI DC).
+Everything else silently uses the reference path, so results never depend
+on the backend choice.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..core.bitops import ALL_ONES_WORD
 from ..core.burst import Burst
 from ..core.schemes import DbiScheme, get_scheme
+from ..core.vectorized import try_vector_pack
 from .metrics import EvaluationResult, SchemeMetrics
 
 SchemeSpec = Union[str, DbiScheme]
@@ -27,12 +41,50 @@ def _resolve(spec: SchemeSpec) -> DbiScheme:
     return get_scheme(spec)
 
 
+def _tally_reference(scheme: DbiScheme, name: str, bursts: List[Burst],
+                     chained: bool) -> SchemeMetrics:
+    metrics = SchemeMetrics(scheme=name)
+    state = ALL_ONES_WORD
+    for burst in bursts:
+        encoded = scheme.encode(burst, prev_word=state)
+        metrics.record(encoded)
+        if chained:
+            state = encoded.last_word()
+    return metrics
+
+
+def _tally_vector(scheme: DbiScheme, name: str, data,
+                  chained: bool) -> SchemeMetrics:
+    from ..core.vectorized import scheme_batch_activity
+
+    batch, n = data.shape
+    flags, transitions, zeros = scheme_batch_activity(
+        scheme, data, prev_word=ALL_ONES_WORD, chained=chained)
+    return SchemeMetrics(scheme=name, bursts=batch, zeros=zeros,
+                         transitions=transitions,
+                         inverted_bytes=int(flags.sum()),
+                         total_bytes=batch * n)
+
+
+def run_scheme(scheme: DbiScheme, name: str, bursts: List[Burst],
+               chained: bool = False,
+               backend: Optional[str] = None) -> SchemeMetrics:
+    """Tally one scheme over a population on the selected backend."""
+    data = try_vector_pack(scheme, bursts, backend, chained=chained)
+    if data is not None:
+        return _tally_vector(scheme, name, data, chained)
+    return _tally_reference(scheme, name, bursts, chained)
+
+
 def evaluate(schemes: Sequence[SchemeSpec], bursts: Iterable[Burst],
-             workload: str = "adhoc", chained: bool = False) -> EvaluationResult:
+             workload: str = "adhoc", chained: bool = False,
+             backend: Optional[str] = None) -> EvaluationResult:
     """Run every scheme over every burst and tally activity.
 
     Scheme specs may be registry names or instantiated schemes; instances
     are useful for parameterised encoders (``DbiOptimal(model)``).
+    ``backend`` selects the execution path (``"auto"``/``"reference"``/
+    ``"vector"``) without affecting results.
 
     >>> from repro.core.burst import Burst
     >>> result = evaluate(["raw", "dbi-dc"], [Burst([0x00])])
@@ -51,19 +103,14 @@ def evaluate(schemes: Sequence[SchemeSpec], bursts: Iterable[Burst],
 
     result = EvaluationResult(workload=workload)
     for name, scheme in resolved.items():
-        metrics = SchemeMetrics(scheme=name)
-        state = ALL_ONES_WORD
-        for burst in burst_list:
-            encoded = scheme.encode(burst, prev_word=state)
-            metrics.record(encoded)
-            if chained:
-                state = encoded.last_word()
-        result.metrics[name] = metrics
+        result.metrics[name] = run_scheme(scheme, name, burst_list,
+                                          chained=chained, backend=backend)
     return result
 
 
 def evaluate_named(schemes: Mapping[str, SchemeSpec], bursts: Iterable[Burst],
-                   workload: str = "adhoc", chained: bool = False) -> EvaluationResult:
+                   workload: str = "adhoc", chained: bool = False,
+                   backend: Optional[str] = None) -> EvaluationResult:
     """Like :func:`evaluate` but with caller-chosen display names.
 
     Needed when the same scheme class appears twice with different
@@ -75,12 +122,6 @@ def evaluate_named(schemes: Mapping[str, SchemeSpec], bursts: Iterable[Burst],
     result = EvaluationResult(workload=workload)
     for name, spec in schemes.items():
         scheme = _resolve(spec)
-        metrics = SchemeMetrics(scheme=name)
-        state = ALL_ONES_WORD
-        for burst in burst_list:
-            encoded = scheme.encode(burst, prev_word=state)
-            metrics.record(encoded)
-            if chained:
-                state = encoded.last_word()
-        result.metrics[name] = metrics
+        result.metrics[name] = run_scheme(scheme, name, burst_list,
+                                          chained=chained, backend=backend)
     return result

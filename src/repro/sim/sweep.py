@@ -27,6 +27,7 @@ from ..core.burst import Burst
 from ..core.costs import CostModel
 from ..core.encoder import DbiOptimal
 from ..core.schemes import DbiScheme
+from ..core.vectorized import try_vector_pack
 from ..phy.pod import PodInterface, pod135
 from ..phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
 
@@ -56,8 +57,21 @@ class ActivityTotals:
         return energy_model.burst_energy(self.transitions, self.zeros) / self.bursts
 
 
-def collect_activity(scheme: DbiScheme, bursts: Sequence[Burst]) -> ActivityTotals:
-    """Encode the population once and tally totals."""
+def collect_activity(scheme: DbiScheme, bursts: Sequence[Burst],
+                     backend: Optional[str] = None) -> ActivityTotals:
+    """Encode the population once and tally totals.
+
+    On the ``vector`` backend (default whenever NumPy is available),
+    schemes with a batch kernel encode the whole population
+    array-at-a-time — this is the hot path of every figure sweep.
+    """
+    data = try_vector_pack(scheme, bursts, backend)
+    if data is not None:
+        from ..core.vectorized import scheme_batch_activity
+
+        __, transitions, zeros = scheme_batch_activity(scheme, data)
+        return ActivityTotals(transitions=transitions, zeros=zeros,
+                              bursts=len(bursts))
     transitions = 0
     zeros = 0
     for burst in bursts:
@@ -98,7 +112,8 @@ class AlphaSweepResult:
 
 def alpha_sweep(bursts: Sequence[Burst], points: int = 51,
                 include_fixed: bool = False,
-                extra_schemes: Optional[Dict[str, DbiScheme]] = None) -> AlphaSweepResult:
+                extra_schemes: Optional[Dict[str, DbiScheme]] = None,
+                backend: Optional[str] = None) -> AlphaSweepResult:
     """Reproduce Fig. 3 (and Fig. 4 with ``include_fixed=True``).
 
     RAW/DC/AC/OPT(Fixed) encode once (their decisions don't depend on the
@@ -117,7 +132,7 @@ def alpha_sweep(bursts: Sequence[Burst], points: int = 51,
         static_schemes["dbi-opt-fixed"] = DbiOptimal(CostModel.fixed())
     if extra_schemes:
         static_schemes.update(extra_schemes)
-    static_activity = {name: collect_activity(scheme, bursts)
+    static_activity = {name: collect_activity(scheme, bursts, backend=backend)
                        for name, scheme in static_schemes.items()}
 
     result = AlphaSweepResult(ac_costs=ac_costs)
@@ -129,7 +144,7 @@ def alpha_sweep(bursts: Sequence[Burst], points: int = 51,
         model = CostModel.from_ac_fraction(ac_cost)
         for name, activity in static_activity.items():
             result.series[name].append(activity.mean_cost(model))
-        optimal = collect_activity(DbiOptimal(model), bursts)
+        optimal = collect_activity(DbiOptimal(model), bursts, backend=backend)
         result.series["dbi-opt"].append(optimal.mean_cost(model))
     return result
 
@@ -154,7 +169,8 @@ class DataRateSweepResult:
 def data_rate_sweep(bursts: Sequence[Burst],
                     interface: Optional[PodInterface] = None,
                     c_load_farads: float = 3 * PICOFARAD,
-                    data_rates_hz: Optional[Sequence[float]] = None) -> DataRateSweepResult:
+                    data_rates_hz: Optional[Sequence[float]] = None,
+                    backend: Optional[str] = None) -> DataRateSweepResult:
     """Reproduce Fig. 7: interface energy vs data rate, normalised to RAW.
 
     OPT re-encodes at every rate with the physical (E_transition, E_zero)
@@ -169,10 +185,11 @@ def data_rate_sweep(bursts: Sequence[Burst],
         raise ValueError("no data rates given")
 
     static_activity = {
-        "raw": collect_activity(Raw(), bursts),
-        "dbi-dc": collect_activity(DbiDc(), bursts),
-        "dbi-ac": collect_activity(DbiAc(), bursts),
-        "dbi-opt-fixed": collect_activity(DbiOptimal(CostModel.fixed()), bursts),
+        "raw": collect_activity(Raw(), bursts, backend=backend),
+        "dbi-dc": collect_activity(DbiDc(), bursts, backend=backend),
+        "dbi-ac": collect_activity(DbiAc(), bursts, backend=backend),
+        "dbi-opt-fixed": collect_activity(DbiOptimal(CostModel.fixed()), bursts,
+                                          backend=backend),
     }
 
     result = DataRateSweepResult(data_rates_hz=rates)
@@ -189,7 +206,7 @@ def data_rate_sweep(bursts: Sequence[Burst],
             result.absolute[name].append(energy)
             result.normalized[name].append(energy / raw_energy)
         optimal_activity = collect_activity(
-            DbiOptimal(energy_model.cost_model()), bursts)
+            DbiOptimal(energy_model.cost_model()), bursts, backend=backend)
         energy = optimal_activity.mean_energy(energy_model)
         result.absolute["dbi-opt"].append(energy)
         result.normalized["dbi-opt"].append(energy / raw_energy)
@@ -216,7 +233,8 @@ def load_sweep(bursts: Sequence[Burst],
                c_loads_farads: Sequence[float] = (1e-12, 2e-12, 3e-12,
                                                   4e-12, 6e-12, 8e-12),
                data_rates_hz: Optional[Sequence[float]] = None,
-               encoder_energy_j: Optional[Dict[str, float]] = None) -> LoadSweepResult:
+               encoder_energy_j: Optional[Dict[str, float]] = None,
+               backend: Optional[str] = None) -> LoadSweepResult:
     """Reproduce Fig. 8: total (interface + encoder) energy per burst of
     OPT (Fixed), normalised to the better of DBI DC / DBI AC, across loads.
 
@@ -235,9 +253,10 @@ def load_sweep(bursts: Sequence[Burst],
             raise KeyError(f"encoder_energy_j missing entry for {required!r}")
 
     activity = {
-        "dbi-dc": collect_activity(DbiDc(), bursts),
-        "dbi-ac": collect_activity(DbiAc(), bursts),
-        "dbi-opt-fixed": collect_activity(DbiOptimal(CostModel.fixed()), bursts),
+        "dbi-dc": collect_activity(DbiDc(), bursts, backend=backend),
+        "dbi-ac": collect_activity(DbiAc(), bursts, backend=backend),
+        "dbi-opt-fixed": collect_activity(DbiOptimal(CostModel.fixed()), bursts,
+                                          backend=backend),
     }
 
     result = LoadSweepResult(data_rates_hz=rates)

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.burst import Burst, PAPER_FIG2_BURST
 from repro.core.costs import CostModel
-from repro.workloads.random_data import random_bursts
 
 
 @pytest.fixture(scope="session")
@@ -21,13 +20,23 @@ def fixed_model() -> CostModel:
     return CostModel.fixed()
 
 
+def _random_bursts(count: int, seed: int):
+    # Imported lazily: the workload generators require NumPy, and the
+    # core/baselines subtrees must stay collectable without it (the CI
+    # reference-fallback leg runs them NumPy-free).
+    pytest.importorskip("numpy", exc_type=ImportError)
+    from repro.workloads.random_data import random_bursts
+
+    return random_bursts(count=count, seed=seed)
+
+
 @pytest.fixture(scope="session")
 def small_random_bursts():
     """A small deterministic random population for fast checks."""
-    return random_bursts(count=50, seed=1234)
+    return _random_bursts(count=50, seed=1234)
 
 
 @pytest.fixture(scope="session")
 def medium_random_bursts():
     """A mid-size deterministic random population for statistics checks."""
-    return random_bursts(count=500, seed=99)
+    return _random_bursts(count=500, seed=99)

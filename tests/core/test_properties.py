@@ -8,8 +8,13 @@ bursts and cost models:
 3. Every scheme round-trips through the common decoder.
 4. DBI DC's <=4-zeros-per-word guarantee.
 5. AC == ACDC under the idle-high boundary condition.
+6. Batch-API invariants: encode→decode round-trips on every backend,
+   the streaming encoder's cost converges monotonically (in the mean)
+   toward the joint optimum as the lookahead window grows, and batch
+   order never changes optimal costs.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -135,3 +140,90 @@ def test_wire_complement_symmetry(burst, prev_word):
     original = DbiOptimal(model).encode(burst, prev_word=prev_word).cost(model)
     complemented = DbiOptimal(model).encode(burst, prev_word=mirrored).cost(model)
     assert original == complemented
+
+
+# -- batch API invariants -----------------------------------------------------
+
+batches = st.lists(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=8),
+    min_size=1, max_size=12,
+).map(lambda rows: [Burst(row) for row in rows])
+
+
+@settings(max_examples=60, deadline=None)
+@given(batches, prev_words)
+def test_encode_batch_round_trips_on_every_backend(bursts, prev_word):
+    """encode→decode identity holds for encode_batch on all backends.
+
+    Batches are deliberately ragged some of the time, exercising both the
+    vector fast path and the reference fallback.
+    """
+    from repro.core.vectorized import available_backends
+
+    for backend in available_backends():
+        for name in ("raw", "dbi-dc", "dbi-ac", "dbi-opt"):
+            scheme = get_scheme(name)
+            encoded = scheme.encode_batch(bursts, prev_word=prev_word,
+                                          backend=backend)
+            assert len(encoded) == len(bursts)
+            for burst, enc in zip(bursts, encoded):
+                assert enc.decode().data == burst.data
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255),
+                min_size=2, max_size=20),
+       st.integers(min_value=1, max_value=20), prev_words)
+def test_windowed_cost_never_beats_joint_optimum(data, window, prev_word):
+    """Any finite lookahead is lower-bounded by the joint stream optimum,
+    and a window covering the whole stream achieves it exactly."""
+    from repro.core.streaming import solve_stream, windowed_stream_cost
+
+    model = CostModel.fixed()
+    __, optimal = solve_stream(data, model, prev_word=prev_word)
+    windowed = windowed_stream_cost(data, model, window, prev_word=prev_word)
+    assert windowed >= optimal - 1e-9
+    full = windowed_stream_cost(data, model, len(data), prev_word=prev_word)
+    assert full == pytest.approx(optimal, abs=1e-9)
+
+
+def test_streaming_mean_cost_monotone_in_window():
+    """Population-mean cost decreases as the lookahead window doubles.
+
+    Per-instance monotonicity does *not* hold (a longer window can commit
+    a prefix that happens to be worse for one particular stream), but the
+    mean over a population converges monotonically to the joint optimum —
+    the window-size ablation's headline claim.
+    """
+    import random
+
+    from repro.core.streaming import solve_stream, windowed_stream_cost
+
+    rng = random.Random(0x0DB1)
+    streams = [[rng.randrange(256) for _ in range(32)] for _ in range(60)]
+    for ac_fraction in (0.3, 0.5, 0.7):
+        model = CostModel.from_ac_fraction(ac_fraction)
+        means = [
+            sum(windowed_stream_cost(s, model, window) for s in streams)
+            for window in (1, 2, 4, 8, 16, 32)
+        ]
+        for wider, narrower in zip(means[1:], means):
+            assert wider <= narrower + 1e-9
+        optimum = sum(solve_stream(s, model)[1] for s in streams)
+        assert means[-1] == pytest.approx(optimum, abs=1e-9)
+
+
+def test_optimal_batch_cost_invariant_under_permutation():
+    """Permuting the burst order permutes, but never changes, the optimal
+    per-burst costs (independent boundaries ⇒ no cross-burst coupling)."""
+    np = pytest.importorskip("numpy", exc_type=ImportError)
+    from repro.core.vectorized import solve_batch
+
+    rng = np.random.default_rng(123)
+    data = rng.integers(0, 256, size=(200, 8), dtype=np.uint8)
+    model = CostModel.from_ac_fraction(0.37)
+    __, costs = solve_batch(data, model)
+    permutation = rng.permutation(200)
+    __, permuted_costs = solve_batch(data[permutation], model)
+    assert (permuted_costs == costs[permutation]).all()
+    assert permuted_costs.sum() == pytest.approx(costs.sum(), rel=1e-12)
