@@ -1,0 +1,128 @@
+"""Sweep wall-clock benchmark — the experiment-engine acceptance gate.
+
+Times the paper's figure suite two ways over the same population:
+
+* **naive** — every (scheme, grid cell) encoded independently, the way a
+  generic declarative parameter-sweep harness evaluates its model at
+  each grid point (and the shape the bespoke loops degenerate to without
+  their hand-rolled hoisting);
+* **engine** — :func:`repro.sim.experiments.run_experiment` with a
+  shared :class:`~repro.sim.experiments.ActivityCache`, which collapses
+  the grid to one encode per distinct (scheme fingerprint, population)
+  pair: statics encode once per suite, OPT once per distinct
+  alpha/beta ratio.
+
+The gate requires the engine to be **>= 2x faster** at
+``REPRO_SWEEP_BENCH_SAMPLES`` bursts (default 10 000, the paper's
+Monte-Carlo population) while producing bit-identical series.  On
+multi-core machines an informational ``--jobs`` timing is printed too
+(no gate — CI cores vary).
+"""
+
+import os
+import time
+
+from conftest import emit
+
+from repro.phy.power import GBPS, PICOFARAD
+from repro.sim.experiments import (
+    ActivityCache,
+    alpha_experiment,
+    load_experiment,
+    population_activity,
+    run_experiment,
+)
+from repro.workloads.population import RandomPopulation
+
+#: Population size of the gate (the paper's figures use 10 000).
+SWEEP_BENCH_SAMPLES = int(os.environ.get("REPRO_SWEEP_BENCH_SAMPLES",
+                                         "10000"))
+
+#: Required wall-clock advantage of the cached engine over naive
+#: cell-by-cell execution.
+SPEEDUP_FLOOR = 2.0
+
+ENCODER_ENERGY = {"dbi-dc": 0.2e-12, "dbi-ac": 0.3e-12,
+                  "dbi-opt-fixed": 1.7e-12}
+
+
+def _figure_suite(population):
+    """The benchmark workload: a Fig. 3/4 grid plus a Fig. 8 grid."""
+    return [
+        alpha_experiment(population, points=13, include_fixed=True),
+        load_experiment(population,
+                        c_loads_farads=(1 * PICOFARAD, 3 * PICOFARAD,
+                                        8 * PICOFARAD),
+                        data_rates_hz=[GBPS * step for step in range(2, 12)],
+                        encoder_energy_j=ENCODER_ENERGY),
+    ]
+
+
+def _run_naive(specs):
+    """Evaluate every (slot, cell) independently — no cache, no dedup."""
+    all_series = []
+    encodes = 0
+    for spec in specs:
+        series = {}
+        for slot in spec.slots:
+            values = []
+            for point in spec.grid:
+                totals = population_activity(slot.resolve(point),
+                                             spec.population)
+                encodes += 1
+                if spec.pricing == "cost":
+                    value = (point.alpha * totals.transitions
+                             + point.beta * totals.zeros) / totals.bursts
+                else:
+                    value = (totals.zeros * point.beta
+                             + totals.transitions * point.alpha
+                             ) / totals.bursts
+                values.append(value)
+            series[slot.name] = values
+        all_series.append(series)
+    return all_series, encodes
+
+
+def test_engine_speedup_over_naive_sweeps():
+    population = RandomPopulation(SWEEP_BENCH_SAMPLES, seed=0x0DB1)
+    specs = _figure_suite(population)
+
+    start = time.perf_counter()
+    naive_series, naive_encodes = _run_naive(specs)
+    naive_elapsed = time.perf_counter() - start
+
+    cache = ActivityCache()
+    start = time.perf_counter()
+    results = [run_experiment(spec, cache=cache) for spec in specs]
+    engine_elapsed = time.perf_counter() - start
+    engine_encodes = sum(r.provenance["encodes"] for r in results)
+
+    # Equivalence at scale: the cached engine changes nothing numerically.
+    for result, series in zip(results, naive_series):
+        assert result.series == series
+
+    speedup = naive_elapsed / engine_elapsed
+    lines = [
+        f"population: {SWEEP_BENCH_SAMPLES} bursts",
+        f"naive cell-by-cell: {naive_encodes} encodes, "
+        f"{naive_elapsed:.3f} s",
+        f"engine (shared cache): {engine_encodes} encodes, "
+        f"{engine_elapsed:.3f} s",
+        f"speedup: {speedup:.1f}x (gate: >= {SPEEDUP_FLOOR}x)",
+    ]
+
+    cpus = os.cpu_count() or 1
+    if cpus > 1:
+        start = time.perf_counter()
+        parallel = [run_experiment(spec, jobs=min(4, cpus),
+                                   cache=ActivityCache()) for spec in specs]
+        parallel_elapsed = time.perf_counter() - start
+        for result, series in zip(parallel, naive_series):
+            assert result.series == series
+        lines.append(f"engine (--jobs {min(4, cpus)}, cold cache): "
+                     f"{parallel_elapsed:.3f} s (informational)")
+
+    emit("sweep wall-clock (engine vs naive)", "\n".join(lines))
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"engine speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x gate "
+        f"({naive_elapsed:.3f}s naive vs {engine_elapsed:.3f}s engine)")

@@ -16,9 +16,13 @@ The package provides:
 * :mod:`repro.hw` — a gate-level model of the paper's encoder hardware with
   a synthesis-style area/power/timing estimator (Table I),
 * :mod:`repro.workloads` — random, patterned and trace-like workload
-  generators,
-* :mod:`repro.sim` / :mod:`repro.analysis` — the sweep harness and
-  reporting used by the benchmarks that regenerate every figure and table.
+  generators plus the chunked, content-addressed burst population
+  protocol (:mod:`repro.workloads.population`),
+* :mod:`repro.sim` / :mod:`repro.analysis` — the declarative experiment
+  engine (:mod:`repro.sim.experiments`: specs, shared activity cache,
+  process-pool execution, persisted JSON artifacts), the figure sweeps
+  built on it, and the reporting used by the benchmarks that regenerate
+  every figure and table.
 
 Quickstart::
 

@@ -1,5 +1,6 @@
-"""Analysis utilities: crossover extraction, savings accounting, ASCII plots."""
+"""Analysis utilities: crossovers, savings, artifact diffs, ASCII plots."""
 
+from .artifacts import ArtifactDiff, compare_artifacts, summarize_artifact
 from .ascii_plot import AsciiPlot, quick_plot, sparkline
 from .crossover import (
     advantage_region,
@@ -30,7 +31,10 @@ from .savings import (
 )
 
 __all__ = [
+    "ArtifactDiff",
     "AsciiPlot",
+    "compare_artifacts",
+    "summarize_artifact",
     "DBI_DC_IDLE_FIRST_BEAT_BOUND",
     "DBI_DC_TOGGLE_BOUND",
     "MeanEstimate",

@@ -56,6 +56,10 @@ class DbiGreedyWeighted(DbiScheme):
 
         return greedy_flags(data, self.model, prev_words)
 
+    def fingerprint(self) -> str:
+        """Greedy decisions, like the trellis, depend only on the ratio."""
+        return f"dbi-greedy[r={self.model.ac_fraction.hex()}]"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DbiGreedyWeighted(alpha={self.model.alpha}, beta={self.model.beta})"
 

@@ -6,17 +6,23 @@ Exposes the library's main entry points without writing Python::
     python -m repro schemes
     python -m repro pareto --bits 10001110 10000110 10010110
     python -m repro sweep-alpha --samples 2000 --points 26
-    python -m repro sweep-rate --c-load-pf 3
-    python -m repro sweep-load
+    python -m repro sweep-rate --c-load-pf 3 --jobs 4 --out fig7.json
+    python -m repro sweep-load --from-artifact fig8.json
     python -m repro table1
 
 Every subcommand prints a markdown table or ASCII plot to stdout, so
-results can be piped into reports directly.
+results can be piped into reports directly.  The sweep subcommands run
+through the experiment engine (:mod:`repro.sim.experiments`): they accept
+``--backend`` (defaulting from ``REPRO_BACKEND``), ``--jobs N`` for
+process-pool execution, ``--out`` to persist the run as a JSON artifact
+and ``--from-artifact`` to re-render a saved artifact without
+re-simulating.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -30,16 +36,27 @@ from .core.burst import Burst
 from .core.costs import CostModel
 from .core.pareto import pareto_summary
 from .core.schemes import available_schemes, get_scheme
+from .core.vectorized import BACKENDS
 from .phy.pod import pod12, pod135
 from .phy.power import GBPS, PICOFARAD
+from .sim.experiments import (
+    ExperimentResult,
+    alpha_experiment,
+    load_artifact,
+    load_experiment,
+    rate_experiment,
+    run_experiment,
+    save_artifact,
+)
 from .sim.report import (
     format_alpha_sweep,
     format_data_rate_sweep,
     format_load_sweep,
+    format_provenance,
     markdown_table,
 )
-from .sim.sweep import alpha_sweep, data_rate_sweep, load_sweep
-from .workloads.random_data import random_bursts
+from .sim.sweep import to_alpha_result, to_load_result, to_rate_result
+from .workloads.population import RandomPopulation
 
 
 def _burst_from_args(args: argparse.Namespace) -> Burst:
@@ -58,7 +75,7 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     rows: List[List[object]] = []
     for name in names:
         scheme = get_scheme(name)
-        encoded = scheme.encode(burst)
+        encoded = scheme.encode_batch([burst], backend=args.backend)[0]
         encoded.verify()
         transitions, zeros = encoded.activity()
         pattern = "".join("I" if flag else "." for flag in encoded.invert_flags)
@@ -89,23 +106,94 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _population_from_args(args: argparse.Namespace) -> RandomPopulation:
+    return RandomPopulation(count=args.samples, seed=args.seed)
+
+
+#: Simulation flags that --from-artifact renders meaningless (flag name
+#: -> its parser default, shared by every sweep subcommand).
+_SIM_FLAG_DEFAULTS = {"samples": 2000, "seed": 0x0DB1, "jobs": 1,
+                      "backend": None}
+
+
+def _run_or_load(args: argparse.Namespace, build_spec, figure: str,
+                 converter):
+    """Execute the engine (or load an artifact) and convert to figure form.
+
+    Returns ``(result, sweep)``, or ``None`` for a handled usage error
+    (message already on stderr, caller exits 2).
+    """
+    if args.out:
+        out_dir = os.path.dirname(os.path.abspath(args.out))
+        if not os.path.isdir(out_dir):
+            print(f"--out {args.out}: directory {out_dir} does not exist",
+                  file=sys.stderr)
+            return None
+    if args.from_artifact:
+        ignored = [f"--{name}" for name, default in _SIM_FLAG_DEFAULTS.items()
+                   if getattr(args, name, default) != default]
+        if ignored:
+            print(f"warning: {' '.join(ignored)} ignored — rendering from "
+                  f"{args.from_artifact}, not simulating", file=sys.stderr)
+        try:
+            result = load_artifact(args.from_artifact)
+            if result.spec.figure != figure:
+                print(f"{args.from_artifact}: artifact renders figure "
+                      f"{result.spec.figure!r}, expected {figure!r}",
+                      file=sys.stderr)
+                return None
+            sweep = converter(result)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"{args.from_artifact}: cannot load artifact ({error})",
+                  file=sys.stderr)
+            return None
+    else:
+        result = run_experiment(build_spec(), backend=args.backend,
+                                jobs=args.jobs)
+        sweep = converter(result)
+    if args.out:
+        try:
+            save_artifact(result, args.out)
+        except OSError as error:
+            print(f"--out {args.out}: cannot write artifact ({error})",
+                  file=sys.stderr)
+            return None
+    return result, sweep
+
+
+def _print_provenance(args: argparse.Namespace,
+                      result: ExperimentResult) -> None:
+    if args.out or args.from_artifact:
+        print()
+        print(format_provenance(result))
+        if args.out:
+            print(f"# artifact written to {args.out}")
+
+
 def _cmd_sweep_alpha(args: argparse.Namespace) -> int:
-    population = random_bursts(count=args.samples, seed=args.seed)
-    result = alpha_sweep(population, points=args.points, include_fixed=True)
-    print(format_alpha_sweep(result, points=11))
-    best = elementwise_min(result.series["dbi-dc"], result.series["dbi-ac"])
-    crossover = interpolated_crossing(result.ac_costs, result.series["dbi-ac"],
-                                      result.series["dbi-dc"])
-    peak_x, peak_gain = peak_advantage(result.ac_costs,
-                                       result.series["dbi-opt"], best)
+    outcome = _run_or_load(
+        args,
+        lambda: alpha_experiment(_population_from_args(args),
+                                 points=args.points, include_fixed=True),
+        figure="alpha", converter=to_alpha_result)
+    if outcome is None:
+        return 2
+    result, sweep = outcome
+    print(format_alpha_sweep(sweep, points=11))
+    best = elementwise_min(sweep.series["dbi-dc"], sweep.series["dbi-ac"])
+    crossover = interpolated_crossing(sweep.ac_costs, sweep.series["dbi-ac"],
+                                      sweep.series["dbi-dc"])
+    peak_x, peak_gain = peak_advantage(sweep.ac_costs,
+                                       sweep.series["dbi-opt"], best)
     print(f"\nAC/DC crossover: alpha = {crossover:.3f}")
     print(f"OPT peak gain: {100 * peak_gain:.2f}% at alpha = {peak_x:.2f}")
     if args.plot:
-        print(quick_plot(result.ac_costs,
-                         {name: result.series[name]
+        print(quick_plot(sweep.ac_costs,
+                         {name: sweep.series[name]
                           for name in ("raw", "dbi-dc", "dbi-ac", "dbi-opt")},
                          title="energy per burst vs AC cost",
                          x_label="AC cost"))
+    _print_provenance(args, result)
     return 0
 
 
@@ -114,35 +202,50 @@ def _interface(name: str):
 
 
 def _cmd_sweep_rate(args: argparse.Namespace) -> int:
-    population = random_bursts(count=args.samples, seed=args.seed)
     rates = [0.5 * GBPS * step for step in range(1, 2 * args.max_gbps + 1)]
-    result = data_rate_sweep(population, interface=_interface(args.interface),
-                             c_load_farads=args.c_load_pf * PICOFARAD,
-                             data_rates_hz=rates)
-    print(format_data_rate_sweep(result, every=4))
+    outcome = _run_or_load(
+        args,
+        lambda: rate_experiment(_population_from_args(args),
+                                interface=_interface(args.interface),
+                                c_load_farads=args.c_load_pf * PICOFARAD,
+                                data_rates_hz=rates),
+        figure="rate", converter=to_rate_result)
+    if outcome is None:
+        return 2
+    result, sweep = outcome
+    print(format_data_rate_sweep(sweep, every=4))
     if args.plot:
-        gbps = [rate / 1e9 for rate in rates]
+        gbps = [rate / 1e9 for rate in sweep.data_rates_hz]
         print(quick_plot(gbps,
-                         {name: result.normalized[name]
+                         {name: sweep.normalized[name]
                           for name in ("dbi-dc", "dbi-ac", "dbi-opt",
                                        "dbi-opt-fixed")},
                          title=f"normalised energy ({args.interface}, "
                                f"{args.c_load_pf:g} pF)",
                          x_label="data rate [Gbps]"))
+    _print_provenance(args, result)
     return 0
 
 
 def _cmd_sweep_load(args: argparse.Namespace) -> int:
-    population = random_bursts(count=args.samples, seed=args.seed)
     rates = [0.5 * GBPS * step for step in range(1, 2 * args.max_gbps + 1)]
     loads = [value * PICOFARAD for value in args.loads_pf]
-    result = load_sweep(population, interface=_interface(args.interface),
-                        c_loads_farads=loads, data_rates_hz=rates)
-    print(format_load_sweep(result, every=4))
-    for load in loads:
-        rate, value = result.best_gain(load)
+    outcome = _run_or_load(
+        args,
+        lambda: load_experiment(_population_from_args(args),
+                                interface=_interface(args.interface),
+                                c_loads_farads=loads,
+                                data_rates_hz=rates),
+        figure="load", converter=to_load_result)
+    if outcome is None:
+        return 2
+    result, sweep = outcome
+    print(format_load_sweep(sweep, every=4))
+    for load in sweep.normalized:
+        rate, value = sweep.best_gain(load)
         print(f"{load * 1e12:.0f} pF: best saving {100 * (1 - value):.2f}% "
               f"at {rate / 1e9:.1f} Gbps")
+    _print_provenance(args, result)
     return 0
 
 
@@ -167,6 +270,32 @@ def _add_population_arguments(parser: argparse.ArgumentParser) -> None:
                         help="RNG seed")
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="execution backend (default: REPRO_BACKEND "
+                             "or auto)")
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_backend_argument(parser)
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes for the encode grid "
+                             "(default: 1, serial)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="persist the run as a JSON experiment artifact")
+    parser.add_argument("--from-artifact", dest="from_artifact",
+                        metavar="PATH",
+                        help="re-render a saved artifact instead of "
+                             "simulating")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -180,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="single scheme (default: all)")
     encode.add_argument("--alpha", type=float, default=1.0)
     encode.add_argument("--beta", type=float, default=1.0)
+    _add_backend_argument(encode)
     encode.set_defaults(handler=_cmd_encode)
 
     schemes = sub.add_parser("schemes", help="list registered schemes")
@@ -194,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_population_arguments(sweep_alpha)
     sweep_alpha.add_argument("--points", type=int, default=26)
     sweep_alpha.add_argument("--plot", action="store_true")
+    _add_engine_arguments(sweep_alpha)
     sweep_alpha.set_defaults(handler=_cmd_sweep_alpha)
 
     sweep_rate = sub.add_parser("sweep-rate", help="Fig. 7 data-rate sweep")
@@ -203,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_rate.add_argument("--c-load-pf", type=float, default=3.0)
     sweep_rate.add_argument("--max-gbps", type=int, default=20)
     sweep_rate.add_argument("--plot", action="store_true")
+    _add_engine_arguments(sweep_rate)
     sweep_rate.set_defaults(handler=_cmd_sweep_rate)
 
     sweep_load = sub.add_parser("sweep-load", help="Fig. 8 load sweep")
@@ -212,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_load.add_argument("--loads-pf", type=float, nargs="+",
                             default=[1.0, 2.0, 3.0, 4.0, 6.0, 8.0])
     sweep_load.add_argument("--max-gbps", type=int, default=20)
+    _add_engine_arguments(sweep_load)
     sweep_load.set_defaults(handler=_cmd_sweep_load)
 
     table1 = sub.add_parser("table1", help="Table I synthesis estimates")

@@ -50,6 +50,16 @@ class DbiOptimal(DbiScheme):
         flags, _costs = solve_batch(data, self.model, prev_words=prev_words)
         return flags
 
+    def fingerprint(self) -> str:
+        """Content key: only the alpha/beta *ratio* steers the trellis.
+
+        Uniform scaling of edge weights never changes a shortest path, so
+        every Optimal flavour (OPT, Fixed, quantized) sharing an AC-cost
+        fraction shares activity totals — across a sweep, OPT re-encodes
+        only when the operating point's ratio actually moves.
+        """
+        return f"dbi-opt[r={self.model.ac_fraction.hex()}]"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DbiOptimal(alpha={self.model.alpha}, beta={self.model.beta})"
 

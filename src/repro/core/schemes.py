@@ -123,6 +123,20 @@ class DbiScheme(abc.ABC):
     def encode(self, burst: Burst, prev_word: int = ALL_ONES_WORD) -> EncodedBurst:
         """Encode one burst given the previous bus state."""
 
+    def fingerprint(self) -> str:
+        """Stable content key for this scheme's encoding decisions.
+
+        Two instances with equal fingerprints must produce identical
+        invert decisions for every burst encoded from the idle bus, so
+        population activity totals may be shared between them — this is
+        the scheme half of the experiment engine's activity-cache key
+        (:class:`repro.sim.experiments.ActivityCache`).  The default, the
+        registry name, is correct for parameterless schemes; schemes with
+        decision-relevant parameters must extend it (see
+        :meth:`repro.core.encoder.DbiOptimal.fingerprint`).
+        """
+        return self.name
+
     def encode_stream(self, bursts: List[Burst],
                       prev_word: int = ALL_ONES_WORD) -> List[EncodedBurst]:
         """Encode a sequence of bursts, threading bus state between them."""

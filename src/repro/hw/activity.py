@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..core.bitops import ALL_ONES_WORD
 from ..core.burst import Burst
-from ..workloads.random_data import random_bursts
+from ..workloads.population import RandomPopulation
 from .netlist import ActivityReport, Netlist
 
 
@@ -51,8 +51,11 @@ def measure_activity(netlist: Netlist, n_bursts: int = 200,
     """
     if n_bursts < 2:
         raise ValueError("activity measurement needs at least 2 bursts")
-    population = random_bursts(count=n_bursts, burst_length=burst_length,
-                               seed=seed)
+    # RandomPopulation matches random_bursts byte-for-byte with NumPy
+    # installed and falls back to a deterministic pure-Python stream
+    # without it, keeping Table I estimates available in any environment.
+    population = RandomPopulation(count=n_bursts, burst_length=burst_length,
+                                  seed=seed).bursts()
     vectors = vectors_from_bursts(population, alpha=alpha, beta=beta)
     return netlist.simulate_activity(vectors)
 

@@ -1,0 +1,660 @@
+"""Declarative experiment engine behind every figure sweep.
+
+The paper's figures are all the same computation — encode a burst
+population under each scheme, then price the (transitions, zeros) totals
+under a grid of operating points.  This module makes that shape explicit:
+
+* :class:`ExperimentSpec` — schemes × operating-point grid × population
+  source, declared up front (the declarative parameter-sweep style);
+* :class:`ActivityCache` — content-addressed totals store keyed by
+  *scheme fingerprint + population digest*, so RAW/DC/AC/OPT (Fixed)
+  encode exactly once per experiment and OPT re-encodes only when the
+  alpha/beta *ratio* actually changes across grid points;
+* :func:`run_experiment` — the executor: plans the unique encode tasks,
+  runs them serially or on a process pool (``jobs``), merges in
+  deterministic declaration order, and prices every grid cell from the
+  cached totals (the per-cell :class:`~repro.phy.power.InterfaceEnergyModel`
+  coefficients are hoisted into the grid at spec-build time);
+* :func:`save_artifact` / :func:`load_artifact` — JSON persistence of
+  spec + results + provenance, so figures re-render without simulating.
+
+Three spec builders (:func:`alpha_experiment`, :func:`rate_experiment`,
+:func:`load_experiment`) reproduce Figs. 3/4, 7 and 8; the legacy
+functions in :mod:`repro.sim.sweep` are thin wrappers over them with
+bit-identical results.
+
+Pricing is the linear form shared by the abstract cost model and the
+physical energy model: ``alpha`` per transition, ``beta`` per zero.  Two
+term orders exist only to preserve IEEE-754 bit-identity with the legacy
+code paths (``cost`` mirrors :meth:`~repro.core.costs.CostModel.activity_cost`,
+``energy`` mirrors :meth:`~repro.phy.power.InterfaceEnergyModel.burst_energy`).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..baselines import DbiAc, DbiDc, Raw
+from ..core.costs import CostModel
+from ..core.encoder import DbiOptimal
+from ..core.schemes import DbiScheme, get_scheme
+from ..core.vectorized import resolve_backend
+from ..phy.pod import PodInterface, pod135
+from ..phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
+from ..workloads.population import (
+    DEFAULT_CHUNK_SIZE,
+    BurstPopulation,
+    OpaquePopulation,
+    RandomPopulation,
+    as_population,
+)
+
+#: Identifier written into every persisted artifact.
+ARTIFACT_FORMAT = "repro.experiment/1"
+
+#: Recognised pricing term orders (see module docstring).
+PRICINGS = ("cost", "energy")
+
+
+# -- activity totals ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class ActivityTotals:
+    """Population-level (transitions, zeros) totals for one encoding run."""
+
+    transitions: int
+    zeros: int
+    bursts: int
+
+    @property
+    def mean_transitions(self) -> float:
+        return self.transitions / self.bursts
+
+    @property
+    def mean_zeros(self) -> float:
+        return self.zeros / self.bursts
+
+    def mean_cost(self, model) -> float:
+        """Mean abstract cost per burst."""
+        return model.activity_cost(self.transitions, self.zeros) / self.bursts
+
+    def mean_energy(self, energy_model) -> float:
+        """Mean physical energy per burst in joules."""
+        return energy_model.burst_energy(self.transitions, self.zeros) / self.bursts
+
+
+def population_activity(scheme: DbiScheme, population,
+                        backend: Optional[str] = None,
+                        chunk_size: int = DEFAULT_CHUNK_SIZE) -> ActivityTotals:
+    """Encode a whole population once and tally (transitions, zeros).
+
+    The chunked twin of :func:`repro.sim.sweep.collect_activity`: the
+    population streams through in fixed-size chunks, so arbitrarily large
+    sources fit in memory.  On the ``vector`` backend, packable sources
+    feed ``(chunk, n)`` arrays straight into the scheme's batch kernel
+    without materialising :class:`~repro.core.burst.Burst` objects.
+    Totals are integer sums, so chunking never changes the result.
+    """
+    population = as_population(population)
+    use_vector = (resolve_backend(backend) == "vector"
+                  and scheme.supports_batch()
+                  and population.burst_length is not None)
+    transitions = 0
+    zeros = 0
+    if use_vector:
+        from ..core.vectorized import scheme_batch_activity
+
+        for data in population.iter_packed(chunk_size):
+            __, chunk_transitions, chunk_zeros = scheme_batch_activity(
+                scheme, data)
+            transitions += chunk_transitions
+            zeros += chunk_zeros
+    else:
+        for chunk in population.iter_chunks(chunk_size):
+            for burst in chunk:
+                encoded = scheme.encode(burst)
+                n_transitions, n_zeros = encoded.activity()
+                transitions += n_transitions
+                zeros += n_zeros
+    return ActivityTotals(transitions=transitions, zeros=zeros,
+                          bursts=len(population))
+
+
+# -- the activity cache ------------------------------------------------------
+
+class ActivityCache:
+    """Content-addressed store of population activity totals.
+
+    Keys are ``scheme.fingerprint() + "@" + population.digest()`` — both
+    halves identify *content*, not object identity, so any two encode
+    requests that provably produce the same totals collapse to one entry
+    (e.g. OPT (Fixed) and the tracking OPT slot at AC fraction 0.5, or
+    the same scheme re-run over an identical population).  ``hits`` and
+    ``misses`` count unique key lookups per :func:`run_experiment` plan;
+    ``misses`` equals the number of populations actually encoded.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, ActivityTotals] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(scheme: DbiScheme, population: BurstPopulation) -> str:
+        return f"{scheme.fingerprint()}@{population.digest()}"
+
+    def __len__(self) -> int:
+        return len(self._totals)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._totals
+
+    def get(self, key: str) -> ActivityTotals:
+        return self._totals[key]
+
+    def store(self, key: str, totals: ActivityTotals) -> None:
+        self._totals[key] = totals
+
+    def clear(self) -> None:
+        self._totals.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_SHARED_CACHE: Optional[ActivityCache] = None
+
+
+def shared_cache() -> ActivityCache:
+    """The process-wide cache for sessions running several experiments.
+
+    :func:`run_experiment` deliberately defaults to a *fresh* cache per
+    run (so the legacy sweep wrappers stay pure and backend-equivalence
+    tests cannot be satisfied by stale entries); pass this explicitly to
+    share encodes across experiments.
+    """
+    global _SHARED_CACHE
+    if _SHARED_CACHE is None:
+        _SHARED_CACHE = ActivityCache()
+    return _SHARED_CACHE
+
+
+# -- the spec ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One operating point: pricing coefficients plus labelling axes.
+
+    ``alpha`` prices a lane transition, ``beta`` a zero-beat — abstract
+    weights for Figs. 3/4, per-event joules for Figs. 7/8 (computed once
+    here at spec-build time instead of per scheme per cell).
+    """
+
+    alpha: float
+    beta: float
+    #: Ordered (axis name, value) labels, e.g. ``(("ac_cost", 0.3),)`` or
+    #: ``(("c_load_farads", 3e-12), ("data_rate_hz", 2e9))``.
+    axes: Tuple[Tuple[str, float], ...] = ()
+
+    def axis(self, name: str) -> float:
+        for axis_name, value in self.axes:
+            if axis_name == name:
+                return value
+        raise KeyError(f"grid point has no axis {name!r}")
+
+    def cost_model(self) -> CostModel:
+        return CostModel(self.alpha, self.beta)
+
+
+@dataclass(frozen=True)
+class SchemeSlot:
+    """One output series of an experiment.
+
+    Either *static* (a fixed scheme instance, encoded once per
+    experiment) or *tracking* (``tracks_point=True``: a
+    :class:`~repro.core.encoder.DbiOptimal` built from each grid point's
+    coefficients — the paper's OPT following the operating point).
+    """
+
+    name: str
+    scheme: Optional[DbiScheme] = None
+    tracks_point: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("slot name must be non-empty")
+        if self.tracks_point and self.scheme is not None:
+            raise ValueError(
+                f"slot {self.name!r}: tracking slots build their scheme "
+                "from the grid point; do not pass an instance")
+
+    def resolve(self, point: GridPoint) -> DbiScheme:
+        """The scheme to run for *point* (static slots ignore the point)."""
+        if self.tracks_point:
+            return DbiOptimal(CostModel(point.alpha, point.beta))
+        if self.scheme is None:
+            raise RuntimeError(
+                f"slot {self.name!r} is render-only (loaded from an "
+                "artifact without a registry-reconstructible scheme)")
+        return self.scheme
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A full experiment: population × scheme slots × operating grid."""
+
+    name: str
+    population: BurstPopulation
+    slots: Tuple[SchemeSlot, ...]
+    grid: Tuple[GridPoint, ...]
+    #: Pricing term order — ``cost`` mirrors ``CostModel.activity_cost``,
+    #: ``energy`` mirrors ``InterfaceEnergyModel.burst_energy``.
+    pricing: str = "cost"
+    #: Figure family for re-rendering (``alpha``/``rate``/``load``), or
+    #: ``None`` for free-form experiments.
+    figure: Optional[str] = None
+    #: JSON-serialisable parameters the figure renderer needs
+    #: (axis lists, encoder energies, ...).
+    figure_params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ValueError("spec needs at least one scheme slot")
+        if not self.grid:
+            raise ValueError("spec needs at least one grid point")
+        if self.pricing not in PRICINGS:
+            raise ValueError(
+                f"unknown pricing {self.pricing!r}; choose from {PRICINGS}")
+        names = [slot.name for slot in self.slots]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate slot names in {names}")
+
+
+# -- the executor ------------------------------------------------------------
+
+@dataclass
+class ExperimentResult:
+    """Everything :func:`run_experiment` produced for one spec.
+
+    ``series`` maps slot name → priced mean value per grid point (in grid
+    order); ``totals`` keeps the exact integer activity tallies under
+    their cache keys; ``provenance`` records how the run was executed.
+    """
+
+    spec: ExperimentSpec
+    series: Dict[str, List[float]]
+    totals: Dict[str, ActivityTotals]
+    provenance: Dict[str, object]
+
+    def save(self, path) -> None:
+        save_artifact(self, path)
+
+
+def _price_cell(totals: ActivityTotals, point: GridPoint,
+                pricing: str) -> float:
+    if pricing == "cost":
+        return (point.alpha * totals.transitions
+                + point.beta * totals.zeros) / totals.bursts
+    return (totals.zeros * point.beta
+            + totals.transitions * point.alpha) / totals.bursts
+
+
+#: Worker-process state: the population is shipped once per worker via
+#: the pool initializer instead of once per task, so explicit in-memory
+#: populations don't pay a per-task pickling cost.
+_WORKER_POPULATION: Optional[BurstPopulation] = None
+
+
+def _pool_initializer(population: BurstPopulation) -> None:
+    global _WORKER_POPULATION
+    _WORKER_POPULATION = population
+
+
+def _encode_task(scheme: DbiScheme, backend: Optional[str],
+                 chunk_size: int) -> Tuple[int, int, int]:
+    """Process-pool payload: one population encode, returned as ints."""
+    totals = population_activity(scheme, _WORKER_POPULATION, backend=backend,
+                                 chunk_size=chunk_size)
+    return totals.transitions, totals.zeros, totals.bursts
+
+
+def run_experiment(spec: ExperimentSpec, backend: Optional[str] = None,
+                   jobs: int = 1, cache: Optional[ActivityCache] = None,
+                   chunk_size: int = DEFAULT_CHUNK_SIZE) -> ExperimentResult:
+    """Execute a spec: plan unique encodes, run them, price the grid.
+
+    ``jobs > 1`` fans the missing encode tasks out to a process pool;
+    results are merged back in deterministic declaration order, and the
+    totals are exact integers, so the output is bit-identical to a
+    serial run.  ``cache`` defaults to a fresh per-run
+    :class:`ActivityCache`; pass :func:`shared_cache` (or your own) to
+    reuse encodes across experiments.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    resolved = resolve_backend(backend)
+    if cache is None:
+        cache = ActivityCache()
+    start = time.perf_counter()
+
+    # Plan: one cache key per (slot, relevant point), deduplicated in
+    # declaration order.  Static slots contribute a single key; tracking
+    # slots contribute one key per *distinct ratio fingerprint*.
+    cell_keys: Dict[Tuple[str, int], str] = {}
+    needed: Dict[str, DbiScheme] = {}
+    for slot in spec.slots:
+        for index, point in enumerate(spec.grid):
+            if not slot.tracks_point and index > 0:
+                cell_keys[(slot.name, index)] = cell_keys[(slot.name, 0)]
+                continue
+            scheme = slot.resolve(point)
+            key = cache.key_for(scheme, spec.population)
+            cell_keys[(slot.name, index)] = key
+            if key not in needed:
+                needed[key] = scheme
+
+    todo: List[Tuple[str, DbiScheme]] = []
+    for key, scheme in needed.items():
+        if key in cache:
+            cache.hits += 1
+        else:
+            cache.misses += 1
+            todo.append((key, scheme))
+
+    if todo:
+        if jobs == 1 or len(todo) == 1:
+            for key, scheme in todo:
+                cache.store(key, population_activity(
+                    scheme, spec.population, backend=resolved,
+                    chunk_size=chunk_size))
+        else:
+            # jobs is an explicit request — honour it (capped by the
+            # task count); over-subscribing cores costs little here.
+            workers = min(jobs, len(todo))
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_pool_initializer,
+                                     initargs=(spec.population,)) as pool:
+                futures = [pool.submit(_encode_task, scheme, resolved,
+                                       chunk_size)
+                           for __, scheme in todo]
+                # Merge in submission (declaration) order, not completion
+                # order, so the cache fill is deterministic.
+                for (key, __), future in zip(todo, futures):
+                    transitions, zeros, bursts = future.result()
+                    cache.store(key, ActivityTotals(
+                        transitions=transitions, zeros=zeros, bursts=bursts))
+
+    series: Dict[str, List[float]] = {}
+    for slot in spec.slots:
+        series[slot.name] = [
+            _price_cell(cache.get(cell_keys[(slot.name, index)]), point,
+                        spec.pricing)
+            for index, point in enumerate(spec.grid)
+        ]
+
+    provenance = {
+        "backend": resolved,
+        "jobs": jobs,
+        "encodes": len(todo),
+        "cache_hits": len(needed) - len(todo),
+        "cache_misses": len(todo),
+        "grid_cells": len(spec.grid),
+        "population": spec.population.digest(),
+        "population_bursts": len(spec.population),
+        "elapsed_s": time.perf_counter() - start,
+        "python": platform.python_version(),
+        "created_unix": time.time(),
+    }
+    from .. import __version__
+
+    provenance["repro_version"] = __version__
+    totals = {key: cache.get(key) for key in needed}
+    return ExperimentResult(spec=spec, series=series, totals=totals,
+                            provenance=provenance)
+
+
+# -- figure spec builders ----------------------------------------------------
+
+def _static_slots(include_raw: bool = True) -> List[SchemeSlot]:
+    slots = []
+    if include_raw:
+        slots.append(SchemeSlot("raw", Raw()))
+    slots.append(SchemeSlot("dbi-dc", DbiDc()))
+    slots.append(SchemeSlot("dbi-ac", DbiAc()))
+    return slots
+
+
+def alpha_experiment(population, points: int = 51,
+                     include_fixed: bool = False,
+                     extra_schemes: Optional[Dict[str, DbiScheme]] = None,
+                     name: str = "fig3-alpha-sweep") -> ExperimentSpec:
+    """Figs. 3/4 as a spec: abstract cost across the AC-fraction grid."""
+    if points < 2:
+        raise ValueError("points must be >= 2")
+    ac_costs = [i / (points - 1) for i in range(points)]
+    slots = _static_slots()
+    if include_fixed:
+        slots.append(SchemeSlot("dbi-opt-fixed", DbiOptimal(CostModel.fixed())))
+    if extra_schemes:
+        slots.extend(SchemeSlot(slot_name, scheme)
+                     for slot_name, scheme in extra_schemes.items())
+    slots.append(SchemeSlot("dbi-opt", tracks_point=True))
+    grid = tuple(GridPoint(alpha=ac_cost, beta=1.0 - ac_cost,
+                           axes=(("ac_cost", ac_cost),))
+                 for ac_cost in ac_costs)
+    return ExperimentSpec(name=name, population=as_population(population),
+                          slots=tuple(slots), grid=grid, pricing="cost",
+                          figure="alpha",
+                          figure_params={"ac_costs": ac_costs})
+
+
+def _default_rates(data_rates_hz) -> List[float]:
+    if data_rates_hz is not None:
+        return list(data_rates_hz)
+    return [0.5 * GBPS * step for step in range(1, 41)]
+
+
+def rate_experiment(population, interface: Optional[PodInterface] = None,
+                    c_load_farads: float = 3 * PICOFARAD,
+                    data_rates_hz=None,
+                    name: str = "fig7-rate-sweep") -> ExperimentSpec:
+    """Fig. 7 as a spec: interface energy across the data-rate grid."""
+    pod = interface if interface is not None else pod135()
+    rates = _default_rates(data_rates_hz)
+    if not rates:
+        raise ValueError("no data rates given")
+    slots = _static_slots()
+    slots.append(SchemeSlot("dbi-opt-fixed", DbiOptimal(CostModel.fixed())))
+    slots.append(SchemeSlot("dbi-opt", tracks_point=True))
+    grid = []
+    for rate in rates:
+        energy_model = InterfaceEnergyModel(pod, rate, c_load_farads)
+        grid.append(GridPoint(alpha=energy_model.energy_per_transition,
+                              beta=energy_model.energy_per_zero,
+                              axes=(("data_rate_hz", rate),)))
+    return ExperimentSpec(name=name, population=as_population(population),
+                          slots=tuple(slots), grid=tuple(grid),
+                          pricing="energy", figure="rate",
+                          figure_params={"data_rates_hz": rates,
+                                         "c_load_farads": c_load_farads})
+
+
+def load_experiment(population, interface: Optional[PodInterface] = None,
+                    c_loads_farads=(1e-12, 2e-12, 3e-12, 4e-12, 6e-12, 8e-12),
+                    data_rates_hz=None,
+                    encoder_energy_j: Optional[Dict[str, float]] = None,
+                    name: str = "fig8-load-sweep") -> ExperimentSpec:
+    """Fig. 8 as a spec: (load × rate) grid, encoder energy in the params.
+
+    The per-cell (E_transition, E_zero) coefficients are evaluated once
+    here, so pricing the three schemes never re-derives the interface
+    energy model — the totals come from the cache, the coefficients from
+    the grid.
+    """
+    pod = interface if interface is not None else pod135()
+    rates = _default_rates(data_rates_hz)
+    if not rates:
+        raise ValueError("no data rates given")
+    loads = list(c_loads_farads)
+    if not loads:
+        raise ValueError("no load capacitances given")
+    if encoder_energy_j is None:
+        from ..hw.synthesis import encoder_energy_per_burst
+        encoder_energy_j = encoder_energy_per_burst()
+    for required in ("dbi-dc", "dbi-ac", "dbi-opt-fixed"):
+        if required not in encoder_energy_j:
+            raise KeyError(f"encoder_energy_j missing entry for {required!r}")
+    slots = _static_slots(include_raw=False)
+    slots.append(SchemeSlot("dbi-opt-fixed", DbiOptimal(CostModel.fixed())))
+    grid = []
+    for c_load in loads:
+        for rate in rates:
+            energy_model = InterfaceEnergyModel(pod, rate, c_load)
+            grid.append(GridPoint(
+                alpha=energy_model.energy_per_transition,
+                beta=energy_model.energy_per_zero,
+                axes=(("c_load_farads", c_load), ("data_rate_hz", rate))))
+    return ExperimentSpec(name=name, population=as_population(population),
+                          slots=tuple(slots), grid=tuple(grid),
+                          pricing="energy", figure="load",
+                          figure_params={
+                              "c_loads_farads": loads,
+                              "data_rates_hz": rates,
+                              "encoder_energy_j": dict(encoder_energy_j)})
+
+
+# -- artifact persistence ----------------------------------------------------
+
+def _population_to_json(population: BurstPopulation) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "digest": population.digest(),
+        "count": len(population),
+        "burst_length": population.burst_length,
+    }
+    if isinstance(population, RandomPopulation):
+        record["kind"] = "random"
+        record["seed"] = population.seed
+    else:
+        record["kind"] = "explicit"
+    return record
+
+
+def _population_from_json(record: Mapping[str, object]) -> BurstPopulation:
+    digest = record["digest"]
+    count = int(record["count"])
+    burst_length = record.get("burst_length")
+    if record.get("kind") == "random":
+        population = RandomPopulation(count=count,
+                                      burst_length=int(burst_length),
+                                      seed=int(record["seed"]))
+        if population.digest() == digest:
+            return population
+        # Generated by the other generator family — re-render only.
+    return OpaquePopulation(digest=str(digest), count=count,
+                            burst_length=burst_length)
+
+
+def _slot_to_json(slot: SchemeSlot) -> Dict[str, object]:
+    record: Dict[str, object] = {"name": slot.name,
+                                 "tracks_point": slot.tracks_point}
+    if slot.scheme is not None:
+        record["scheme"] = slot.scheme.name
+        record["fingerprint"] = slot.scheme.fingerprint()
+    return record
+
+
+def _slot_from_json(record: Mapping[str, object]) -> SchemeSlot:
+    if record.get("tracks_point"):
+        return SchemeSlot(str(record["name"]), tracks_point=True)
+    scheme: Optional[DbiScheme] = None
+    scheme_name = record.get("scheme")
+    if scheme_name is not None:
+        try:
+            candidate = get_scheme(str(scheme_name))
+        except KeyError:
+            candidate = None
+        if (candidate is not None
+                and candidate.fingerprint() == record.get("fingerprint")):
+            scheme = candidate
+    return SchemeSlot(str(record["name"]), scheme=scheme)
+
+
+def result_to_json(result: ExperimentResult) -> Dict[str, object]:
+    """The artifact as a JSON-serialisable dict (see :func:`save_artifact`)."""
+    spec = result.spec
+    return {
+        "format": ARTIFACT_FORMAT,
+        "spec": {
+            "name": spec.name,
+            "population": _population_to_json(spec.population),
+            "slots": [_slot_to_json(slot) for slot in spec.slots],
+            "grid": [{"alpha": point.alpha, "beta": point.beta,
+                      "axes": dict(point.axes)} for point in spec.grid],
+            "pricing": spec.pricing,
+            "figure": spec.figure,
+            "figure_params": dict(spec.figure_params),
+        },
+        "series": {name: list(values)
+                   for name, values in result.series.items()},
+        "totals": {key: {"transitions": totals.transitions,
+                         "zeros": totals.zeros,
+                         "bursts": totals.bursts}
+                   for key, totals in result.totals.items()},
+        "provenance": dict(result.provenance),
+    }
+
+
+def save_artifact(result: ExperimentResult, path) -> None:
+    """Persist spec + results + provenance as JSON.
+
+    Floats round-trip exactly (shortest-repr serialisation), so a loaded
+    artifact re-renders bit-identical tables.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_json(result), handle, indent=1)
+        handle.write("\n")
+
+
+def load_artifact(path) -> ExperimentResult:
+    """Load a persisted experiment.
+
+    Declarative populations (and registry schemes) are rebuilt, so the
+    experiment can be *re-run*; explicit populations come back as
+    render-only placeholders.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path}: artifact must be a JSON object, got "
+            f"{type(payload).__name__}")
+    if payload.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: not a {ARTIFACT_FORMAT} artifact "
+            f"(format={payload.get('format')!r})")
+    spec_record = payload["spec"]
+    grid = tuple(
+        GridPoint(alpha=point["alpha"], beta=point["beta"],
+                  axes=tuple(point.get("axes", {}).items()))
+        for point in spec_record["grid"])
+    spec = ExperimentSpec(
+        name=spec_record["name"],
+        population=_population_from_json(spec_record["population"]),
+        slots=tuple(_slot_from_json(slot) for slot in spec_record["slots"]),
+        grid=grid,
+        pricing=spec_record.get("pricing", "cost"),
+        figure=spec_record.get("figure"),
+        figure_params=spec_record.get("figure_params", {}),
+    )
+    totals = {key: ActivityTotals(transitions=record["transitions"],
+                                  zeros=record["zeros"],
+                                  bursts=record["bursts"])
+              for key, record in payload.get("totals", {}).items()}
+    provenance = dict(payload.get("provenance", {}))
+    provenance["loaded_from"] = str(path)
+    return ExperimentResult(spec=spec, series=payload["series"],
+                            totals=totals, provenance=provenance)

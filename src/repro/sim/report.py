@@ -81,6 +81,29 @@ def format_load_sweep(result: LoadSweepResult, every: int = 4) -> str:
     return markdown_table(headers, rows)
 
 
+def format_provenance(result) -> str:
+    """One-line provenance summary of an experiment run or artifact.
+
+    Accepts an :class:`~repro.sim.experiments.ExperimentResult` (fresh or
+    loaded); printed by the CLI whenever artifacts are written or read so
+    every persisted figure names its population, backend and cache use.
+    """
+    provenance = result.provenance
+    spec = result.spec
+    origin = provenance.get("loaded_from")
+    parts = [
+        f"experiment {spec.name}",
+        f"population {spec.population.digest()} "
+        f"({len(spec.population)} bursts)",
+        f"backend={provenance.get('backend')} jobs={provenance.get('jobs')}",
+        f"encodes={provenance.get('encodes')} "
+        f"(cache {provenance.get('cache_hits')} hits)",
+    ]
+    if origin:
+        parts.append(f"loaded from {origin}")
+    return "# " + " | ".join(parts)
+
+
 def format_evaluation(result: EvaluationResult,
                       model: Optional[CostModel] = None) -> str:
     """Markdown summary of an :func:`repro.sim.runner.evaluate` run."""

@@ -9,12 +9,14 @@
   energy* versus data rate for several load capacitances, normalised to
   the best conventional scheme.
 
-Every sweep works on a precomputed **activity cache**: each scheme encodes
-the population once per (scheme-relevant) operating point and only the
-(zeros, transitions) totals are re-weighted across the sweep where the
-encoding itself does not depend on the swept parameter.  RAW/DC/AC
-encodings are parameter-independent; OPT re-encodes per point because its
-decisions follow alpha/beta.
+All three are thin wrappers over the declarative experiment engine
+(:mod:`repro.sim.experiments`): each builds an
+:class:`~repro.sim.experiments.ExperimentSpec`, runs it through
+:func:`~repro.sim.experiments.run_experiment` (content-addressed
+activity cache, optional process-pool ``jobs``), and converts the
+result back to the legacy dataclasses with bit-identical numbers.  The
+``to_*_result`` converters also re-render persisted artifacts
+(:func:`~repro.sim.experiments.load_artifact`) without re-simulating.
 """
 
 from __future__ import annotations
@@ -22,39 +24,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..baselines import DbiAc, DbiDc, Raw
 from ..core.burst import Burst
-from ..core.costs import CostModel
-from ..core.encoder import DbiOptimal
 from ..core.schemes import DbiScheme
 from ..core.vectorized import try_vector_pack
-from ..phy.pod import PodInterface, pod135
-from ..phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
+from ..phy.pod import PodInterface
+from ..phy.power import PICOFARAD
+from .experiments import (
+    ActivityCache,
+    ActivityTotals,
+    ExperimentResult,
+    alpha_experiment,
+    load_experiment,
+    rate_experiment,
+    run_experiment,
+)
 
-
-@dataclass(frozen=True)
-class ActivityTotals:
-    """Population-level (transitions, zeros) totals for one encoding run."""
-
-    transitions: int
-    zeros: int
-    bursts: int
-
-    @property
-    def mean_transitions(self) -> float:
-        return self.transitions / self.bursts
-
-    @property
-    def mean_zeros(self) -> float:
-        return self.zeros / self.bursts
-
-    def mean_cost(self, model: CostModel) -> float:
-        """Mean abstract cost per burst."""
-        return model.activity_cost(self.transitions, self.zeros) / self.bursts
-
-    def mean_energy(self, energy_model: InterfaceEnergyModel) -> float:
-        """Mean physical energy per burst in joules."""
-        return energy_model.burst_energy(self.transitions, self.zeros) / self.bursts
+__all__ = [
+    "ActivityTotals",
+    "AlphaSweepResult",
+    "DataRateSweepResult",
+    "LoadSweepResult",
+    "alpha_sweep",
+    "collect_activity",
+    "data_rate_sweep",
+    "load_sweep",
+    "to_alpha_result",
+    "to_figure_result",
+    "to_load_result",
+    "to_rate_result",
+]
 
 
 def collect_activity(scheme: DbiScheme, bursts: Sequence[Burst],
@@ -113,40 +111,21 @@ class AlphaSweepResult:
 def alpha_sweep(bursts: Sequence[Burst], points: int = 51,
                 include_fixed: bool = False,
                 extra_schemes: Optional[Dict[str, DbiScheme]] = None,
-                backend: Optional[str] = None) -> AlphaSweepResult:
+                backend: Optional[str] = None, jobs: int = 1,
+                cache: Optional[ActivityCache] = None) -> AlphaSweepResult:
     """Reproduce Fig. 3 (and Fig. 4 with ``include_fixed=True``).
 
     RAW/DC/AC/OPT(Fixed) encode once (their decisions don't depend on the
-    swept coefficients); OPT re-encodes at every point.
+    swept coefficients); OPT re-encodes at every point with a distinct
+    alpha/beta ratio.  Delegates to the experiment engine — ``jobs`` fans
+    the encodes out to a process pool, ``cache`` shares activity totals
+    across calls.
     """
-    if points < 2:
-        raise ValueError("points must be >= 2")
-    ac_costs = [i / (points - 1) for i in range(points)]
-
-    static_schemes: Dict[str, DbiScheme] = {
-        "raw": Raw(),
-        "dbi-dc": DbiDc(),
-        "dbi-ac": DbiAc(),
-    }
-    if include_fixed:
-        static_schemes["dbi-opt-fixed"] = DbiOptimal(CostModel.fixed())
-    if extra_schemes:
-        static_schemes.update(extra_schemes)
-    static_activity = {name: collect_activity(scheme, bursts, backend=backend)
-                       for name, scheme in static_schemes.items()}
-
-    result = AlphaSweepResult(ac_costs=ac_costs)
-    for name in static_schemes:
-        result.series[name] = []
-    result.series["dbi-opt"] = []
-
-    for ac_cost in ac_costs:
-        model = CostModel.from_ac_fraction(ac_cost)
-        for name, activity in static_activity.items():
-            result.series[name].append(activity.mean_cost(model))
-        optimal = collect_activity(DbiOptimal(model), bursts, backend=backend)
-        result.series["dbi-opt"].append(optimal.mean_cost(model))
-    return result
+    spec = alpha_experiment(bursts, points=points,
+                            include_fixed=include_fixed,
+                            extra_schemes=extra_schemes)
+    result = run_experiment(spec, backend=backend, jobs=jobs, cache=cache)
+    return to_alpha_result(result)
 
 
 @dataclass
@@ -170,7 +149,9 @@ def data_rate_sweep(bursts: Sequence[Burst],
                     interface: Optional[PodInterface] = None,
                     c_load_farads: float = 3 * PICOFARAD,
                     data_rates_hz: Optional[Sequence[float]] = None,
-                    backend: Optional[str] = None) -> DataRateSweepResult:
+                    backend: Optional[str] = None, jobs: int = 1,
+                    cache: Optional[ActivityCache] = None
+                    ) -> DataRateSweepResult:
     """Reproduce Fig. 7: interface energy vs data rate, normalised to RAW.
 
     OPT re-encodes at every rate with the physical (E_transition, E_zero)
@@ -178,39 +159,11 @@ def data_rate_sweep(bursts: Sequence[Burst],
     priced with the physical model, exactly as hardware with hardwired
     coefficients would behave.
     """
-    pod = interface if interface is not None else pod135()
-    rates = list(data_rates_hz) if data_rates_hz is not None else [
-        0.5 * GBPS * step for step in range(1, 41)]
-    if not rates:
-        raise ValueError("no data rates given")
-
-    static_activity = {
-        "raw": collect_activity(Raw(), bursts, backend=backend),
-        "dbi-dc": collect_activity(DbiDc(), bursts, backend=backend),
-        "dbi-ac": collect_activity(DbiAc(), bursts, backend=backend),
-        "dbi-opt-fixed": collect_activity(DbiOptimal(CostModel.fixed()), bursts,
-                                          backend=backend),
-    }
-
-    result = DataRateSweepResult(data_rates_hz=rates)
-    names = list(static_activity) + ["dbi-opt"]
-    for name in names:
-        result.normalized[name] = []
-        result.absolute[name] = []
-
-    for rate in rates:
-        energy_model = InterfaceEnergyModel(pod, rate, c_load_farads)
-        raw_energy = static_activity["raw"].mean_energy(energy_model)
-        for name, activity in static_activity.items():
-            energy = activity.mean_energy(energy_model)
-            result.absolute[name].append(energy)
-            result.normalized[name].append(energy / raw_energy)
-        optimal_activity = collect_activity(
-            DbiOptimal(energy_model.cost_model()), bursts, backend=backend)
-        energy = optimal_activity.mean_energy(energy_model)
-        result.absolute["dbi-opt"].append(energy)
-        result.normalized["dbi-opt"].append(energy / raw_energy)
-    return result
+    spec = rate_experiment(bursts, interface=interface,
+                           c_load_farads=c_load_farads,
+                           data_rates_hz=data_rates_hz)
+    result = run_experiment(spec, backend=backend, jobs=jobs, cache=cache)
+    return to_rate_result(result)
 
 
 @dataclass
@@ -234,42 +187,92 @@ def load_sweep(bursts: Sequence[Burst],
                                                   4e-12, 6e-12, 8e-12),
                data_rates_hz: Optional[Sequence[float]] = None,
                encoder_energy_j: Optional[Dict[str, float]] = None,
-               backend: Optional[str] = None) -> LoadSweepResult:
+               backend: Optional[str] = None, jobs: int = 1,
+               cache: Optional[ActivityCache] = None) -> LoadSweepResult:
     """Reproduce Fig. 8: total (interface + encoder) energy per burst of
     OPT (Fixed), normalised to the better of DBI DC / DBI AC, across loads.
 
     ``encoder_energy_j`` maps scheme name -> encoding energy per burst in
     joules; when omitted, the gate-level synthesis estimates from
-    :mod:`repro.hw.synthesis` are used.
+    :mod:`repro.hw.synthesis` are used.  The engine hoists the per-cell
+    interface-energy coefficients into the grid, so the three schemes'
+    totals are priced without re-deriving the energy model per scheme.
     """
-    pod = interface if interface is not None else pod135()
-    rates = list(data_rates_hz) if data_rates_hz is not None else [
-        0.5 * GBPS * step for step in range(1, 41)]
-    if encoder_energy_j is None:
-        from ..hw.synthesis import encoder_energy_per_burst
-        encoder_energy_j = encoder_energy_per_burst()
-    for required in ("dbi-dc", "dbi-ac", "dbi-opt-fixed"):
-        if required not in encoder_energy_j:
-            raise KeyError(f"encoder_energy_j missing entry for {required!r}")
+    spec = load_experiment(bursts, interface=interface,
+                           c_loads_farads=c_loads_farads,
+                           data_rates_hz=data_rates_hz,
+                           encoder_energy_j=encoder_energy_j)
+    result = run_experiment(spec, backend=backend, jobs=jobs, cache=cache)
+    return to_load_result(result)
 
-    activity = {
-        "dbi-dc": collect_activity(DbiDc(), bursts, backend=backend),
-        "dbi-ac": collect_activity(DbiAc(), bursts, backend=backend),
-        "dbi-opt-fixed": collect_activity(DbiOptimal(CostModel.fixed()), bursts,
-                                          backend=backend),
-    }
 
-    result = LoadSweepResult(data_rates_hz=rates)
-    for c_load in c_loads_farads:
+# -- engine-result converters ------------------------------------------------
+
+def _require_figure(result: ExperimentResult, figure: str) -> None:
+    if result.spec.figure != figure:
+        raise ValueError(
+            f"experiment {result.spec.name!r} renders figure "
+            f"{result.spec.figure!r}, not {figure!r}")
+
+
+def to_alpha_result(result: ExperimentResult) -> AlphaSweepResult:
+    """Convert an engine result (or loaded artifact) to Fig. 3/4 form."""
+    _require_figure(result, "alpha")
+    ac_costs = list(result.spec.figure_params["ac_costs"])
+    sweep = AlphaSweepResult(ac_costs=ac_costs)
+    for name, values in result.series.items():
+        sweep.series[name] = list(values)
+    return sweep
+
+
+def to_rate_result(result: ExperimentResult) -> DataRateSweepResult:
+    """Convert an engine result (or loaded artifact) to Fig. 7 form."""
+    _require_figure(result, "rate")
+    rates = list(result.spec.figure_params["data_rates_hz"])
+    sweep = DataRateSweepResult(data_rates_hz=rates)
+    raw_series = result.series["raw"]
+    for name, values in result.series.items():
+        sweep.absolute[name] = list(values)
+        sweep.normalized[name] = [energy / raw_energy
+                                  for energy, raw_energy in zip(values,
+                                                                raw_series)]
+    return sweep
+
+
+def to_load_result(result: ExperimentResult) -> LoadSweepResult:
+    """Convert an engine result (or loaded artifact) to Fig. 8 form."""
+    _require_figure(result, "load")
+    params = result.spec.figure_params
+    loads = list(params["c_loads_farads"])
+    rates = list(params["data_rates_hz"])
+    encoder_energy_j = params["encoder_energy_j"]
+    sweep = LoadSweepResult(data_rates_hz=rates)
+    for load_index, c_load in enumerate(loads):
         series: List[float] = []
-        for rate in rates:
-            energy_model = InterfaceEnergyModel(pod, rate, c_load)
+        for rate_index in range(len(rates)):
+            cell = load_index * len(rates) + rate_index
             totals = {
-                name: activity[name].mean_energy(energy_model)
-                + encoder_energy_j[name]
-                for name in activity
+                name: result.series[name][cell] + encoder_energy_j[name]
+                for name in ("dbi-dc", "dbi-ac", "dbi-opt-fixed")
             }
             conventional = min(totals["dbi-dc"], totals["dbi-ac"])
             series.append(totals["dbi-opt-fixed"] / conventional)
-        result.normalized[c_load] = series
-    return result
+        sweep.normalized[c_load] = series
+    return sweep
+
+
+_CONVERTERS = {
+    "alpha": to_alpha_result,
+    "rate": to_rate_result,
+    "load": to_load_result,
+}
+
+
+def to_figure_result(result: ExperimentResult):
+    """Dispatch an engine result to its figure-specific legacy form."""
+    converter = _CONVERTERS.get(result.spec.figure)
+    if converter is None:
+        raise ValueError(
+            f"experiment {result.spec.name!r} has no figure renderer "
+            f"(figure={result.spec.figure!r})")
+    return converter(result)

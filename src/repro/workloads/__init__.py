@@ -1,6 +1,12 @@
-"""Workload generators: random bursts, directed patterns, synthetic traces."""
+"""Workload generators: random bursts, directed patterns, synthetic traces.
 
-from .generator import Workload, make_workload, workload_names
+The population protocol (:mod:`repro.workloads.population`) and the
+directed patterns are dependency-free; the random/trace generators
+require NumPy and are skipped from the package namespace when it is
+missing (the experiment engine and CLI then fall back to the
+pure-Python population sources).
+"""
+
 from .patterns import (
     PATTERN_NAMES,
     all_ones,
@@ -12,48 +18,76 @@ from .patterns import (
     walking_ones,
     walking_zeros,
 )
-from .random_data import (
-    DEFAULT_SEED,
-    PAPER_SAMPLE_COUNT,
-    biased_bursts,
-    burst_stream,
-    correlated_bursts,
-    random_bursts,
-    random_payload,
-)
-from .traces import (
-    float_trace,
-    gpu_frame_trace,
-    image_trace,
-    pointer_trace,
-    text_trace,
-    zero_run_trace,
+from .population import (
+    DEFAULT_CHUNK_SIZE,
+    BurstPopulation,
+    ExplicitPopulation,
+    OpaquePopulation,
+    RandomPopulation,
+    as_population,
 )
 
 __all__ = [
-    "DEFAULT_SEED",
-    "PAPER_SAMPLE_COUNT",
+    "BurstPopulation",
+    "DEFAULT_CHUNK_SIZE",
+    "ExplicitPopulation",
+    "OpaquePopulation",
     "PATTERN_NAMES",
-    "Workload",
+    "RandomPopulation",
     "all_ones",
     "all_zeros",
-    "biased_bursts",
-    "burst_stream",
+    "as_population",
     "checkerboard",
-    "correlated_bursts",
-    "float_trace",
-    "gpu_frame_trace",
-    "image_trace",
-    "make_workload",
     "pattern_suite",
-    "pointer_trace",
     "ramp",
-    "random_bursts",
-    "random_payload",
     "static_checkerboard",
-    "text_trace",
     "walking_ones",
     "walking_zeros",
-    "workload_names",
-    "zero_run_trace",
 ]
+
+# The guard is on NumPy itself (not a blanket except around the imports)
+# so genuine import errors inside the generator modules still surface.
+try:
+    import numpy as _np  # noqa: F401 - availability probe only
+except ImportError:  # pragma: no cover - NumPy missing
+    _HAVE_NUMPY = False
+else:
+    _HAVE_NUMPY = True
+
+if _HAVE_NUMPY:
+    from .generator import Workload, make_workload, workload_names
+    from .random_data import (
+        DEFAULT_SEED,
+        PAPER_SAMPLE_COUNT,
+        biased_bursts,
+        burst_stream,
+        correlated_bursts,
+        random_bursts,
+        random_payload,
+    )
+    from .traces import (
+        float_trace,
+        gpu_frame_trace,
+        image_trace,
+        pointer_trace,
+        text_trace,
+        zero_run_trace,
+    )
+    __all__ += [
+        "DEFAULT_SEED",
+        "PAPER_SAMPLE_COUNT",
+        "Workload",
+        "biased_bursts",
+        "burst_stream",
+        "correlated_bursts",
+        "float_trace",
+        "gpu_frame_trace",
+        "image_trace",
+        "make_workload",
+        "pointer_trace",
+        "random_bursts",
+        "random_payload",
+        "text_trace",
+        "workload_names",
+        "zero_run_trace",
+    ]

@@ -1,0 +1,271 @@
+"""Burst population sources for the experiment engine.
+
+A :class:`BurstPopulation` is a *deterministic, content-addressed* source
+of bursts: it knows its size, yields bursts in fixed-size chunks (so
+million-burst experiments never hold a whole population in memory), and
+exposes a :meth:`~BurstPopulation.digest` that identifies its exact
+content — the population half of the experiment engine's activity-cache
+key (:class:`repro.sim.experiments.ActivityCache`).
+
+Two concrete sources cover the paper's experiments:
+
+* :class:`RandomPopulation` — the declarative form of
+  :func:`repro.workloads.random_data.random_bursts`: with NumPy installed
+  it regenerates byte-for-byte the same bursts from ``(count,
+  burst_length, seed)`` without ever being serialised, so a process-pool
+  worker can rebuild it from a tiny pickle.  Without NumPy a pure-Python
+  stream (``random.Random``) is used — deterministic too, but a different
+  byte sequence, which the digest records.
+* :class:`ExplicitPopulation` — wraps an in-memory ``Sequence[Burst]``
+  (the legacy sweep-function inputs); its digest hashes the burst bytes.
+
+Chunked iteration is exact: for every source, the concatenation of
+``iter_chunks()`` equals ``bursts()`` equals the monolithic generation
+(for :class:`RandomPopulation` this relies on NumPy's bit-stream
+generators filling bounded-integer draws sequentially, which the test
+suite pins).
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..core.burst import DEFAULT_BURST_LENGTH, Burst
+
+try:  # pragma: no cover - trivially true/false per environment
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Bursts per chunk when streaming a population (512 KiB of payload at
+#: the JEDEC burst length — small enough to stay cache-friendly, large
+#: enough that the vector backend amortises its per-call overhead).
+DEFAULT_CHUNK_SIZE = 65536
+
+#: Fixed RNG draw granularity (rows) for random populations.  NumPy's
+#: bounded-integer sampling discards a partially consumed buffer word at
+#: the end of every call, so draws must happen at a chunk-size-independent
+#: granularity for the byte stream to be invariant to how a consumer
+#: chunks it.  65536 rows × any burst length is a multiple of 4 bytes
+#: (one 32-bit buffer word), so consecutive whole blocks concatenate
+#: bit-identically to a single monolithic draw.
+GENERATION_BLOCK = 65536
+
+#: Tag recording which generator family produced a random population.
+GENERATOR_TAG = "np" if _np is not None else "py"
+
+
+class BurstPopulation(abc.ABC):
+    """Deterministic burst source consumed chunk-by-chunk by the engine."""
+
+    @property
+    @abc.abstractmethod
+    def burst_length(self) -> Optional[int]:
+        """Common burst length, or ``None`` when the population is ragged
+        (ragged populations always take the per-burst reference path)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Total number of bursts."""
+
+    @abc.abstractmethod
+    def digest(self) -> str:
+        """Stable content identifier (equal digests ⇒ equal bursts)."""
+
+    @abc.abstractmethod
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE
+                    ) -> Iterator[List[Burst]]:
+        """Yield the population as consecutive lists of ≤ *chunk_size*."""
+
+    def iter_packed(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        """Yield packed ``(chunk, burst_length)`` ``uint8`` arrays.
+
+        The fast lane of the vector backend: sources that can produce
+        arrays directly (e.g. :class:`RandomPopulation`) override this to
+        skip :class:`~repro.core.burst.Burst` object construction
+        entirely.  Requires NumPy and a rectangular population.
+        """
+        from ..core.vectorized import pack_bursts
+
+        if self.burst_length is None:
+            raise ValueError("ragged population cannot be packed")
+        for chunk in self.iter_chunks(chunk_size):
+            yield pack_bursts(chunk)
+
+    def bursts(self) -> List[Burst]:
+        """Materialise the whole population as a list."""
+        out: List[Burst] = []
+        for chunk in self.iter_chunks():
+            out.extend(chunk)
+        return out
+
+    def __iter__(self) -> Iterator[Burst]:
+        for chunk in self.iter_chunks():
+            yield from chunk
+
+
+@dataclass(frozen=True)
+class RandomPopulation(BurstPopulation):
+    """Declarative iid uniform-random population (Fig. 3/4 workload).
+
+    With NumPy installed this reproduces
+    :func:`repro.workloads.random_data.random_bursts` byte-for-byte;
+    without it a deterministic pure-Python stream is substituted (and
+    :meth:`digest` distinguishes the two, so activity caches and
+    artifacts never conflate them).
+    """
+
+    count: int
+    burst_length: int = DEFAULT_BURST_LENGTH
+    seed: int = 0x0DB1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.burst_length < 1:
+            raise ValueError(
+                f"burst_length must be >= 1, got {self.burst_length}")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def digest(self) -> str:
+        return (f"random:{self.count}x{self.burst_length}"
+                f":seed={self.seed}:{GENERATOR_TAG}")
+
+    def _chunk_sizes(self, chunk_size: int) -> Iterator[int]:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        remaining = self.count
+        while remaining:
+            step = min(chunk_size, remaining)
+            yield step
+            remaining -= step
+
+    def _generation_blocks(self):
+        """RNG draws at the fixed :data:`GENERATION_BLOCK` granularity,
+        so the produced byte stream never depends on the consumer's
+        chunk size (see the constant's docstring)."""
+        rng = _np.random.default_rng(self.seed)
+        remaining = self.count
+        while remaining:
+            step = min(GENERATION_BLOCK, remaining)
+            yield rng.integers(0, 256, size=(step, self.burst_length),
+                               dtype=_np.uint8)
+            remaining -= step
+
+    def iter_packed(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if _np is None:
+            raise RuntimeError("iter_packed requires NumPy")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        carry = None
+        for block in self._generation_blocks():
+            if carry is not None and len(carry):
+                block = _np.concatenate([carry, block])
+            start = 0
+            while len(block) - start >= chunk_size:
+                yield block[start:start + chunk_size]
+                start += chunk_size
+            carry = block[start:]
+        if carry is not None and len(carry):
+            yield carry
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE
+                    ) -> Iterator[List[Burst]]:
+        if _np is not None:
+            for data in self.iter_packed(chunk_size):
+                yield [Burst(row.tolist()) for row in data]
+            return
+        rng = random.Random(self.seed)
+        for step in self._chunk_sizes(chunk_size):
+            yield [Burst([rng.getrandbits(8)
+                          for _ in range(self.burst_length)])
+                   for _ in range(step)]
+
+
+class ExplicitPopulation(BurstPopulation):
+    """An in-memory burst sequence (the legacy sweep-function input)."""
+
+    def __init__(self, bursts: Sequence[Burst]):
+        burst_list = [burst if isinstance(burst, Burst) else Burst(burst)
+                      for burst in bursts]
+        if not burst_list:
+            raise ValueError("burst population is empty")
+        self._bursts = tuple(burst_list)
+        lengths = {len(burst) for burst in self._bursts}
+        self._burst_length = lengths.pop() if len(lengths) == 1 else None
+        self._digest: Optional[str] = None
+
+    @property
+    def burst_length(self) -> Optional[int]:
+        return self._burst_length
+
+    def __len__(self) -> int:
+        return len(self._bursts)
+
+    def digest(self) -> str:
+        if self._digest is None:
+            blake = hashlib.sha256()
+            for burst in self._bursts:
+                blake.update(len(burst).to_bytes(4, "little"))
+                blake.update(bytes(burst.data))
+            self._digest = f"sha256:{blake.hexdigest()[:32]}"
+        return self._digest
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE
+                    ) -> Iterator[List[Burst]]:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, len(self._bursts), chunk_size):
+            yield list(self._bursts[start:start + chunk_size])
+
+    def bursts(self) -> List[Burst]:
+        return list(self._bursts)
+
+
+class OpaquePopulation(BurstPopulation):
+    """Placeholder for a population that cannot be regenerated.
+
+    Produced when loading an artifact whose population was explicit (or
+    was generated by a different generator family): the digest, size and
+    shape are known — enough to re-render and to match cache entries —
+    but the bursts themselves are gone, so iteration raises.
+    """
+
+    def __init__(self, digest: str, count: int,
+                 burst_length: Optional[int] = None):
+        self._stored_digest = digest
+        self._count = count
+        self._burst_length = burst_length
+
+    @property
+    def burst_length(self) -> Optional[int]:
+        return self._burst_length
+
+    def __len__(self) -> int:
+        return self._count
+
+    def digest(self) -> str:
+        return self._stored_digest
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE
+                    ) -> Iterator[List[Burst]]:
+        raise RuntimeError(
+            "population is not reconstructible from the artifact "
+            f"(digest {self._stored_digest}); re-render only")
+
+
+def as_population(bursts) -> BurstPopulation:
+    """Coerce a burst source to a :class:`BurstPopulation`.
+
+    Populations pass through; any other iterable of bursts is wrapped in
+    an :class:`ExplicitPopulation`.
+    """
+    if isinstance(bursts, BurstPopulation):
+        return bursts
+    return ExplicitPopulation(list(bursts))

@@ -104,3 +104,45 @@ class TestEncodeStream:
         bursts = [Burst([i, 255 - i]) for i in range(10)]
         for encoded in scheme.encode_stream(bursts):
             encoded.verify()
+
+
+class TestFingerprints:
+    """Scheme fingerprints are the cache keys of the experiment engine."""
+
+    def test_parameterless_schemes_use_registry_name(self):
+        assert get_scheme("raw").fingerprint() == "raw"
+        assert get_scheme("dbi-dc").fingerprint() == "dbi-dc"
+        assert get_scheme("dbi-ac").fingerprint() == "dbi-ac"
+
+    def test_optimal_keyed_by_ratio(self):
+        from repro.core.costs import CostModel
+        from repro.core.encoder import DbiOptimal, DbiOptimalFixed
+
+        fixed = DbiOptimalFixed()
+        # Equal ratios share a fingerprint regardless of scale and flavour.
+        assert DbiOptimal(CostModel(2.0, 2.0)).fingerprint() \
+            == fixed.fingerprint()
+        assert DbiOptimal(CostModel.from_ac_fraction(0.5)).fingerprint() \
+            == fixed.fingerprint()
+        # Distinct ratios must never collide.
+        assert DbiOptimal(CostModel(1.0, 3.0)).fingerprint() \
+            != fixed.fingerprint()
+
+    def test_greedy_keyed_by_ratio(self):
+        from repro.baselines.chang import DbiGreedyWeighted
+        from repro.core.costs import CostModel
+
+        a = DbiGreedyWeighted(CostModel(1.0, 1.0))
+        b = DbiGreedyWeighted(CostModel(3.0, 3.0))
+        c = DbiGreedyWeighted(CostModel(1.0, 2.0))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_greedy_and_optimal_never_collide(self):
+        from repro.baselines.chang import DbiGreedyWeighted
+        from repro.core.costs import CostModel
+        from repro.core.encoder import DbiOptimal
+
+        model = CostModel(1.0, 1.0)
+        assert DbiGreedyWeighted(model).fingerprint() \
+            != DbiOptimal(model).fingerprint()

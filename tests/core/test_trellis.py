@@ -21,9 +21,11 @@ from repro.core.trellis import (
 
 short_bursts = st.lists(st.integers(min_value=0, max_value=255),
                         min_size=1, max_size=8).map(Burst)
+# Subnormal coefficients are excluded: scaling one by a factor < 1 can
+# underflow to 0.0, turning a valid model into the rejected (0, 0) pair.
 cost_models = st.tuples(
-    st.floats(min_value=0.0, max_value=4.0),
-    st.floats(min_value=0.0, max_value=4.0),
+    st.floats(min_value=0.0, max_value=4.0, allow_subnormal=False),
+    st.floats(min_value=0.0, max_value=4.0, allow_subnormal=False),
 ).filter(lambda ab: ab[0] + ab[1] > 0).map(lambda ab: CostModel(*ab))
 words = st.integers(min_value=0, max_value=0x1FF)
 

@@ -108,3 +108,124 @@ class TestTable1:
         assert code == 0
         assert "DBI OPT (Fixed Coeff.)" in out
         assert "Energy/Burst" in out
+
+
+class TestEngineFlags:
+    """--backend / --jobs / --out / --from-artifact on the sweep commands."""
+
+    def test_backend_reference(self, capsys):
+        code, out, __ = run_cli(capsys, "sweep-alpha", "--samples", "40",
+                                "--points", "3", "--backend", "reference")
+        assert code == 0
+        assert "AC/DC crossover" in out
+
+    def test_backend_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "sweep-alpha", "--backend", "quantum")
+
+    def test_jobs_parallel(self, capsys):
+        code_serial, out_serial, __ = run_cli(
+            capsys, "sweep-alpha", "--samples", "40", "--points", "3")
+        code_parallel, out_parallel, __ = run_cli(
+            capsys, "sweep-alpha", "--samples", "40", "--points", "3",
+            "--jobs", "2")
+        assert code_serial == code_parallel == 0
+        assert out_parallel == out_serial
+
+    def test_encode_backend_flag(self, capsys):
+        code, out, __ = run_cli(capsys, "encode", "--hex", "8e",
+                                "--scheme", "dbi-opt",
+                                "--backend", "reference")
+        assert code == 0
+        assert "dbi-opt" in out
+
+    def test_out_then_from_artifact(self, capsys, tmp_path):
+        path = tmp_path / "alpha.json"
+        code, out_run, __ = run_cli(capsys, "sweep-alpha", "--samples", "40",
+                                    "--points", "3", "--out", str(path))
+        assert code == 0
+        assert path.exists()
+        assert "artifact written" in out_run
+        code, out_loaded, __ = run_cli(capsys, "sweep-alpha",
+                                       "--from-artifact", str(path))
+        assert code == 0
+        # identical tables, modulo the provenance footer
+        table = [line for line in out_run.splitlines()
+                 if line.startswith("|")]
+        table_loaded = [line for line in out_loaded.splitlines()
+                        if line.startswith("|")]
+        assert table_loaded == table
+        assert "loaded from" in out_loaded
+
+    def test_rate_and_load_artifacts(self, capsys, tmp_path):
+        rate_path = tmp_path / "rate.json"
+        code, __, ___ = run_cli(capsys, "sweep-rate", "--samples", "40",
+                                "--max-gbps", "2", "--out", str(rate_path))
+        assert code == 0
+        code, out, __ = run_cli(capsys, "sweep-rate",
+                                "--from-artifact", str(rate_path))
+        assert code == 0
+        assert "Gbps" in out
+
+        load_path = tmp_path / "load.json"
+        code, __, ___ = run_cli(capsys, "sweep-load", "--samples", "40",
+                                "--max-gbps", "2", "--loads-pf", "3",
+                                "--out", str(load_path))
+        assert code == 0
+        code, out, __ = run_cli(capsys, "sweep-load",
+                                "--from-artifact", str(load_path))
+        assert code == 0
+        assert "best saving" in out
+
+    def test_from_artifact_missing_file(self, capsys, tmp_path):
+        code, __, err = run_cli(capsys, "sweep-alpha",
+                                "--from-artifact", str(tmp_path / "no.json"))
+        assert code == 2
+        assert "cannot load artifact" in err
+
+    def test_from_artifact_bad_payload(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        code, __, err = run_cli(capsys, "sweep-alpha",
+                                "--from-artifact", str(path))
+        assert code == 2
+        assert "cannot load artifact" in err
+
+    def test_from_artifact_non_object_payload(self, capsys, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        code, __, err = run_cli(capsys, "sweep-alpha",
+                                "--from-artifact", str(path))
+        assert code == 2
+        assert "cannot load artifact" in err
+
+    def test_from_artifact_warns_on_ignored_flags(self, capsys, tmp_path):
+        path = tmp_path / "alpha.json"
+        code, __, ___ = run_cli(capsys, "sweep-alpha", "--samples", "40",
+                                "--points", "3", "--out", str(path))
+        assert code == 0
+        code, __, err = run_cli(capsys, "sweep-alpha", "--samples", "999",
+                                "--jobs", "2", "--from-artifact", str(path))
+        assert code == 0
+        assert "ignored" in err and "--samples" in err and "--jobs" in err
+
+    def test_out_directory_validated_up_front(self, capsys, tmp_path):
+        code, __, err = run_cli(capsys, "sweep-alpha", "--samples", "40",
+                                "--points", "3", "--out",
+                                str(tmp_path / "missing" / "fig.json"))
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "sweep-alpha", "--jobs", "0")
+
+    def test_from_artifact_figure_mismatch(self, capsys, tmp_path):
+        path = tmp_path / "alpha.json"
+        code, __, ___ = run_cli(capsys, "sweep-alpha", "--samples", "40",
+                                "--points", "3", "--out", str(path))
+        assert code == 0
+        code, __, err = run_cli(capsys, "sweep-rate",
+                                "--from-artifact", str(path))
+        assert code == 2
+        assert "expected 'rate'" in err
