@@ -1,0 +1,148 @@
+"""Gate-level activity throughput — the bit-parallel engine's acceptance gate.
+
+Times :meth:`Netlist.simulate_activity` three ways over the same
+10 000-vector random-burst workload:
+
+* **reference** — the scalar per-vector, per-gate interpreter;
+* **int** — the bit-parallel compiled engine packing vectors into
+  arbitrary-width Python integers (no NumPy involved);
+* **uint64** — the same program over NumPy ``uint64`` lane arrays.
+
+The gate requires the *pure-Python* bit-parallel path alone to be
+**>= 20x faster** than the scalar interpreter on the Fig. 5
+fixed-coefficient OPT encoder at ``REPRO_BENCH_ACTIVITY_VECTORS``
+vectors (default 10 000), with bit-identical toggle tallies.  The NumPy
+path is reported (and sanity-gated at the same floor) on top.
+
+Every run persists its measurements to ``BENCH_hw_activity.json``
+(override the directory with ``REPRO_BENCH_ARTIFACT_DIR``) so CI keeps a
+perf trajectory of the gate-level layer.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import emit
+
+from repro.hw.bitsim import compile_netlist
+from repro.hw.encoders import build_dc_encoder, build_opt_encoder
+from repro.hw.netlist import Netlist
+from repro.workloads.population import RandomPopulation
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - benches are skipped without NumPy
+    HAVE_NUMPY = False
+
+#: Workload size of the gate (Table I's default population is 10x this;
+#: the scalar reference makes the full 100k unaffordable to *time*).
+BENCH_VECTORS = int(os.environ.get("REPRO_BENCH_ACTIVITY_VECTORS", "10000"))
+
+#: Required wall-clock advantage of the pure-Python bit-parallel path
+#: over the scalar interpreter.
+SPEEDUP_FLOOR = 20.0
+
+#: The scalar interpreter is timed on this fraction of the workload for
+#: the large OPT netlist and extrapolated linearly (it is linear in
+#: vectors by construction); the small DC netlist is timed in full.
+OPT_REFERENCE_FRACTION = 10
+
+ARTIFACT_NAME = "BENCH_hw_activity.json"
+
+
+def _vectors(count: int):
+    from repro.hw.activity import vectors_from_bursts
+
+    population = RandomPopulation(count=count, seed=0x0DB1)
+    return vectors_from_bursts(population.bursts())
+
+
+def _time(function):
+    start = time.perf_counter()
+    result = function()
+    return time.perf_counter() - start, result
+
+
+def _measure(netlist: Netlist, vectors, reference_fraction: int = 1):
+    """Wall-clock one design across all engines; returns a result row."""
+    compiled = compile_netlist(netlist)
+    reference_vectors = vectors[:len(vectors) // reference_fraction]
+    t_reference, reference = _time(
+        lambda: netlist.simulate_activity(iter(reference_vectors),
+                                          backend="reference"))
+    t_reference *= reference_fraction
+    t_int, report_int = _time(
+        lambda: compiled.simulate_activity(iter(vectors), word_impl="int"))
+    # Bit-identity is checked on exactly the vectors the scalar engine
+    # simulated: the timed run itself unless the reference was
+    # subsampled for timing.
+    if reference_fraction > 1:
+        parity = compiled.simulate_activity(iter(reference_vectors),
+                                            word_impl="int")
+    else:
+        parity = report_int
+    assert parity.gate_toggles == reference.gate_toggles
+    row = {
+        "design": netlist.name,
+        "n_gates": netlist.n_gates,
+        "n_vectors": len(vectors),
+        "reference_s": round(t_reference, 4),
+        "reference_extrapolated": reference_fraction > 1,
+        "int_s": round(t_int, 4),
+        "speedup_int": round(t_reference / t_int, 1),
+    }
+    if HAVE_NUMPY:
+        t_u64, report_u64 = _time(
+            lambda: compiled.simulate_activity(iter(vectors),
+                                               word_impl="uint64"))
+        assert report_u64.gate_toggles == report_int.gate_toggles
+        row["uint64_s"] = round(t_u64, 4)
+        row["speedup_uint64"] = round(t_reference / t_u64, 1)
+    return row
+
+
+def _write_artifact(rows):
+    directory = pathlib.Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "."))
+    path = directory / ARTIFACT_NAME
+    payload = {
+        "schema": "repro.bench/hw_activity/1",
+        "n_vectors": BENCH_VECTORS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "numpy": HAVE_NUMPY,
+        "designs": rows,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_activity_throughput_gate():
+    vectors = _vectors(BENCH_VECTORS)
+    dc_row = _measure(build_dc_encoder(8), vectors)
+    opt_row = _measure(build_opt_encoder(8), vectors,
+                       reference_fraction=OPT_REFERENCE_FRACTION)
+    rows = [dc_row, opt_row]
+    path = _write_artifact(rows)
+
+    lines = [
+        f"| {row['design']} | {row['n_gates']} gates "
+        f"| ref {row['reference_s']:.2f}s"
+        f"{'*' if row['reference_extrapolated'] else ''} "
+        f"| int {row['int_s']:.3f}s ({row['speedup_int']:.0f}x) "
+        + (f"| uint64 {row['uint64_s']:.3f}s "
+           f"({row['speedup_uint64']:.0f}x) |" if HAVE_NUMPY else "|")
+        for row in rows
+    ]
+    emit(f"gate-level activity throughput at {BENCH_VECTORS} vectors "
+         f"(artifact: {path})", "\n".join(lines)
+         + "\n(* = scalar time extrapolated from "
+         f"1/{OPT_REFERENCE_FRACTION} of the workload)")
+
+    # The acceptance gate: pure-Python bit-parallel packing alone clears
+    # 20x on the Fig. 5 OPT encoder; NumPy must not regress below it.
+    assert opt_row["speedup_int"] >= SPEEDUP_FLOOR, opt_row
+    if HAVE_NUMPY:
+        assert opt_row["speedup_uint64"] >= SPEEDUP_FLOOR, opt_row
+        assert dc_row["speedup_uint64"] >= SPEEDUP_FLOOR, dc_row

@@ -1,20 +1,28 @@
 """Table I — synthesis results for the four encoder designs.
 
-Builds the gate-level netlists, runs activity simulation, and prints the
-area/static/dynamic/rate/energy table next to the paper's numbers.
-Asserts the orderings and ratio-level claims (see EXPERIMENTS.md for the
-measured-vs-paper discussion; absolute um2/uW depend on the substituted
-cell library).
+Builds the gate-level netlists, runs activity simulation over the
+default 100k-burst random population (the bit-parallel engine makes the
+full-scale workload the cheap path; ``REPRO_BENCH_TABLE1_BURSTS``
+overrides), and prints the area/static/dynamic/rate/energy table next to
+the paper's numbers.  Asserts the orderings and ratio-level claims (see
+EXPERIMENTS.md for the measured-vs-paper discussion; absolute um2/uW
+depend on the substituted cell library).
 """
+
+import os
 
 import pytest
 
 from conftest import emit
+from repro.hw.activity import DEFAULT_ACTIVITY_BURSTS
 from repro.hw.synthesis import (
     _design_specs,
     synthesize,
     table_one_markdown,
 )
+
+TABLE1_BURSTS = int(os.environ.get("REPRO_BENCH_TABLE1_BURSTS",
+                                   str(DEFAULT_ACTIVITY_BURSTS)))
 
 PAPER_ROWS = """paper Table I (32 nm, Synopsys DC Ultra):
 | Scheme | Area | Static | Dynamic | Rate | Total | E/burst |
@@ -25,7 +33,7 @@ PAPER_ROWS = """paper Table I (32 nm, Synopsys DC Ultra):
 
 
 def _run_table():
-    return {name: synthesize(spec, activity_bursts=200)
+    return {name: synthesize(spec, activity_bursts=TABLE1_BURSTS)
             for name, spec in _design_specs().items()}
 
 

@@ -250,9 +250,13 @@ def _cmd_sweep_load(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    del args
-    from .hw.synthesis import table_one_markdown
-    print(table_one_markdown())
+    from .hw.synthesis import _design_specs, synthesize, table_one_markdown
+    results = {
+        name: synthesize(spec, activity_bursts=args.bursts,
+                         backend=args.backend)
+        for name, spec in _design_specs().items()
+    }
+    print(table_one_markdown(results))
     return 0
 
 
@@ -348,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_load.set_defaults(handler=_cmd_sweep_load)
 
     table1 = sub.add_parser("table1", help="Table I synthesis estimates")
+    table1.add_argument("--bursts", type=_positive_int, default=None,
+                        metavar="N",
+                        help="random bursts for the activity simulation "
+                             "(default: 100000 via the bit-parallel "
+                             "engine)")
+    _add_backend_argument(table1)
     table1.set_defaults(handler=_cmd_table1)
 
     return parser

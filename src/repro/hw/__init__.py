@@ -1,11 +1,46 @@
-"""Gate-level hardware models: cells, netlists, encoder RTL, synthesis."""
+"""Gate-level hardware models: cells, netlists, encoder RTL, synthesis.
+
+Simulation backends
+-------------------
+The gate-level layer has two interchangeable simulation engines, selected
+with the library-wide backend vocabulary (``backend="auto" | "reference"
+| "vector"``, defaulting from ``REPRO_BACKEND`` /
+:func:`repro.set_default_backend`):
+
+* ``reference`` — the scalar interpreter in
+  :meth:`~repro.hw.netlist.Netlist.simulate_activity` /
+  :meth:`~repro.hw.netlist.Netlist.evaluate`: one vector at a time, one
+  gate at a time, each cell evaluated through its boolean ``function``.
+  This is the executable specification.
+* ``vector`` — the bit-parallel compiled engine
+  (:mod:`repro.hw.bitsim`): the netlist is lowered once into a
+  straight-line program of bitwise word operations over the cells'
+  ``word_function`` forms, W input vectors are packed per net into one
+  machine word, and toggles are tallied with popcounts.  Unlike the
+  encoding layer's vector backend, this works *without* NumPy (packing
+  into arbitrary-width Python ints); NumPy switches the word type to
+  ``uint64`` lane arrays for a further ~5-10x.
+
+``auto`` therefore always resolves to the bit-parallel engine here.  The
+two engines are bit-identical — same toggle tallies, same outputs — which
+the differential suite in ``tests/hw/test_bitsim.py`` enforces over
+hypothesis-generated netlists and every encoder design.
+"""
 
 from .activity import (
+    DEFAULT_ACTIVITY_BURSTS,
     burst_to_vector,
     encode_with_netlist,
+    iter_vectors,
     measure_activity,
     netlist_invert_flags,
     vectors_from_bursts,
+)
+from .bitsim import (
+    CompiledNetlist,
+    compile_netlist,
+    resolve_sim_backend,
+    word_function_from_truth_table,
 )
 from .cells import DFF, LIBRARY, Cell, get_cell
 from .components import (
@@ -44,6 +79,8 @@ from .synthesis import (
 __all__ = [
     "ActivityReport",
     "Cell",
+    "CompiledNetlist",
+    "DEFAULT_ACTIVITY_BURSTS",
     "DFF",
     "DesignSpec",
     "Gate",
@@ -53,6 +90,7 @@ __all__ = [
     "SynthesisResult",
     "TARGET_BURST_RATE_HZ",
     "add_many",
+    "compile_netlist",
     "build_ac_encoder",
     "build_dc_encoder",
     "build_decoder",
@@ -64,6 +102,7 @@ __all__ = [
     "full_adder",
     "get_cell",
     "half_adder",
+    "iter_vectors",
     "less_than",
     "measure_activity",
     "min_select",
@@ -72,10 +111,12 @@ __all__ = [
     "netlist_invert_flags",
     "plan_pipeline",
     "popcount",
+    "resolve_sim_backend",
     "stages_for_frequency",
     "ripple_adder",
     "subtract_from_const",
     "synthesize",
+    "word_function_from_truth_table",
     "table_one",
     "table_one_markdown",
     "vectors_from_bursts",

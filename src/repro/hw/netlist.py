@@ -4,7 +4,11 @@ A :class:`Netlist` is a combinational circuit built incrementally from the
 cells of :mod:`repro.hw.cells`.  Gates must be created after their input
 nets exist, so the gate list is always in topological order — evaluation,
 longest-path timing and switching-activity analysis are all single linear
-sweeps.
+sweeps.  Batch evaluation and activity simulation dispatch to the
+bit-parallel compiled engine of :mod:`repro.hw.bitsim` by default
+(``backend="reference"`` selects the scalar per-vector interpreter, the
+executable specification the compiled engine is differentially tested
+against).
 
 Sequential elements are *not* simulated here: the DBI encoders are
 burst-parallel combinational blocks, and pipeline registers only affect the
@@ -14,8 +18,19 @@ top.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from itertools import chain, islice
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .cells import Cell, get_cell
 
@@ -106,10 +121,7 @@ class Netlist:
 
     def cell_counts(self) -> Dict[str, int]:
         """Histogram of cell names."""
-        counts: Dict[str, int] = {}
-        for gate in self.gates:
-            counts[gate.cell.name] = counts.get(gate.cell.name, 0) + 1
-        return counts
+        return dict(Counter(gate.cell.name for gate in self.gates))
 
     def area_um2(self) -> float:
         """Total combinational cell area."""
@@ -119,27 +131,25 @@ class Netlist:
         """Total combinational leakage in watts."""
         return sum(gate.cell.leakage_w for gate in self.gates)
 
-    def critical_path_ps(self) -> float:
-        """Longest input-to-output path in picoseconds (topological sweep)."""
-        arrival = [0.0] * self._n_nets
+    def _longest_path(self, gate_weight: Callable[[Gate], float], zero):
+        """Longest-path arrival over the (topological) gate list, taken
+        at the primary outputs — or over all nets when none are marked."""
+        arrival = [zero] * self._n_nets
         for gate in self.gates:
-            start = max((arrival[net] for net in gate.inputs), default=0.0)
-            arrival[gate.output] = start + gate.cell.delay_ps
+            start = max((arrival[net] for net in gate.inputs), default=zero)
+            arrival[gate.output] = start + gate_weight(gate)
         output_nets = [net for nets in self.outputs.values() for net in nets]
         if not output_nets:
-            return max(arrival, default=0.0)
+            return max(arrival, default=zero)
         return max(arrival[net] for net in output_nets)
+
+    def critical_path_ps(self) -> float:
+        """Longest input-to-output path in picoseconds (topological sweep)."""
+        return self._longest_path(lambda gate: gate.cell.delay_ps, 0.0)
 
     def logic_depth(self) -> int:
         """Longest path measured in gate levels."""
-        depth = [0] * self._n_nets
-        for gate in self.gates:
-            start = max((depth[net] for net in gate.inputs), default=0)
-            depth[gate.output] = start + 1
-        output_nets = [net for nets in self.outputs.values() for net in nets]
-        if not output_nets:
-            return max(depth, default=0)
-        return max(depth[net] for net in output_nets)
+        return self._longest_path(lambda gate: 1, 0)
 
     # -- simulation -----------------------------------------------------------
     def _assign(self, assignment: Mapping[str, int]) -> List[int]:
@@ -177,18 +187,52 @@ class Netlist:
             result[name] = word
         return result
 
-    def simulate_activity(self, vectors: Iterable[Mapping[str, int]]) -> "ActivityReport":
+    def evaluate_batch(self, assignments: Sequence[Mapping[str, int]],
+                       backend: Optional[str] = None) -> List[Dict[str, int]]:
+        """Evaluate all outputs for a sequence of input assignments.
+
+        ``backend`` follows the library-wide vocabulary (``"auto"`` /
+        ``"reference"`` / ``"vector"``, default from ``REPRO_BACKEND``):
+        ``reference`` loops :meth:`evaluate` per vector, ``vector`` runs
+        the bit-parallel compiled engine of :mod:`repro.hw.bitsim` —
+        bit-identical, just evaluated W vectors per gate visit.
+        """
+        from .bitsim import compile_netlist, resolve_sim_backend
+
+        if resolve_sim_backend(backend) == "reference":
+            return [self.evaluate(assignment) for assignment in assignments]
+        return compile_netlist(self).evaluate_batch(assignments)
+
+    def simulate_activity(self, vectors: Iterable[Mapping[str, int]],
+                          backend: Optional[str] = None) -> "ActivityReport":
         """Run a vector sequence and tally output toggles per gate.
 
         Toggle counting is zero-delay (functional): a gate output that
         changes between consecutive vectors counts one toggle.  Glitching
         is approximated later by a multiplicative factor in the synthesis
         model rather than simulated.
+
+        ``backend`` selects the scalar interpreter (``"reference"``) or
+        the bit-parallel compiled engine (``"vector"``, the ``"auto"``
+        default) — see :mod:`repro.hw.bitsim`; both produce identical
+        toggle tallies.
         """
+        from .bitsim import compile_netlist, resolve_sim_backend
+
+        if resolve_sim_backend(backend) != "reference":
+            return compile_netlist(self).simulate_activity(vectors)
+
+        # Validate incrementally: pull the first two vectors before any
+        # propagation so a too-short input fails fast, and a generator
+        # input is never materialised wholesale.
+        iterator = iter(vectors)
+        head = list(islice(iterator, 2))
+        if len(head) < 2:
+            raise ValueError("activity simulation needs at least 2 vectors")
         toggles = [0] * len(self.gates)
         previous: Optional[List[int]] = None
         n_vectors = 0
-        for assignment in vectors:
+        for assignment in chain(head, iterator):
             values = self._assign(assignment)
             self._propagate(values)
             if previous is not None:
@@ -197,8 +241,6 @@ class Netlist:
                         toggles[index] += 1
             previous = values
             n_vectors += 1
-        if n_vectors < 2:
-            raise ValueError("activity simulation needs at least 2 vectors")
         return ActivityReport(netlist=self, gate_toggles=toggles,
                               n_cycles=n_vectors - 1)
 

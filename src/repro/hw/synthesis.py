@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional
 
-from .activity import measure_activity
+from .activity import DEFAULT_ACTIVITY_BURSTS, measure_activity
 from .cells import DFF, REGISTER_OVERHEAD_PS
 from .encoders import (
     build_ac_encoder,
@@ -150,12 +150,22 @@ def _leakage_derate(timing_pressure: float) -> float:
 
 def synthesize(spec: DesignSpec,
                target_burst_rate_hz: float = TARGET_BURST_RATE_HZ,
-               activity_bursts: int = 200) -> SynthesisResult:
+               activity_bursts: Optional[int] = None,
+               population=None,
+               backend: Optional[str] = None) -> SynthesisResult:
     """Estimate area/power/timing for one design.
 
     The achieved burst rate is the target when timing closes, otherwise
     the design's maximum rate (the paper's 3-bit design runs at 0.5 GHz
     instead of 1.5 GHz for exactly this reason).
+
+    Dynamic power comes from gate-level activity simulation over
+    ``activity_bursts`` random bursts (default
+    :data:`~repro.hw.activity.DEFAULT_ACTIVITY_BURSTS` = 100k — the
+    bit-parallel engine makes the full-population estimate the cheap
+    path) or over an explicit ``population``
+    (:class:`~repro.workloads.population.BurstPopulation`), e.g. a trace
+    or patterned workload.  ``backend`` selects the simulation engine.
     """
     netlist = spec.build()
     critical_path_ps = netlist.critical_path_ps()
@@ -176,7 +186,8 @@ def synthesize(spec: DesignSpec,
                       + n_register_bits * DFF.leakage_w) * _leakage_derate(pressure)
 
     activity = measure_activity(netlist, n_bursts=activity_bursts,
-                                alpha=spec.alpha, beta=spec.beta)
+                                alpha=spec.alpha, beta=spec.beta,
+                                population=population, backend=backend)
     comb_energy_j = activity.switching_energy_per_cycle_j() * GLITCH_FACTOR
     register_energy_j = (n_register_bits * REGISTER_ACTIVITY
                          * DFF.toggle_energy_j)
@@ -196,9 +207,15 @@ def synthesize(spec: DesignSpec,
     )
 
 
-@lru_cache(maxsize=1)
-def table_one(activity_bursts: int = 200) -> Dict[str, SynthesisResult]:
-    """Synthesis results for all four Table I designs (cached)."""
+@lru_cache(maxsize=2)
+def table_one(activity_bursts: int = DEFAULT_ACTIVITY_BURSTS
+              ) -> Dict[str, SynthesisResult]:
+    """Synthesis results for all four Table I designs (cached).
+
+    Dynamic power is measured over 100k random bursts by default — the
+    same population scale as the software figures — via the bit-parallel
+    activity engine.
+    """
     return {
         name: synthesize(spec, activity_bursts=activity_bursts)
         for name, spec in _design_specs().items()

@@ -4,11 +4,15 @@ import pytest
 
 from repro.core.burst import Burst
 from repro.hw.activity import (
+    DEFAULT_ACTIVITY_BURSTS,
     burst_to_vector,
+    iter_vectors,
     measure_activity,
     vectors_from_bursts,
 )
 from repro.hw.encoders import build_dc_encoder
+from repro.workloads.patterns import pattern_suite
+from repro.workloads.population import ExplicitPopulation, RandomPopulation
 
 
 def test_burst_to_vector_contract():
@@ -45,3 +49,84 @@ def test_measure_activity_deterministic():
 def test_measure_activity_validation():
     with pytest.raises(ValueError):
         measure_activity(build_dc_encoder(8), n_bursts=1)
+
+
+def test_iter_vectors_is_lazy():
+    iterator = iter_vectors(iter([Burst([1, 2]), Burst([3, 4])]))
+    first = next(iterator)
+    assert first["byte0"] == 1 and first["byte1"] == 2
+    assert next(iterator)["byte0"] == 3
+
+
+def test_measure_activity_population_matches_n_bursts():
+    """population= with the same content gives the same report as the
+    legacy (n_bursts, seed) form."""
+    netlist = build_dc_encoder(8)
+    by_count = measure_activity(netlist, n_bursts=40, seed=11)
+    by_population = measure_activity(
+        netlist, population=RandomPopulation(count=40, seed=11))
+    assert by_count.gate_toggles == by_population.gate_toggles
+
+
+def test_measure_activity_explicit_bursts():
+    netlist = build_dc_encoder(8)
+    bursts = pattern_suite(8) * 3
+    via_bursts = measure_activity(netlist, bursts=bursts)
+    via_population = measure_activity(netlist,
+                                      population=ExplicitPopulation(bursts))
+    reference = netlist.simulate_activity(iter_vectors(bursts),
+                                          backend="reference")
+    assert via_bursts.gate_toggles == via_population.gate_toggles
+    assert via_bursts.gate_toggles == reference.gate_toggles
+
+
+def test_measure_activity_patterned_workload_differs_from_random():
+    """Directed patterns exercise different activity than random traffic
+    (the reason measure_activity accepts populations at all)."""
+    netlist = build_dc_encoder(8)
+    patterned = measure_activity(netlist, bursts=pattern_suite(8) * 4)
+    rand = measure_activity(netlist, n_bursts=len(pattern_suite(8)) * 4)
+    assert patterned.gate_toggles != rand.gate_toggles
+
+
+def test_measure_activity_population_and_bursts_conflict():
+    netlist = build_dc_encoder(8)
+    population = RandomPopulation(count=4)
+    with pytest.raises(ValueError, match="not both"):
+        measure_activity(netlist, population=population,
+                         bursts=population.bursts())
+
+
+def test_measure_activity_n_bursts_population_mismatch():
+    netlist = build_dc_encoder(8)
+    with pytest.raises(ValueError, match="conflicts"):
+        measure_activity(netlist, n_bursts=5,
+                         population=RandomPopulation(count=4))
+
+
+def test_measure_activity_n_bursts_bursts_mismatch():
+    """bursts= must be held to the same n_bursts consistency check as
+    population= instead of silently ignoring the requested count."""
+    netlist = build_dc_encoder(8)
+    with pytest.raises(ValueError, match="conflicts"):
+        measure_activity(netlist, n_bursts=500,
+                         bursts=RandomPopulation(count=10).bursts())
+
+
+def test_packed_path_rejects_overflowing_narrow_bus():
+    """A byte lane narrower than 8 bits must reject out-of-range values
+    on every backend, not silently truncate on the packed fast path."""
+    from repro.hw.netlist import Netlist
+
+    nl = Netlist("narrow")
+    bits = nl.add_input("byte0", 4)
+    nl.add_input("prev_word", 9)
+    nl.mark_output("y", [nl.gate("INV", bit) for bit in bits])
+    bursts = [Burst([200]), Burst([3]), Burst([7])]
+    for backend in ("reference", "vector"):
+        with pytest.raises(ValueError, match="does not fit in 4 bits"):
+            measure_activity(nl, bursts=bursts, backend=backend)
+
+
+def test_default_workload_is_100k():
+    assert DEFAULT_ACTIVITY_BURSTS == 100_000
