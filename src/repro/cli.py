@@ -9,6 +9,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro sweep-rate --c-load-pf 3 --jobs 4 --out fig7.json
     python -m repro sweep-load --from-artifact fig8.json
     python -m repro table1
+    python -m repro ctrl --trace gpu --interface pod135 lvstl11
+    python -m repro ctrl --bursts 10000 --channels 4 --lanes 4
 
 Every subcommand prints a markdown table or ASCII plot to stdout, so
 results can be piped into reports directly.  The sweep subcommands run
@@ -37,15 +39,19 @@ from .core.costs import CostModel
 from .core.pareto import pareto_summary
 from .core.schemes import available_schemes, get_scheme
 from .core.vectorized import BACKENDS
+from .phy.interface import available_interfaces
 from .phy.pod import pod12, pod135
-from .phy.power import GBPS, PICOFARAD
+from .phy.power import GBPS, PICOFARAD, PICOJOULE
 from .sim.experiments import (
     ExperimentResult,
+    ReplayPoint,
+    ReplaySpec,
     alpha_experiment,
     load_artifact,
     load_experiment,
     rate_experiment,
     run_experiment,
+    run_replay,
     save_artifact,
 )
 from .sim.report import (
@@ -249,6 +255,81 @@ def _cmd_sweep_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ctrl_payload(args: argparse.Namespace) -> Optional[bytes]:
+    """The replay payload: trace file, named trace, or synthetic bursts.
+
+    Returns ``None`` for a handled usage error (message on stderr).
+    """
+    if args.trace:
+        if os.path.exists(args.trace):
+            with open(args.trace, "rb") as handle:
+                payload = handle.read(args.bytes if args.bytes else -1)
+            if not payload:
+                print(f"--trace {args.trace}: file is empty", file=sys.stderr)
+                return None
+            return payload
+        try:
+            from .workloads.traces import trace_bytes
+        except ImportError:
+            print(f"--trace {args.trace}: named traces need NumPy (pass a "
+                  "file path or use --bursts instead)", file=sys.stderr)
+            return None
+        try:
+            return trace_bytes(args.trace, args.bytes or 65536,
+                               seed=args.seed)
+        except KeyError as error:
+            print(f"--trace: {error.args[0]}", file=sys.stderr)
+            return None
+    from .workloads.population import RandomPopulation
+
+    population = RandomPopulation(count=args.bursts, seed=args.seed)
+    return b"".join(bytes(burst.data) for burst in population)
+
+
+def _cmd_ctrl(args: argparse.Namespace) -> int:
+    payload = _ctrl_payload(args)
+    if payload is None:
+        return 2
+    interfaces = list(dict.fromkeys(args.interface))
+    spec = ReplaySpec(
+        name="cli-ctrl-replay", payload=payload,
+        points=tuple(ReplayPoint(interface=name,
+                                 data_rate_hz=args.data_rate_gbps * GBPS,
+                                 c_load_farads=args.c_load_pf * PICOFARAD)
+                     for name in interfaces),
+        channels=args.channels, byte_lanes=args.lanes, window=args.window,
+        line_bytes=args.line_bytes)
+    result = run_replay(spec, backend=args.backend, jobs=args.jobs)
+    totals_any = next(iter(result.totals.values()))
+    print(f"payload: {len(payload)} bytes -> {totals_any.transactions} "
+          f"transactions of <= {args.line_bytes} B over "
+          f"{args.channels} channel(s) x {args.lanes} lane(s), "
+          f"window {args.window}")
+    for point in spec.points:
+        priced = result.series[point.label]
+        totals = result.totals_for(point.label)
+        rows: List[List[object]] = []
+        for channel, ((zeros, transitions, beats), energy) in enumerate(
+                zip(totals.channels, priced["per_channel_energy"])):
+            rows.append([channel, beats, zeros, transitions,
+                         f"{energy / PICOJOULE:.1f}",
+                         f"{energy / beats / PICOJOULE:.3f}" if beats else "-"])
+        rows.append(["total", totals.bytes_written, totals.zeros,
+                     totals.transitions,
+                     f"{priced['energy_joules'] / PICOJOULE:.1f}",
+                     f"{priced['energy_per_byte'] / PICOJOULE:.3f}"])
+        print(f"\n## {point.label}")
+        print(markdown_table(
+            ["channel", "bytes", "zeros", "transitions", "energy [pJ]",
+             "pJ/byte"], rows))
+    provenance = result.provenance
+    print(f"\n# backend={provenance['backend']} "
+          f"replays={provenance['replays']} "
+          f"cache_hits={provenance['cache_hits']} "
+          f"elapsed={provenance['elapsed_s']:.3f}s")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .hw.synthesis import _design_specs, synthesize, table_one_markdown
     results = {
@@ -350,6 +431,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_load.add_argument("--max-gbps", type=int, default=20)
     _add_engine_arguments(sweep_load)
     sweep_load.set_defaults(handler=_cmd_sweep_load)
+
+    ctrl = sub.add_parser(
+        "ctrl", help="replay a trace through the write-path controller")
+    source = ctrl.add_mutually_exclusive_group()
+    source.add_argument("--trace", metavar="NAME|PATH",
+                        help="named traffic class (text/float/image/pointer/"
+                             "zero/gpu) or a binary file to replay")
+    source.add_argument("--bursts", type=_positive_int, default=2000,
+                        metavar="N",
+                        help="synthetic input: N random 8-byte bursts "
+                             "(default: 2000)")
+    ctrl.add_argument("--bytes", type=_positive_int, default=None,
+                      metavar="N",
+                      help="payload size for named traces (default: 65536); "
+                           "for trace files, a cap on how much is read "
+                           "(default: the whole file)")
+    ctrl.add_argument("--seed", type=int, default=0x0DB1, help="RNG seed")
+    ctrl.add_argument("--channels", type=_positive_int, default=2)
+    ctrl.add_argument("--lanes", type=_positive_int, default=4,
+                      help="byte lanes per channel (default: 4)")
+    ctrl.add_argument("--window", type=_positive_int, default=16,
+                      help="streaming-encoder lookahead in bytes "
+                           "(default: 16)")
+    ctrl.add_argument("--line-bytes", dest="line_bytes", type=_positive_int,
+                      default=64, help="transaction granularity (default: 64)")
+    ctrl.add_argument("--interface", nargs="+",
+                      choices=available_interfaces(), default=["pod135"],
+                      help="electrical standard(s) to price the replay at")
+    ctrl.add_argument("--data-rate-gbps", dest="data_rate_gbps", type=float,
+                      default=12.0, help="per-pin data rate (default: 12)")
+    ctrl.add_argument("--c-load-pf", dest="c_load_pf", type=float,
+                      default=3.0, help="lane load capacitance (default: 3)")
+    _add_backend_argument(ctrl)
+    ctrl.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                      help="worker processes for distinct operating-point "
+                           "replays (default: 1, serial)")
+    ctrl.set_defaults(handler=_cmd_ctrl)
 
     table1 = sub.add_parser("table1", help="Table I synthesis estimates")
     table1.add_argument("--bursts", type=_positive_int, default=None,

@@ -34,6 +34,7 @@ from .pareto import (
     supported_points,
 )
 from .streaming import (
+    BatchStreamingEncoder,
     StreamingOptimalEncoder,
     solve_stream,
     stream_cost,

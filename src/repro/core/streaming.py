@@ -16,6 +16,13 @@ This module extends the paper's formulation to streams:
   the greedy weighted heuristic; ``window → stream length`` converges to
   the joint optimum — which the tests and the window-size ablation
   quantify.
+* :class:`BatchStreamingEncoder` — the batch sibling: the same windowed
+  trellis solved over ``(lanes, window)`` arrays at once through the
+  vector backend (:func:`repro.core.vectorized.solve_batch` with per-row
+  boundary words), for controllers that drive many byte lanes in
+  lock-step.  Per-lane decisions and activity tallies are bit-identical
+  to running one :class:`StreamingOptimalEncoder` per lane, which the
+  differential suite (``tests/core/test_streaming_batch.py``) enforces.
 
 This is the natural "integrate into future memories" extension the
 paper's conclusion sketches: a controller that optimises over the write
@@ -27,7 +34,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
-from .bitops import ALL_ONES_WORD, check_byte, check_word, make_word
+from .bitops import (
+    ALL_ONES_WORD,
+    BYTE_MASK,
+    WORD_WIDTH,
+    check_byte,
+    check_word,
+    make_word,
+)
 from .burst import Burst
 from .costs import CostModel
 from .trellis import solve
@@ -145,6 +159,226 @@ class StreamingOptimalEncoder:
         self._pending = self._pending[count:]
         self._emitted += len(decisions)
         return decisions
+
+
+class BatchStreamingEncoder:
+    """Windowed-trellis streaming encoder over many lanes at once.
+
+    Each of the ``rows`` lanes is an independent byte stream encoded with
+    exactly the semantics of :class:`StreamingOptimalEncoder` (same
+    ``window``/``commit`` cadence, same boundary-word chaining): whenever
+    a lane has ``window`` bytes pending, the trellis is solved over that
+    window and the first ``commit`` decisions are committed.  The batch
+    twist is that every lane currently holding the same number of pending
+    bytes is solved in one :func:`~repro.core.vectorized.solve_batch`
+    call over a ``(lanes, window)`` array with per-row boundary words —
+    the whole link advances in lock-step rounds instead of per byte.
+
+    Decisions and the integer activity tallies (zeros, transitions,
+    beats per lane) are **bit-identical** to the per-lane reference;
+    that is a guarantee (enforced by the differential suite), not an
+    approximation, because :func:`solve_batch` performs the reference
+    trellis's IEEE-754 operations in the reference order.
+
+    Requires NumPy (the vector backend); per-lane reference encoding is
+    the fallback for NumPy-free environments.
+
+    Parameters
+    ----------
+    model:
+        Cost model shared by every lane.
+    rows:
+        Number of independent lane streams.
+    window, commit:
+        Lookahead window and commit prefix, as in
+        :class:`StreamingOptimalEncoder` (commit defaults to half the
+        window).
+    prev_word:
+        Initial bus word of every lane (idle-high by default).
+    record:
+        Keep the committed ``(byte, flag)`` decisions per lane —
+        needed for round-trip/differential checks, off by default for
+        throughput.
+    """
+
+    def __init__(self, model: CostModel, rows: int, window: int = 8,
+                 commit: int = 0, prev_word: int = ALL_ONES_WORD,
+                 record: bool = False):
+        from .vectorized import _require_numpy
+
+        np = _require_numpy()
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if commit <= 0:
+            commit = max(1, window // 2)
+        if commit > window:
+            raise ValueError("commit cannot exceed window")
+        check_word(prev_word)
+        self.model = model
+        self.rows = rows
+        self.window = window
+        self.commit = commit
+        self.record = record
+        self._np = np
+        self._prev = np.full(rows, prev_word, dtype=np.int64)
+        self._pending: List = [np.zeros(0, dtype=np.uint8)
+                               for _ in range(rows)]
+        self._zeros = np.zeros(rows, dtype=np.int64)
+        self._transitions = np.zeros(rows, dtype=np.int64)
+        self._beats = np.zeros(rows, dtype=np.int64)
+        self._decisions: List[List] = [[] for _ in range(rows)]
+
+    # -- public API ---------------------------------------------------------
+    def push(self, streams: Sequence) -> None:
+        """Append one byte stream per lane and commit every full window.
+
+        *streams* must have one entry per lane (``bytes``, array, or any
+        byte sequence; empty entries are fine).
+        """
+        np = self._np
+        if len(streams) != self.rows:
+            raise ValueError(
+                f"{len(streams)} streams for {self.rows} lanes")
+        # Validate every stream before mutating any pending buffer, so a
+        # rejected push leaves the encoder state untouched.
+        converted = []
+        for row, stream in enumerate(streams):
+            if isinstance(stream, (bytes, bytearray)):
+                new = np.frombuffer(bytes(stream), dtype=np.uint8)
+            else:
+                new = np.asarray(stream)
+                if new.dtype != np.uint8:
+                    # Reject out-of-range values like the reference
+                    # encoder's check_byte, instead of wrapping mod 256.
+                    if not np.issubdtype(new.dtype, np.integer):
+                        raise TypeError(
+                            f"lane {row}: stream must hold integers, got "
+                            f"dtype {new.dtype}")
+                    if new.size and (new.min() < 0 or new.max() > BYTE_MASK):
+                        raise ValueError(
+                            f"lane {row}: byte values out of range "
+                            f"[0, {BYTE_MASK}]")
+                    new = new.astype(np.uint8)
+            if new.ndim != 1:
+                raise ValueError(
+                    f"lane {row}: stream must be one-dimensional")
+            converted.append(new)
+        for row, new in enumerate(converted):
+            if len(new):
+                self._pending[row] = np.concatenate(
+                    [self._pending[row], new])
+        self._run_rounds(final=False)
+
+    def flush(self) -> None:
+        """Commit every pending byte on every lane (end of stream)."""
+        self._run_rounds(final=True)
+
+    @property
+    def prev_words(self):
+        """Current per-lane bus words, ``(rows,)`` int64 (read-only copy)."""
+        return self._prev.copy()
+
+    @property
+    def zeros(self):
+        """Committed zero-beat tallies per lane, ``(rows,)`` int64."""
+        return self._zeros.copy()
+
+    @property
+    def transitions(self):
+        """Committed transition tallies per lane, ``(rows,)`` int64."""
+        return self._transitions.copy()
+
+    @property
+    def beats(self):
+        """Committed byte-beats per lane, ``(rows,)`` int64."""
+        return self._beats.copy()
+
+    def pending_counts(self) -> List[int]:
+        """Bytes buffered per lane, not yet committed."""
+        return [len(buf) for buf in self._pending]
+
+    def decisions(self, row: int) -> List[Tuple[int, bool]]:
+        """Committed (byte, invert-flag) pairs of one lane (``record=True``)."""
+        if not self.record:
+            raise RuntimeError(
+                "decisions are only kept when record=True")
+        out: List[Tuple[int, bool]] = []
+        for chunk_bytes_, chunk_flags in self._decisions[row]:
+            out.extend(zip((int(b) for b in chunk_bytes_),
+                           (bool(f) for f in chunk_flags)))
+        return out
+
+    # -- internals ------------------------------------------------------------
+    def _run_rounds(self, final: bool) -> None:
+        """Drain every lane with >= window pending (all pending if final).
+
+        Lanes are grouped by pending length so each group advances
+        through its windows as one rectangular batch; a group leaves the
+        loop holding < window bytes (0 if final).
+        """
+        groups: dict = {}
+        floor = 1 if final else self.window
+        for row, buf in enumerate(self._pending):
+            if len(buf) >= floor:
+                groups.setdefault(len(buf), []).append(row)
+        np = self._np
+        for length, rows_idx in groups.items():
+            idx = np.asarray(rows_idx, dtype=np.intp)
+            mat = np.stack([self._pending[row] for row in rows_idx])
+            pos = self._process_group(idx, mat, final)
+            for slot, row in enumerate(rows_idx):
+                # Copy the (< window) leftover so the whole group matrix
+                # is not pinned in memory by a tiny view.
+                self._pending[row] = mat[slot, pos:].copy()
+
+    def _process_group(self, idx, mat, final: bool) -> int:
+        """Advance one equal-length group through its windows; return the
+        number of committed bytes per lane.
+
+        The raw/inverted wire-word planes are computed once for the
+        whole group matrix and sliced per round — every round is then a
+        single :func:`~repro.core.vectorized._viterbi_planes` call plus
+        the integer tallies.
+        """
+        from .vectorized import _viterbi_planes, _word_planes, popcount_table
+
+        np = self._np
+        pop = popcount_table()
+        alpha, beta = self.model.alpha, self.model.beta
+        words_raw, words_inv = _word_planes(mat)
+        length = mat.shape[1]
+        prev = self._prev[idx]
+        zeros = np.zeros(len(idx), dtype=np.int64)
+        n_transitions = np.zeros(len(idx), dtype=np.int64)
+        pos = 0
+        while (length - pos >= self.window) or (final and pos < length):
+            end = min(pos + self.window, length)
+            count = self.commit if end - pos == self.window else end - pos
+            flags, _costs = _viterbi_planes(words_raw[:, pos:end],
+                                            words_inv[:, pos:end],
+                                            alpha, beta, prev)
+            committed_flags = flags[:, :count]
+            words = np.where(committed_flags,
+                             words_inv[:, pos:pos + count],
+                             words_raw[:, pos:pos + count])
+            prev_columns = np.concatenate(
+                [prev[:, None], words[:, :-1]], axis=1)
+            zeros += (WORD_WIDTH - pop[words]).sum(axis=1)
+            n_transitions += pop[prev_columns ^ words].sum(axis=1)
+            prev = words[:, -1]
+            if self.record:
+                for slot, row in enumerate(idx):
+                    self._decisions[int(row)].append(
+                        (mat[slot, pos:pos + count].copy(),
+                         committed_flags[slot].copy()))
+            pos += count
+        self._zeros[idx] += zeros
+        self._transitions[idx] += n_transitions
+        self._beats[idx] += pos
+        self._prev[idx] = prev
+        return pos
 
 
 def windowed_stream_cost(data: Sequence[int], model: CostModel,

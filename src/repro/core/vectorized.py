@@ -246,13 +246,26 @@ def solve_batch(data, model, prev_words: Union[int, Sequence[int]] = ALL_ONES_WO
     transmit inverted) and ``costs`` is ``(batch,)`` float64, both
     bit-identical to running :func:`repro.core.trellis.solve` row by row.
     """
-    np = _require_numpy()
     data = pack_bursts(data)
-    batch, n = data.shape
-    pop = popcount_table()
-    alpha, beta = model.alpha, model.beta
-    prev = _as_prev_words(prev_words, batch)
+    prev = _as_prev_words(prev_words, data.shape[0])
     words_raw, words_inv = _word_planes(data)
+    return _viterbi_planes(words_raw, words_inv, model.alpha, model.beta,
+                           prev)
+
+
+def _viterbi_planes(words_raw, words_inv, alpha: float, beta: float, prev):
+    """The two-state Viterbi recursion over prepared word planes.
+
+    The compute core of :func:`solve_batch`, split out so windowed
+    callers (:class:`repro.core.streaming.BatchStreamingEncoder`) can
+    slice precomputed ``(batch, n)`` raw/inverted wire-word planes round
+    by round without re-packing.  Performs the same IEEE-754 double
+    operations in the same order as :func:`repro.core.trellis.solve`;
+    all guarantees of :func:`solve_batch` flow from this function.
+    """
+    np = _require_numpy()
+    batch, n = words_raw.shape
+    pop = popcount_table()
 
     def edge(prev_w, word):
         # Same IEEE ops, same order, as CostModel.word_cost.

@@ -1,17 +1,53 @@
-"""Write-path memory-controller model with cross-burst DBI lookahead."""
+"""Write-path memory-controller models with cross-burst DBI lookahead.
+
+Backend selection
+-----------------
+:class:`MemoryController` accepts the library-wide ``backend`` vocabulary
+(``"auto"`` / ``"reference"`` / ``"vector"``; process default via
+``REPRO_BACKEND`` or :func:`repro.set_default_backend`):
+
+* ``reference`` — one pure-Python
+  :class:`~repro.core.streaming.StreamingOptimalEncoder` per
+  (channel, lane), fed byte by byte.  The executable specification, also
+  frozen as :class:`WriteController` (the pre-batch single-transaction
+  API).
+* ``vector`` (what ``auto`` resolves to with NumPy installed) — the
+  batched write path: :meth:`MemoryController.submit` steers whole
+  transaction batches, stripes cache lines across channels × lanes as
+  packed byte strings, and advances every lane in lock-step through one
+  :class:`~repro.core.streaming.BatchStreamingEncoder` round per commit
+  window; statistics are tallied per lane as integer arrays, never per
+  byte.
+
+Both backends are bit-identical — per-lane invert decisions and integer
+(zeros, transitions, beats) tallies — enforced by
+``tests/ctrl/test_batch_parity.py`` across POD/SSTL/LVSTL operating
+points, and ``benchmarks/test_ctrl_throughput.py`` gates the batched
+path at >= 10x the reference on a 10k-transaction replay.
+
+Energy accounting takes any :class:`~repro.phy.interface.Interface`
+standard via :class:`~repro.phy.power.InterfaceEnergyModel`, including
+the one-level DC term that POD-only accounting omits.
+"""
 
 from .controller import (
     CACHE_LINE_BYTES,
     ControllerStatistics,
+    LaneState,
+    MemoryController,
     WriteController,
     WriteTransaction,
     compare_controllers,
+    transactions_from_bytes,
 )
 
 __all__ = [
     "CACHE_LINE_BYTES",
     "ControllerStatistics",
+    "LaneState",
+    "MemoryController",
     "WriteController",
     "WriteTransaction",
     "compare_controllers",
+    "transactions_from_bytes",
 ]

@@ -1,26 +1,44 @@
 """Write-path memory-controller model.
 
 Sits one level above :class:`repro.phy.bus.MemoryBus`: accepts write
-*transactions* (address + payload, e.g. cache-line evictions), steers them
-to a channel by address, stripes each channel's data across its byte
-lanes, and encodes each lane with a
-:class:`repro.core.streaming.StreamingOptimalEncoder` so the DBI decisions
-exploit lookahead across the write queue — the deployment context the
-paper's conclusion sketches for controller-side encoding.
+*transactions* (address + payload, e.g. cache-line evictions), steers
+them to a channel by address, stripes each channel's data across its byte
+lanes, and encodes each lane with the windowed-trellis streaming
+optimiser so the DBI decisions exploit lookahead across the write queue —
+the deployment context the paper's conclusion sketches for
+controller-side encoding.
 
-Energy accounting reuses :class:`repro.phy.power.InterfaceEnergyModel`, so
+Two execution backends share one semantics (see
+:class:`MemoryController`):
+
+* ``reference`` — one :class:`~repro.core.streaming.StreamingOptimalEncoder`
+  per (channel, lane), fed byte by byte: the executable specification.
+* ``vector`` — all ``channels × byte_lanes`` lane streams advance in
+  lock-step through one :class:`~repro.core.streaming.BatchStreamingEncoder`
+  (the PR-1 batched Viterbi kernel with per-row boundary words), with
+  payload striping done as packed byte-string slices and statistics
+  tallied per lane without any per-byte bookkeeping.
+
+The two are **bit-identical** — same per-lane invert decisions, same
+integer activity tallies — which ``tests/ctrl/test_batch_parity.py``
+enforces across POD/SSTL/LVSTL operating points.
+
+Energy accounting reuses :class:`repro.phy.power.InterfaceEnergyModel`
+(including the one-level term for non-POD interfaces), so
 controller-level results are directly comparable with the per-burst
 figures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.bitops import make_word, transitions, zeros_in_word
+from ..core.bitops import WORD_WIDTH, make_word, transitions, zeros_in_word
 from ..core.costs import CostModel
-from ..core.streaming import StreamingOptimalEncoder
+from ..core.streaming import BatchStreamingEncoder, StreamingOptimalEncoder
+from ..core.vectorized import resolve_backend
+from ..phy.bus import BusStatistics
 from ..phy.power import InterfaceEnergyModel
 
 #: Typical cache-line size; transactions default to this granularity.
@@ -41,14 +59,36 @@ class WriteTransaction:
             raise ValueError("transaction data must be non-empty")
 
 
+def transactions_from_bytes(payload: bytes, line_bytes: int = CACHE_LINE_BYTES,
+                            base_address: int = 0) -> List[WriteTransaction]:
+    """Chop a flat byte stream into consecutive cache-line transactions.
+
+    The standard adapter from :mod:`repro.workloads.traces` byte payloads
+    to the controller's transaction interface: line *i* lands at
+    ``base_address + i * line_bytes``, so a controller whose
+    ``line_bytes`` matches walks the channels round-robin.
+
+    >>> [t.address for t in transactions_from_bytes(bytes(130), 64)]
+    [0, 64, 128]
+    """
+    if line_bytes < 1:
+        raise ValueError(f"line_bytes must be >= 1, got {line_bytes}")
+    if not payload:
+        raise ValueError("payload must be non-empty")
+    return [WriteTransaction(base_address + start, payload[start:start + line_bytes])
+            for start in range(0, len(payload), line_bytes)]
+
+
 @dataclass
 class LaneState:
-    """Streaming encoder plus activity tallies for one byte lane."""
+    """Streaming encoder plus activity tallies for one byte lane
+    (reference backend only)."""
 
     encoder: StreamingOptimalEncoder
     zeros: int = 0
     transitions: int = 0
     beats: int = 0
+    log: Optional[List[Tuple[int, bool]]] = None
     _last_word: int = 0x1FF
 
     def commit(self, decisions: Sequence[Tuple[int, bool]]) -> None:
@@ -58,6 +98,8 @@ class LaneState:
             self.transitions += transitions(self._last_word, word)
             self.beats += 1
             self._last_word = word
+        if self.log is not None:
+            self.log.extend((byte, bool(flag)) for byte, flag in decisions)
 
 
 @dataclass
@@ -68,6 +110,7 @@ class ControllerStatistics:
     bytes_written: int = 0
     zeros: int = 0
     transitions: int = 0
+    beats: int = 0
     energy_joules: float = 0.0
 
     @property
@@ -77,8 +120,8 @@ class ControllerStatistics:
                 if self.bytes_written else 0.0)
 
 
-class WriteController:
-    """Multi-channel write-path controller with cross-burst DBI lookahead.
+class MemoryController:
+    """Multi-channel batched write path with cross-burst DBI lookahead.
 
     Parameters
     ----------
@@ -93,72 +136,227 @@ class WriteController:
     window:
         Lookahead window of each streaming encoder, in bytes.
     energy_model:
-        Optional operating point for energy accounting.
+        Optional operating point for energy accounting — any
+        :class:`~repro.phy.interface.Interface` standard.
+    line_bytes:
+        Address-interleaving granularity of the channel steering
+        (default: one cache line).  Use the granularity the transaction
+        addresses were laid out with, or whole channels sit idle.
+    backend:
+        ``"reference"`` / ``"vector"`` / ``"auto"`` / ``None`` (process
+        default) — resolved once at construction.
+    record:
+        Keep every committed (byte, invert-flag) decision per lane, for
+        differential and round-trip checks (costs memory; off by
+        default).
 
-    >>> ctrl = WriteController(channels=1, byte_lanes=2,
-    ...                        model=CostModel.fixed(), window=8)
-    >>> ctrl.write(WriteTransaction(0, bytes(range(16))))
+    >>> ctrl = MemoryController(channels=1, byte_lanes=2,
+    ...                         model=CostModel.fixed(), window=8,
+    ...                         backend="reference")
+    >>> ctrl.submit([WriteTransaction(0, bytes(range(16)))])
     >>> ctrl.flush().bytes_written
     16
     """
 
     def __init__(self, channels: int = 1, byte_lanes: int = 4,
                  model: Optional[CostModel] = None, window: int = 16,
-                 energy_model: Optional[InterfaceEnergyModel] = None):
+                 energy_model: Optional[InterfaceEnergyModel] = None,
+                 line_bytes: int = CACHE_LINE_BYTES,
+                 backend: Optional[str] = None, record: bool = False):
         if channels < 1:
             raise ValueError(f"channels must be >= 1, got {channels}")
         if byte_lanes < 1:
             raise ValueError(f"byte_lanes must be >= 1, got {byte_lanes}")
+        if line_bytes < 1:
+            raise ValueError(f"line_bytes must be >= 1, got {line_bytes}")
         self.channels = channels
         self.byte_lanes = byte_lanes
+        self.line_bytes = line_bytes
         self.model = model if model is not None else CostModel.fixed()
+        self.window = window
         self.energy_model = energy_model
-        self.lanes: Dict[Tuple[int, int], LaneState] = {
-            (channel, lane): LaneState(
-                encoder=StreamingOptimalEncoder(self.model, window=window))
-            for channel in range(channels)
-            for lane in range(byte_lanes)
-        }
-        self._stats = ControllerStatistics()
+        self.backend = resolve_backend(backend)
+        self.record = record
+        self._transactions = 0
+        self._bytes_written = 0
+        self._channel_transactions = [0] * channels
+        if self.backend == "vector":
+            self._batch: Optional[BatchStreamingEncoder] = BatchStreamingEncoder(
+                self.model, rows=channels * byte_lanes, window=window,
+                record=record)
+            self._ref_lanes: Optional[Dict[Tuple[int, int], LaneState]] = None
+        else:
+            self._batch = None
+            self._ref_lanes = {
+                (channel, lane): LaneState(
+                    encoder=StreamingOptimalEncoder(self.model, window=window),
+                    log=[] if record else None)
+                for channel in range(channels)
+                for lane in range(byte_lanes)
+            }
+
+    # -- steering and striping ----------------------------------------------
+    def channel_of(self, address: int) -> int:
+        """Address-interleaved channel mapping at ``line_bytes`` granularity."""
+        return (address // self.line_bytes) % self.channels
+
+    def _row_of(self, channel: int, lane: int) -> int:
+        return channel * self.byte_lanes + lane
+
+    def _stripe(self, per_channel: List[List[bytes]]) -> List[bytes]:
+        """Per-row lane streams for one submitted batch.
+
+        Lane *l* of a channel carries bytes ``l, l+L, l+2L, ...`` of each
+        transaction routed there, in submission order — the same striping
+        a per-byte loop produces, done as C-level byte-string slices.
+        """
+        streams: List[bytes] = []
+        for payloads in per_channel:
+            for lane in range(self.byte_lanes):
+                streams.append(b"".join(data[lane::self.byte_lanes]
+                                        for data in payloads))
+        return streams
 
     # -- public API ---------------------------------------------------------
-    def channel_of(self, address: int) -> int:
-        """Address-interleaved channel mapping at cache-line granularity."""
-        return (address // CACHE_LINE_BYTES) % self.channels
+    def submit(self, batch: Sequence[WriteTransaction]) -> None:
+        """Queue a transaction batch (encoding happens incrementally).
+
+        The whole batch is steered, striped and pushed through the lane
+        encoders in one pass; decisions whose lookahead window fills are
+        committed, the rest stay pending until more data or
+        :meth:`flush` arrives.
+        """
+        per_channel: List[List[bytes]] = [[] for _ in range(self.channels)]
+        for transaction in batch:
+            channel = self.channel_of(transaction.address)
+            per_channel[channel].append(transaction.data)
+            self._channel_transactions[channel] += 1
+            self._transactions += 1
+            self._bytes_written += len(transaction.data)
+        streams = self._stripe(per_channel)
+        if self._batch is not None:
+            self._batch.push(streams)
+        else:
+            for row, stream in enumerate(streams):
+                lane = self._ref_lanes[divmod(row, self.byte_lanes)]
+                lane.commit(lane.encoder.push(stream))
 
     def write(self, transaction: WriteTransaction) -> None:
-        """Queue one transaction (encoding happens incrementally)."""
-        channel = self.channel_of(transaction.address)
-        self._stats.transactions += 1
-        self._stats.bytes_written += len(transaction.data)
-        for offset, byte in enumerate(transaction.data):
-            lane = self.lanes[(channel, offset % self.byte_lanes)]
-            lane.commit(lane.encoder.push([byte]))
+        """Queue one transaction (single-item :meth:`submit`)."""
+        self.submit([transaction])
 
     def flush(self) -> ControllerStatistics:
         """Drain every lane's pending window and return total statistics."""
-        for lane in self.lanes.values():
-            lane.commit(lane.encoder.flush())
+        if self._batch is not None:
+            self._batch.flush()
+        else:
+            for lane in self._ref_lanes.values():
+                lane.commit(lane.encoder.flush())
         return self.statistics()
 
-    def statistics(self) -> ControllerStatistics:
-        """Current totals (pending, un-flushed bytes are not counted)."""
-        zeros = sum(lane.zeros for lane in self.lanes.values())
-        n_transitions = sum(lane.transitions for lane in self.lanes.values())
+    # -- accounting ----------------------------------------------------------
+    def lane_activity(self, channel: int, lane: int) -> Tuple[int, int, int]:
+        """Committed ``(zeros, transitions, beats)`` of one byte lane."""
+        self._check_lane(channel, lane)
+        if self._batch is not None:
+            row = self._row_of(channel, lane)
+            return (int(self._batch.zeros[row]),
+                    int(self._batch.transitions[row]),
+                    int(self._batch.beats[row]))
+        state = self._ref_lanes[(channel, lane)]
+        return state.zeros, state.transitions, state.beats
+
+    def lane_statistics(self, channel: int, lane: int) -> BusStatistics:
+        """One lane's tallies as a :class:`~repro.phy.bus.BusStatistics` view.
+
+        ``bursts`` is 0 — the streaming write path has no burst framing;
+        ``beats`` counts committed byte-beats.
+        """
+        zeros, n_transitions, beats = self.lane_activity(channel, lane)
         energy = 0.0
         if self.energy_model is not None:
-            energy = self.energy_model.burst_energy(n_transitions, zeros)
+            energy = self.energy_model.burst_energy(
+                n_transitions, zeros, lane_beats=WORD_WIDTH * beats)
+        return BusStatistics(bursts=0, beats=beats, zeros=zeros,
+                             transitions=n_transitions, energy_joules=energy)
+
+    def channel_statistics(self, channel: int) -> BusStatistics:
+        """One channel's totals — exactly the merge of its lane views,
+        plus the channel's transaction count in ``bursts``."""
+        merged = BusStatistics()
+        for lane in range(self.byte_lanes):
+            merged = merged.merge(self.lane_statistics(channel, lane))
+        merged.bursts = self._channel_transactions[channel]
+        return merged
+
+    def statistics(self) -> ControllerStatistics:
+        """Current totals (pending, un-committed bytes are not counted)."""
+        zeros = n_transitions = beats = 0
+        for channel in range(self.channels):
+            for lane in range(self.byte_lanes):
+                lane_zeros, lane_transitions, lane_beats = \
+                    self.lane_activity(channel, lane)
+                zeros += lane_zeros
+                n_transitions += lane_transitions
+                beats += lane_beats
+        energy = 0.0
+        if self.energy_model is not None:
+            energy = self.energy_model.burst_energy(
+                n_transitions, zeros, lane_beats=WORD_WIDTH * beats)
         return ControllerStatistics(
-            transactions=self._stats.transactions,
-            bytes_written=self._stats.bytes_written,
+            transactions=self._transactions,
+            bytes_written=self._bytes_written,
             zeros=zeros,
             transitions=n_transitions,
+            beats=beats,
             energy_joules=energy,
         )
 
     def pending_bytes(self) -> int:
         """Bytes buffered in encoder windows, not yet committed."""
-        return sum(len(lane.encoder._pending) for lane in self.lanes.values())
+        if self._batch is not None:
+            return sum(self._batch.pending_counts())
+        return sum(len(lane.encoder._pending)
+                   for lane in self._ref_lanes.values())
+
+    def lane_decisions(self, channel: int, lane: int) -> List[Tuple[int, bool]]:
+        """Committed (byte, invert-flag) pairs of one lane (``record=True``)."""
+        self._check_lane(channel, lane)
+        if not self.record:
+            raise RuntimeError("decisions are only kept when record=True")
+        if self._batch is not None:
+            return self._batch.decisions(self._row_of(channel, lane))
+        return list(self._ref_lanes[(channel, lane)].log)
+
+    def _check_lane(self, channel: int, lane: int) -> None:
+        if not 0 <= channel < self.channels:
+            raise IndexError(f"channel {channel} out of range [0, {self.channels})")
+        if not 0 <= lane < self.byte_lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self.byte_lanes})")
+
+
+class WriteController(MemoryController):
+    """The per-byte reference write path (pre-PR-5 API, kept as the spec).
+
+    Pins ``backend="reference"`` and exposes the per-lane
+    :class:`LaneState` map that the original single-transaction API
+    offered; :class:`MemoryController` with ``backend="vector"`` is the
+    batched production path.
+    """
+
+    def __init__(self, channels: int = 1, byte_lanes: int = 4,
+                 model: Optional[CostModel] = None, window: int = 16,
+                 energy_model: Optional[InterfaceEnergyModel] = None,
+                 record: bool = False):
+        super().__init__(channels=channels, byte_lanes=byte_lanes,
+                         model=model, window=window,
+                         energy_model=energy_model, backend="reference",
+                         record=record)
+
+    @property
+    def lanes(self) -> Dict[Tuple[int, int], LaneState]:
+        """Per-(channel, lane) streaming-encoder states."""
+        return self._ref_lanes
 
 
 def compare_controllers(payloads: Sequence[bytes], model: CostModel,

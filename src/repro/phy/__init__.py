@@ -1,8 +1,42 @@
-"""Physical-layer models: POD/SSTL electrics, CACTI-IO energy, bus simulator."""
+"""Physical-layer models: interface electrics, CACTI-IO energy, bus simulator.
+
+The interface-model protocol
+----------------------------
+Every electrical standard is modelled behind one structural protocol,
+:class:`~repro.phy.interface.Interface` — termination currents
+(``dc_current(level)``), signal swing (``v_swing``), and per-event
+energies (``energy_per_zero`` / ``energy_per_one`` / ``energy_per_transition``).
+Three families implement it:
+
+* :class:`~repro.phy.pod.PodInterface` — VDDQ-terminated (GDDR5/GDDR5X,
+  DDR4-POD12): zeros burn DC power, ``costly_level == "zero"``;
+* :class:`~repro.phy.sstl.SstlInterface` — mid-rail-terminated (DDR3):
+  both levels burn the same DC power, ``costly_level == "both"``;
+* :class:`~repro.phy.lvstl.LvstlInterface` — ground-terminated
+  (LPDDR4-LVSTL): ones burn DC power, ``costly_level == "one"``.
+
+:class:`~repro.phy.power.InterfaceEnergyModel` constructs from any of
+them, so every figure, table and controller replay can run at any
+operating point on any standard; named presets (``pod135``, ``pod12``,
+``sstl15``, ``lvstl11``, ...) are resolved with
+:func:`~repro.phy.interface.get_interface` and listed in
+:data:`~repro.phy.interface.INTERFACES`.  The model's
+:meth:`~repro.phy.power.InterfaceEnergyModel.cost_model` bridge prices
+the DC weight *differentially* (``E_zero − E_one``, clamped at 0), which
+is what the streaming encoders of :mod:`repro.ctrl` optimise.
+"""
 
 from .bus import BusStatistics, ByteLane, MemoryBus
 from .devices import DeviceProfile, PROFILES, ddr4, gddr5, gddr5x, get_profile
+from .interface import (
+    COSTLY_LEVELS,
+    INTERFACES,
+    Interface,
+    available_interfaces,
+    get_interface,
+)
 from .lane import Lane, LaneGroup
+from .lvstl import LvstlInterface, lvstl11
 from .pod import PodInterface, pod12, pod135, pod15
 from .power import (
     GBPS,
@@ -16,22 +50,29 @@ from .sstl import SstlInterface, sstl135, sstl15
 __all__ = [
     "BusStatistics",
     "ByteLane",
+    "COSTLY_LEVELS",
     "DeviceProfile",
     "GBPS",
+    "INTERFACES",
+    "Interface",
     "InterfaceEnergyModel",
     "Lane",
     "LaneGroup",
+    "LvstlInterface",
     "MemoryBus",
     "PICOFARAD",
     "PICOJOULE",
     "PodInterface",
     "PROFILES",
     "SstlInterface",
+    "available_interfaces",
     "crossover_data_rate",
     "ddr4",
+    "get_interface",
     "get_profile",
     "gddr5",
     "gddr5x",
+    "lvstl11",
     "pod12",
     "pod135",
     "pod15",

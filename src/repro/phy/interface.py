@@ -1,0 +1,117 @@
+"""The common electrical-interface protocol behind every energy model.
+
+The paper's analysis runs on POD (pseudo-open-drain) links, but the same
+activity accounting — zeros cost static termination power, transitions
+cost dynamic switching power — parameterises any single-ended DRAM
+interface once the per-event energies are exposed uniformly.  This module
+defines that uniform surface, the :class:`Interface` protocol, which
+:class:`repro.phy.power.InterfaceEnergyModel` consumes so every figure,
+table and controller replay can run at any operating point on any
+electrical standard:
+
+===========  =================  ==========================  ==============
+standard     termination        DC current flows while ...  ``costly_level``
+===========  =================  ==========================  ==============
+POD          to VDDQ            driving a **zero**          ``"zero"``
+SSTL         to VDDQ/2 (VTT)    driving **either** level    ``"both"``
+LVSTL        to VSSQ (ground)   driving a **one**           ``"one"``
+===========  =================  ==========================  ==============
+
+Concrete models live in :mod:`repro.phy.pod`, :mod:`repro.phy.sstl` and
+:mod:`repro.phy.lvstl`; :data:`INTERFACES` registers the JEDEC-named
+presets (``pod135``, ``pod12`` for DDR4, ``lvstl11`` for LPDDR4, ...) so
+CLI flags and replay specs can name them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, runtime_checkable
+
+#: The three DC-cost polarities an interface can have (see module table).
+COSTLY_LEVELS = ("zero", "one", "both")
+
+
+@runtime_checkable
+class Interface(Protocol):
+    """Structural protocol of one single-ended lane's electrical model.
+
+    Implementations are frozen dataclasses (:class:`~repro.phy.pod.PodInterface`,
+    :class:`~repro.phy.sstl.SstlInterface`,
+    :class:`~repro.phy.lvstl.LvstlInterface`); anything exposing this
+    surface can drive an :class:`~repro.phy.power.InterfaceEnergyModel`.
+    """
+
+    #: JEDEC-style label for reports (``"POD135"``, ``"LVSTL11"``, ...).
+    name: str
+
+    #: I/O supply voltage in volts.
+    vddq: float
+
+    @property
+    def v_swing(self) -> float:
+        """Signal swing in volts set by the termination divider."""
+        ...
+
+    @property
+    def costly_level(self) -> str:
+        """Which driven level burns DC power: ``zero``/``one``/``both``."""
+        ...
+
+    def dc_current(self, level: int) -> float:
+        """DC termination current in amperes while *level* (0/1) is driven."""
+        ...
+
+    def energy_per_zero(self, data_rate_hz: float) -> float:
+        """Energy in joules to hold a zero for one bit time."""
+        ...
+
+    def energy_per_one(self, data_rate_hz: float) -> float:
+        """Energy in joules to hold a one for one bit time."""
+        ...
+
+    def energy_per_transition(self, c_load_farads: float) -> float:
+        """Dynamic energy in joules of one 0↔1 transition."""
+        ...
+
+
+def _builtin_factories() -> Dict[str, Callable[[], "Interface"]]:
+    # Imported lazily so interface.py stays importable from the concrete
+    # modules without a cycle.
+    from .lvstl import lvstl11
+    from .pod import pod12, pod135, pod15
+    from .sstl import sstl135, sstl15
+
+    return {
+        "pod135": pod135,       # GDDR5/GDDR5X (paper headline)
+        "pod12": pod12,         # DDR4-POD12
+        "pod15": pod15,         # JESD8-20 original
+        "sstl15": sstl15,       # DDR3
+        "sstl135": sstl135,     # DDR3L
+        "lvstl11": lvstl11,     # LPDDR4-LVSTL
+    }
+
+
+#: Built-in interface presets keyed by lower-case JEDEC-ish name.
+INTERFACES: Dict[str, Callable[[], "Interface"]] = _builtin_factories()
+
+
+def available_interfaces() -> List[str]:
+    """Registered preset names, sorted."""
+    return sorted(INTERFACES)
+
+
+def get_interface(name: str) -> "Interface":
+    """Instantiate a built-in interface preset by (case-insensitive) name.
+
+    >>> get_interface("pod135").name
+    'POD135'
+    >>> get_interface("lvstl11").costly_level
+    'one'
+    """
+    try:
+        factory = INTERFACES[name.lower()]
+    except KeyError:
+        known = ", ".join(available_interfaces())
+        raise KeyError(
+            f"unknown interface {name!r}; known presets: {known}") from None
+    return factory()

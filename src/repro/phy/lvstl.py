@@ -1,0 +1,108 @@
+"""Low-voltage swing terminated logic (LVSTL) — the LPDDR4 interface.
+
+LVSTL (JESD209-4) terminates the line to **VSSQ (ground)** through the
+receiver's on-die termination.  The polarity of the DC cost is therefore
+the exact mirror of POD: driving a **one** pulls current from the supply
+through the driver pull-up and the termination to ground for the whole
+bit time, while driving a **zero** holds the line at ground for free.
+(This is why LPDDR4's DBI-DC inverts bytes with too many *ones*, where
+GDDR5/DDR4 invert bytes with too many *zeros*.)
+
+Within this library's zero-counting activity convention the consequence
+is stark: the per-beat level energy of an LVSTL lane *decreases* with
+every extra zero, so a zero-minimising code is actively harmful and the
+differential cost-model bridge of
+:meth:`repro.phy.power.InterfaceEnergyModel.cost_model` clamps the DC
+weight to zero (transition-only optimisation).  Polarity-aware encoding
+— minimising ones instead — is an open item in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LvstlInterface:
+    """Electrical parameters of one ground-terminated LVSTL lane.
+
+    Parameters
+    ----------
+    vddq:
+        I/O supply voltage in volts (1.1 V for LPDDR4).
+    r_termination:
+        On-die termination resistance to VSSQ in ohms.
+    r_pullup:
+        Driver pull-up (output) resistance in ohms.
+    name:
+        JEDEC-style label for reports.
+    """
+
+    vddq: float
+    r_termination: float = 60.0
+    r_pullup: float = 40.0
+    name: str = "LVSTL"
+
+    def __post_init__(self) -> None:
+        if self.vddq <= 0:
+            raise ValueError(f"vddq must be positive, got {self.vddq}")
+        if self.r_termination <= 0 or self.r_pullup <= 0:
+            raise ValueError("termination/driver resistances must be positive")
+
+    # -- DC behaviour ------------------------------------------------------
+    @property
+    def costly_level(self) -> str:
+        """Ones burn DC power on a ground-terminated line."""
+        return "one"
+
+    @property
+    def termination_current(self) -> float:
+        """DC current in amperes while a one is driven."""
+        return self.vddq / (self.r_pullup + self.r_termination)
+
+    def dc_current(self, level: int) -> float:
+        """Termination current per driven level: zeros are free."""
+        if level not in (0, 1):
+            raise ValueError(f"level must be 0 or 1, got {level}")
+        return self.termination_current if level == 1 else 0.0
+
+    @property
+    def one_power(self) -> float:
+        """Static power in watts dissipated while transmitting a one."""
+        return self.vddq * self.termination_current
+
+    @property
+    def v_high(self) -> float:
+        """Output-high voltage set by the resistor divider (VOH)."""
+        return self.vddq * self.r_termination / (self.r_pullup + self.r_termination)
+
+    @property
+    def v_swing(self) -> float:
+        """Signal swing: zero sits at ground, one at VOH."""
+        return self.v_high
+
+    # -- derived energies ----------------------------------------------------
+    def energy_per_zero(self, data_rate_hz: float) -> float:
+        """Energy of holding a zero for one bit time — free on LVSTL."""
+        if data_rate_hz <= 0:
+            raise ValueError(f"data rate must be positive, got {data_rate_hz}")
+        return 0.0
+
+    def energy_per_one(self, data_rate_hz: float) -> float:
+        """Energy in joules to hold a one for one bit time."""
+        if data_rate_hz <= 0:
+            raise ValueError(f"data rate must be positive, got {data_rate_hz}")
+        return self.one_power / data_rate_hz
+
+    def energy_per_transition(self, c_load_farads: float) -> float:
+        """Dynamic energy of one transition across the (small) LVSTL swing."""
+        if c_load_farads <= 0:
+            raise ValueError(
+                f"load capacitance must be positive, got {c_load_farads}")
+        return 0.5 * self.vddq * self.v_swing * c_load_farads
+
+
+def lvstl11(r_termination: float = 60.0, r_pullup: float = 40.0) -> LvstlInterface:
+    """LVSTL11 — the 1.1 V LPDDR4 interface (JESD209-4)."""
+    return LvstlInterface(vddq=1.1, r_termination=r_termination,
+                          r_pullup=r_pullup, name="LVSTL11")

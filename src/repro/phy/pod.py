@@ -47,9 +47,20 @@ class PodInterface:
 
     # -- DC behaviour ------------------------------------------------------
     @property
+    def costly_level(self) -> str:
+        """Zeros burn DC power on a VDDQ-terminated line (the DBI premise)."""
+        return "zero"
+
+    @property
     def termination_current(self) -> float:
         """DC current in amperes while a zero is driven (paper Eq. 1's core)."""
         return self.vddq / (self.r_pullup + self.r_pulldown)
+
+    def dc_current(self, level: int) -> float:
+        """Termination current per driven level: ones are free on POD."""
+        if level not in (0, 1):
+            raise ValueError(f"level must be 0 or 1, got {level}")
+        return self.termination_current if level == 0 else 0.0
 
     @property
     def zero_power(self) -> float:
@@ -72,6 +83,13 @@ class PodInterface:
         if data_rate_hz <= 0:
             raise ValueError(f"data rate must be positive, got {data_rate_hz}")
         return self.zero_power / data_rate_hz
+
+    def energy_per_one(self, data_rate_hz: float) -> float:
+        """Energy of holding a one for one bit time — free on POD (the line
+        merely rests at VDDQ, no DC current flows)."""
+        if data_rate_hz <= 0:
+            raise ValueError(f"data rate must be positive, got {data_rate_hz}")
+        return 0.0
 
     def energy_per_transition(self, c_load_farads: float) -> float:
         """Energy in joules of one 0↔1 transition (paper Eq. 2).

@@ -13,8 +13,14 @@ so a burst's interface energy follows directly from the (zeros,
 transitions) tallies produced by any :class:`~repro.core.schemes.DbiScheme`.
 The model also exposes the equivalent abstract
 :class:`~repro.core.costs.CostModel` (alpha = E_transition,
-beta = E_zero), which is how the physical sweeps of Figs. 7/8 drive the
-optimal encoder.
+beta = E_zero − E_one), which is how the physical sweeps of Figs. 7/8
+drive the optimal encoder.
+
+Since PR 5 the model constructs from **any**
+:class:`~repro.phy.interface.Interface` — POD, SSTL or LVSTL — not just
+POD.  The POD behaviour (and every float it produces) is unchanged: POD's
+``energy_per_one`` is exactly ``0.0``, so the one-level term vanishes and
+the differential DC weight collapses to ``E_zero``.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import Tuple
 
 from ..core.costs import CostModel
 from ..core.schemes import EncodedBurst
+from .interface import Interface
 from .pod import PodInterface, pod135
 
 #: One gigabit per second, in hertz of bit time.
@@ -38,12 +45,14 @@ PICOJOULE = 1e-12
 
 @dataclass(frozen=True)
 class InterfaceEnergyModel:
-    """Energy-per-event model for one POD lane group at an operating point.
+    """Energy-per-event model for one lane group at an operating point.
 
     Parameters
     ----------
     interface:
-        Electrical parameters (voltage, termination network).
+        Electrical parameters (voltage, termination network) — any
+        :class:`~repro.phy.interface.Interface` implementation (POD,
+        SSTL, LVSTL, or a custom model).
     data_rate_hz:
         Per-pin data rate in bits/second (bit time = 1/data_rate).
     c_load_farads:
@@ -56,7 +65,7 @@ class InterfaceEnergyModel:
     1.64
     """
 
-    interface: PodInterface
+    interface: Interface
     data_rate_hz: float
     c_load_farads: float
 
@@ -73,6 +82,11 @@ class InterfaceEnergyModel:
         return self.interface.energy_per_zero(self.data_rate_hz)
 
     @property
+    def energy_per_one(self) -> float:
+        """Energy of holding a one for one bit time (0 for POD)."""
+        return self.interface.energy_per_one(self.data_rate_hz)
+
+    @property
     def energy_per_transition(self) -> float:
         """E_transition in joules (Eq. 2)."""
         return self.interface.energy_per_transition(self.c_load_farads)
@@ -83,12 +97,28 @@ class InterfaceEnergyModel:
         return self.interface.v_swing
 
     # -- burst-level energy (paper Eq. 4) -----------------------------------
-    def burst_energy(self, n_transitions: int, n_zeros: int) -> float:
-        """E_burst in joules for tallied activity (Eq. 4)."""
+    def burst_energy(self, n_transitions: int, n_zeros: int,
+                     lane_beats: int = 0) -> float:
+        """E_burst in joules for tallied activity (Eq. 4).
+
+        ``lane_beats`` is the total number of lane-beats the tallies cover
+        (9 × byte-beats for DBI'd byte lanes); when given, the one-level
+        term ``(lane_beats − n_zeros) · E_one`` is added — zero for POD
+        interfaces (E_one = 0), required for exact SSTL/LVSTL accounting.
+        The two-argument form is unchanged from the paper's Eq. 4.
+        """
         if n_transitions < 0 or n_zeros < 0:
             raise ValueError("activity counts must be non-negative")
-        return (n_zeros * self.energy_per_zero
-                + n_transitions * self.energy_per_transition)
+        energy = (n_zeros * self.energy_per_zero
+                  + n_transitions * self.energy_per_transition)
+        if lane_beats:
+            if lane_beats < n_zeros:
+                raise ValueError(
+                    f"lane_beats={lane_beats} is fewer than n_zeros={n_zeros}")
+            one_term = (lane_beats - n_zeros) * self.energy_per_one
+            if one_term:
+                energy += one_term
+        return energy
 
     def encoded_burst_energy(self, encoded: EncodedBurst) -> float:
         """E_burst for a concrete encoded burst."""
@@ -97,13 +127,23 @@ class InterfaceEnergyModel:
 
     # -- bridges to the abstract cost world ---------------------------------
     def cost_model(self) -> CostModel:
-        """The equivalent (alpha, beta) = (E_transition, E_zero) weights.
+        """The equivalent (alpha, beta) = (E_transition, E_zero − E_one)
+        weights.
 
         Feeding this to :class:`~repro.core.encoder.DbiOptimal` makes the
-        trellis search minimise true joules at this operating point.
+        trellis search minimise true joules at this operating point.  The
+        DC weight is *differential*: a burst of fixed length drives every
+        lane-beat at one level or the other, so only the excess cost of a
+        zero over a one steers the encoding.  On POD (E_one = 0) this is
+        exactly the paper's ``beta = E_zero``; on SSTL it is 0 (zeros buy
+        nothing, only transitions matter); on LVSTL — where zeros are
+        *cheaper* — it clamps to 0, because this library's zero-counting
+        convention cannot express a zero-maximising objective (see
+        ROADMAP.md: polarity-aware encoding).
         """
-        return CostModel.from_energies(self.energy_per_transition,
-                                       self.energy_per_zero)
+        return CostModel.from_energies(
+            self.energy_per_transition,
+            max(self.energy_per_zero - self.energy_per_one, 0.0))
 
     @property
     def ac_fraction(self) -> float:

@@ -39,14 +39,29 @@ class SstlInterface:
         return 0.5 * self.vddq
 
     @property
+    def costly_level(self) -> str:
+        """Centre-tap termination makes both levels equally expensive."""
+        return "both"
+
+    @property
+    def termination_current(self) -> float:
+        """DC current magnitude in amperes while either level is driven."""
+        return self.vtt / (self.r_termination + self.r_driver)
+
+    def dc_current(self, level: int) -> float:
+        """Termination current per driven level — identical for 0 and 1."""
+        if level not in (0, 1):
+            raise ValueError(f"level must be 0 or 1, got {level}")
+        return self.termination_current
+
+    @property
     def level_power(self) -> float:
         """Static power while driving either level (identical for 0 and 1).
 
         Current flows from VTT through the termination into the driver (or
         the reverse); magnitude ``(VDDQ/2) / (R_term + R_drv)`` either way.
         """
-        current = self.vtt / (self.r_termination + self.r_driver)
-        return self.vtt * current
+        return self.vtt * self.termination_current
 
     @property
     def v_swing(self) -> float:

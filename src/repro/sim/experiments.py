@@ -23,6 +23,18 @@ Three spec builders (:func:`alpha_experiment`, :func:`rate_experiment`,
 functions in :mod:`repro.sim.sweep` are thin wrappers over them with
 bit-identical results.
 
+Since PR 5 the engine has a second experiment axis, **controller
+replay**: :class:`ReplaySpec` drives a byte payload (a
+:mod:`repro.workloads.traces` class, a memory dump, ...) through the
+multi-channel write path of :class:`repro.ctrl.controller.MemoryController`
+at a grid of electrical operating points
+(:class:`ReplayPoint` — interface preset × data rate × load), with the
+same ``backend=`` / ``jobs=`` / ``cache=`` machinery:
+:func:`run_replay` deduplicates replays by the controller's *cost-model
+ratio* (operating points whose differential alpha/beta ratio coincides —
+e.g. SSTL and LVSTL, both transition-only — replay once) and prices
+per-channel energy from the cached integer tallies.
+
 Pricing is the linear form shared by the abstract cost model and the
 physical energy model: ``alpha`` per transition, ``beta`` per zero.  Two
 term orders exist only to preserve IEEE-754 bit-identity with the legacy
@@ -32,18 +44,26 @@ code paths (``cost`` mirrors :meth:`~repro.core.costs.CostModel.activity_cost`,
 
 from __future__ import annotations
 
+import hashlib
 import json
 import platform
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..baselines import DbiAc, DbiDc, Raw
+from ..core.bitops import WORD_WIDTH
 from ..core.costs import CostModel
 from ..core.encoder import DbiOptimal
 from ..core.schemes import DbiScheme, get_scheme
 from ..core.vectorized import resolve_backend
+from ..ctrl.controller import (
+    CACHE_LINE_BYTES,
+    MemoryController,
+    transactions_from_bytes,
+)
+from ..phy.interface import get_interface
 from ..phy.pod import PodInterface, pod135
 from ..phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
 from ..workloads.population import (
@@ -84,7 +104,14 @@ class ActivityTotals:
         return model.activity_cost(self.transitions, self.zeros) / self.bursts
 
     def mean_energy(self, energy_model) -> float:
-        """Mean physical energy per burst in joules."""
+        """Mean physical energy per burst in joules.
+
+        Differential (zeros + transitions) pricing only: the totals carry
+        no beat count, so the level-independent ``E_one`` floor of
+        SSTL/LVSTL standards is not included — exact for POD, constant
+        offset elsewhere (use the controller replay axis for full
+        non-POD accounting).
+        """
         return energy_model.burst_energy(self.transitions, self.zeros) / self.bursts
 
 
@@ -128,19 +155,27 @@ def population_activity(scheme: DbiScheme, population,
 # -- the activity cache ------------------------------------------------------
 
 class ActivityCache:
-    """Content-addressed store of population activity totals.
+    """Content-addressed store of activity-totals records.
 
-    Keys are ``scheme.fingerprint() + "@" + population.digest()`` — both
-    halves identify *content*, not object identity, so any two encode
-    requests that provably produce the same totals collapse to one entry
-    (e.g. OPT (Fixed) and the tracking OPT slot at AC fraction 0.5, or
-    the same scheme re-run over an identical population).  ``hits`` and
-    ``misses`` count unique key lookups per :func:`run_experiment` plan;
-    ``misses`` equals the number of populations actually encoded.
+    Two families of entries share the store, distinguishable by key
+    shape; both key halves identify *content*, not object identity, so
+    any two requests that provably produce the same totals collapse to
+    one entry:
+
+    * encode entries — ``scheme.fingerprint() + "@" +
+      population.digest()`` mapping to :class:`ActivityTotals` (e.g. OPT
+      (Fixed) and the tracking OPT slot at AC fraction 0.5 share one);
+    * controller-replay entries — :meth:`ReplaySpec.replay_key` strings
+      mapping to :class:`ReplayTotals` (operating points with one
+      differential cost ratio share one).
+
+    ``hits`` and ``misses`` count unique key lookups per
+    :func:`run_experiment` / :func:`run_replay` plan; ``misses`` equals
+    the number of encodes/replays actually executed.
     """
 
     def __init__(self) -> None:
-        self._totals: Dict[str, ActivityTotals] = {}
+        self._totals: Dict[str, "CachedTotals"] = {}
         self.hits = 0
         self.misses = 0
 
@@ -154,10 +189,10 @@ class ActivityCache:
     def __contains__(self, key: str) -> bool:
         return key in self._totals
 
-    def get(self, key: str) -> ActivityTotals:
+    def get(self, key: str) -> "CachedTotals":
         return self._totals[key]
 
-    def store(self, key: str, totals: ActivityTotals) -> None:
+    def store(self, key: str, totals: "CachedTotals") -> None:
         self._totals[key] = totals
 
     def clear(self) -> None:
@@ -525,6 +560,281 @@ def load_experiment(population, interface: Optional[PodInterface] = None,
                               "c_loads_farads": loads,
                               "data_rates_hz": rates,
                               "encoder_energy_j": dict(encoder_energy_j)})
+
+
+# -- the controller-replay axis ----------------------------------------------
+
+@dataclass(frozen=True)
+class ReplayPoint:
+    """One electrical operating point of a controller replay.
+
+    ``interface`` names a preset from
+    :data:`repro.phy.interface.INTERFACES`; the per-event energies follow
+    from (interface, data rate, load) exactly as in the figure sweeps.
+    """
+
+    interface: str
+    data_rate_hz: float
+    c_load_farads: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            object.__setattr__(
+                self, "label",
+                f"{self.interface}@{self.data_rate_hz / GBPS:g}Gbps"
+                f"/{self.c_load_farads / PICOFARAD:g}pF")
+
+    def energy_model(self) -> InterfaceEnergyModel:
+        return InterfaceEnergyModel(get_interface(self.interface),
+                                    self.data_rate_hz, self.c_load_farads)
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """A trace-driven controller replay: payload × link geometry × points."""
+
+    name: str
+    payload: bytes
+    points: Tuple[ReplayPoint, ...]
+    channels: int = 2
+    byte_lanes: int = 4
+    window: int = 16
+    line_bytes: int = CACHE_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            raise ValueError("replay payload must be non-empty")
+        if not self.points:
+            raise ValueError("replay spec needs at least one operating point")
+        if min(self.channels, self.byte_lanes, self.window,
+               self.line_bytes) < 1:
+            raise ValueError("channels/byte_lanes/window/line_bytes must be >= 1")
+        labels = [point.label for point in self.points]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate point labels in {labels}")
+
+    def payload_digest(self) -> str:
+        """Content identifier of the payload (the trace half of cache keys).
+
+        Hashed once per spec and memoised — callers key every operating
+        point with it.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            cached = f"sha256:{hashlib.sha256(self.payload).hexdigest()[:32]}"
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def replay_key(self, model: CostModel) -> str:
+        """Cache key of one replay: link geometry + cost-model *ratio* @
+        payload digest.
+
+        Like :meth:`repro.core.encoder.DbiOptimal.fingerprint`, only the
+        alpha/beta ratio is keyed — uniform scaling never changes the
+        trellis — so operating points with coinciding differential
+        ratios collapse to one replay.
+        """
+        return (f"ctrl[ch={self.channels},l={self.byte_lanes},"
+                f"w={self.window},line={self.line_bytes},"
+                f"r={model.ac_fraction.hex()}]@{self.payload_digest()}")
+
+
+@dataclass(frozen=True)
+class ReplayTotals:
+    """Integer activity of one controller replay, exact per channel."""
+
+    transactions: int
+    bytes_written: int
+    beats: int
+    #: Per-channel (zeros, transitions, beats) triples, channel order.
+    channels: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def zeros(self) -> int:
+        return sum(channel[0] for channel in self.channels)
+
+    @property
+    def transitions(self) -> int:
+        return sum(channel[1] for channel in self.channels)
+
+
+#: What an :class:`ActivityCache` stores (see its docstring).
+CachedTotals = Union[ActivityTotals, ReplayTotals]
+
+
+@dataclass
+class ReplayResult:
+    """Everything :func:`run_replay` produced for one spec.
+
+    ``series`` maps point label → priced energies; ``totals`` keeps the
+    exact integer tallies under their cache keys, with ``point_keys``
+    mapping point label → cache key (use :meth:`totals_for` rather than
+    reconstructing keys).
+    """
+
+    spec: ReplaySpec
+    series: Dict[str, Dict[str, object]]
+    totals: Dict[str, ReplayTotals]
+    provenance: Dict[str, object]
+    point_keys: Dict[str, str] = field(default_factory=dict)
+
+    def totals_for(self, label: str) -> ReplayTotals:
+        """The integer tallies behind one operating point's series."""
+        return self.totals[self.point_keys[label]]
+
+
+def _execute_replay(payload: bytes, model: CostModel, channels: int,
+                    byte_lanes: int, window: int, line_bytes: int,
+                    backend: str) -> ReplayTotals:
+    """One full pass of a payload through the write path."""
+    controller = MemoryController(channels=channels, byte_lanes=byte_lanes,
+                                  model=model, window=window,
+                                  line_bytes=line_bytes, backend=backend)
+    controller.submit(transactions_from_bytes(payload, line_bytes))
+    stats = controller.flush()
+    per_channel = tuple(
+        (merged.zeros, merged.transitions, merged.beats)
+        for merged in (controller.channel_statistics(channel)
+                       for channel in range(channels)))
+    return ReplayTotals(transactions=stats.transactions,
+                        bytes_written=stats.bytes_written,
+                        beats=stats.beats, channels=per_channel)
+
+
+#: Worker-process state, mirroring the population initializer: the
+#: payload ships once per worker, tasks carry only scalars.
+_WORKER_PAYLOAD: Optional[bytes] = None
+
+
+def _replay_pool_initializer(payload: bytes) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _replay_task(alpha: float, beta: float, channels: int, byte_lanes: int,
+                 window: int, line_bytes: int, backend: str) -> ReplayTotals:
+    return _execute_replay(_WORKER_PAYLOAD, CostModel(alpha, beta), channels,
+                           byte_lanes, window, line_bytes, backend)
+
+
+def _price_replay(totals: ReplayTotals,
+                  energy_model: InterfaceEnergyModel) -> Dict[str, object]:
+    per_channel_energy = [
+        energy_model.burst_energy(transitions, zeros,
+                                  lane_beats=WORD_WIDTH * beats)
+        for zeros, transitions, beats in totals.channels
+    ]
+    energy = energy_model.burst_energy(
+        totals.transitions, totals.zeros,
+        lane_beats=WORD_WIDTH * totals.beats)
+    return {
+        "energy_joules": energy,
+        "energy_per_byte": (energy / totals.bytes_written
+                            if totals.bytes_written else 0.0),
+        "per_channel_energy": per_channel_energy,
+    }
+
+
+def run_replay(spec: ReplaySpec, backend: Optional[str] = None,
+               jobs: int = 1, cache: Optional[ActivityCache] = None) -> ReplayResult:
+    """Execute a replay spec: plan unique replays, run them, price points.
+
+    The shape mirrors :func:`run_experiment`: points are deduplicated by
+    :meth:`ReplaySpec.replay_key`, missing replays run serially or on a
+    process pool (``jobs``; merged in declaration order, so results are
+    bit-identical to a serial run), and every operating point is priced
+    from the cached integer totals.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    resolved = resolve_backend(backend)
+    if cache is None:
+        cache = ActivityCache()
+    start = time.perf_counter()
+
+    point_keys: Dict[str, str] = {}
+    needed: Dict[str, CostModel] = {}
+    for point in spec.points:
+        model = point.energy_model().cost_model()
+        key = spec.replay_key(model)
+        point_keys[point.label] = key
+        if key not in needed:
+            needed[key] = model
+
+    todo: List[Tuple[str, CostModel]] = []
+    for key, model in needed.items():
+        if key in cache:
+            cache.hits += 1
+        else:
+            cache.misses += 1
+            todo.append((key, model))
+
+    if todo:
+        if jobs == 1 or len(todo) == 1:
+            for key, model in todo:
+                cache.store(key, _execute_replay(
+                    spec.payload, model, spec.channels, spec.byte_lanes,
+                    spec.window, spec.line_bytes, resolved))
+        else:
+            workers = min(jobs, len(todo))
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_replay_pool_initializer,
+                                     initargs=(spec.payload,)) as pool:
+                futures = [pool.submit(_replay_task, model.alpha, model.beta,
+                                       spec.channels, spec.byte_lanes,
+                                       spec.window, spec.line_bytes, resolved)
+                           for __, model in todo]
+                for (key, __), future in zip(todo, futures):
+                    cache.store(key, future.result())
+
+    series = {
+        point.label: _price_replay(cache.get(point_keys[point.label]),
+                                   point.energy_model())
+        for point in spec.points
+    }
+    provenance = {
+        "backend": resolved,
+        "jobs": jobs,
+        "replays": len(todo),
+        "cache_hits": len(needed) - len(todo),
+        "cache_misses": len(todo),
+        "points": len(spec.points),
+        "payload": spec.payload_digest(),
+        "payload_bytes": len(spec.payload),
+        "elapsed_s": time.perf_counter() - start,
+        "python": platform.python_version(),
+        "created_unix": time.time(),
+    }
+    from .. import __version__
+
+    provenance["repro_version"] = __version__
+    totals = {key: cache.get(key) for key in needed}
+    return ReplayResult(spec=spec, series=series, totals=totals,
+                        provenance=provenance, point_keys=point_keys)
+
+
+def interface_replay_experiment(payload: bytes,
+                                interfaces: Sequence[str] = (
+                                    "pod135", "pod12", "sstl15", "lvstl11"),
+                                data_rate_hz: float = 3.2 * GBPS,
+                                c_load_farads: float = 3 * PICOFARAD,
+                                channels: int = 2, byte_lanes: int = 4,
+                                window: int = 16,
+                                line_bytes: int = CACHE_LINE_BYTES,
+                                name: str = "ctrl-interface-replay") -> ReplaySpec:
+    """The standard replay axis: one payload across electrical standards.
+
+    Transition-only points (SSTL, LVSTL — identical differential ratio)
+    automatically share a single replay through the cache.
+    """
+    points = tuple(ReplayPoint(interface=interface_name,
+                               data_rate_hz=data_rate_hz,
+                               c_load_farads=c_load_farads)
+                   for interface_name in interfaces)
+    return ReplaySpec(name=name, payload=bytes(payload), points=points,
+                      channels=channels, byte_lanes=byte_lanes,
+                      window=window, line_bytes=line_bytes)
 
 
 # -- artifact persistence ----------------------------------------------------

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ..core.bitops import WORD_WIDTH
 from ..core.costs import CostModel
 from ..core.schemes import EncodedBurst
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from ..phy.power import InterfaceEnergyModel
 
 
 @dataclass
@@ -56,12 +60,46 @@ class SchemeMetrics:
             return 0.0
         return model.activity_cost(self.transitions, self.zeros) / self.bursts
 
-    def mean_energy(self, energy_model) -> float:
+    def mean_energy(self, energy_model: "InterfaceEnergyModel") -> float:
         """Mean physical energy per burst (joules) under an
-        :class:`~repro.phy.power.InterfaceEnergyModel`."""
+        :class:`~repro.phy.power.InterfaceEnergyModel`.
+
+        Contract: *energy_model* must expose
+        ``burst_energy(n_transitions, n_zeros, lane_beats=...) -> float``
+        pricing tallied activity — the energy surface an
+        :class:`~repro.phy.power.InterfaceEnergyModel` derives from any
+        :class:`~repro.phy.interface.Interface` standard.  Anything else
+        is rejected up front rather than failing deep inside a sweep.
+        The one-level DC term is included (``lane_beats`` from
+        ``total_bytes``), so non-POD standards price exactly: on SSTL,
+        for example, shifting the zeros/ones split moves nothing.
+
+        >>> from repro.phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
+        >>> from repro.phy.pod import pod135
+        >>> from repro.phy.sstl import sstl15
+        >>> pod = InterfaceEnergyModel(pod135(), 12 * GBPS, 3 * PICOFARAD)
+        >>> metrics = SchemeMetrics(scheme="raw", bursts=2, zeros=10,
+        ...                         transitions=4, total_bytes=16)
+        >>> metrics.mean_energy(pod) == pod.burst_energy(4, 10) / 2
+        True
+        >>> sstl = InterfaceEnergyModel(sstl15(), 2 * GBPS, 3 * PICOFARAD)
+        >>> fewer_zeros = SchemeMetrics(scheme="dc", bursts=2, zeros=2,
+        ...                             transitions=4, total_bytes=16)
+        >>> metrics.mean_energy(sstl) == fewer_zeros.mean_energy(sstl)
+        True
+        >>> metrics.mean_energy(object())
+        Traceback (most recent call last):
+            ...
+        TypeError: energy_model must expose burst_energy(...); got object
+        """
+        if not callable(getattr(energy_model, "burst_energy", None)):
+            raise TypeError("energy_model must expose burst_energy(...); "
+                            f"got {type(energy_model).__name__}")
         if not self.bursts:
             return 0.0
-        return energy_model.burst_energy(self.transitions, self.zeros) / self.bursts
+        return energy_model.burst_energy(
+            self.transitions, self.zeros,
+            lane_beats=WORD_WIDTH * self.total_bytes) / self.bursts
 
 
 @dataclass

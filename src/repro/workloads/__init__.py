@@ -66,17 +66,22 @@ if _HAVE_NUMPY:
         random_payload,
     )
     from .traces import (
+        TRACES,
+        available_traces,
         float_trace,
         gpu_frame_trace,
         image_trace,
         pointer_trace,
         text_trace,
+        trace_bytes,
         zero_run_trace,
     )
     __all__ += [
         "DEFAULT_SEED",
         "PAPER_SAMPLE_COUNT",
+        "TRACES",
         "Workload",
+        "available_traces",
         "biased_bursts",
         "burst_stream",
         "correlated_bursts",
@@ -88,6 +93,7 @@ if _HAVE_NUMPY:
         "random_bursts",
         "random_payload",
         "text_trace",
+        "trace_bytes",
         "workload_names",
         "zero_run_trace",
     ]

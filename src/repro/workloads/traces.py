@@ -15,7 +15,12 @@ streams whose first-order statistics match common traffic classes:
 * :func:`zero_run_trace` — zero-page / sparse buffer traffic.
 
 Each returns a flat ``bytes`` payload to feed through
-:class:`repro.phy.bus.MemoryBus` or :func:`repro.core.burst.chunk_bytes`.
+:class:`repro.phy.bus.MemoryBus`, :func:`repro.core.burst.chunk_bytes`,
+or — via :func:`repro.ctrl.controller.transactions_from_bytes` — the
+write-path controller's trace replay.  :data:`TRACES` registers every
+class under a short name with a normalised ``(n_bytes, seed)``
+signature, so CLI flags and replay specs can request ``"text"``,
+``"gpu"``, ... uniformly (:func:`trace_bytes`).
 The substitution rationale is recorded in DESIGN.md.
 """
 
@@ -23,7 +28,7 @@ from __future__ import annotations
 
 import math
 import string
-from typing import List
+from typing import Callable, Dict, List
 
 import numpy as np
 
@@ -143,4 +148,62 @@ def gpu_frame_trace(n_bytes: int, seed: int = DEFAULT_SEED) -> bytes:
     blob = b"".join(chunks)
     blocks = [blob[i:i + 256] for i in range(0, len(blob), 256)]
     rng.shuffle(blocks)
-    return b"".join(blocks)[:n_bytes]
+    mixture = b"".join(blocks)
+    # Integer division can leave the mixture a few bytes short of the
+    # request (the parts are sized by rounded-down shares); cycle it to
+    # honour the exact-size contract.
+    while len(mixture) < n_bytes:
+        mixture += mixture[:n_bytes - len(mixture)]
+    return mixture[:n_bytes]
+
+
+# -- the trace registry ------------------------------------------------------
+
+def _float_bytes(n_bytes: int, seed: int) -> bytes:
+    return float_trace(max(1, (n_bytes + 3) // 4), seed)[:n_bytes]
+
+
+def _image_bytes(n_bytes: int, seed: int) -> bytes:
+    return image_trace(width=256, height=max(1, (n_bytes + 255) // 256),
+                       seed=seed)[:n_bytes]
+
+
+def _pointer_bytes(n_bytes: int, seed: int) -> bytes:
+    return pointer_trace(max(1, (n_bytes + 7) // 8), seed=seed)[:n_bytes]
+
+
+def _zero_bytes(n_bytes: int, seed: int) -> bytes:
+    return zero_run_trace(n_bytes, seed=seed)
+
+
+#: Every traffic class under a short name with the normalised
+#: ``(n_bytes, seed) -> bytes`` signature.
+TRACES: Dict[str, Callable[[int, int], bytes]] = {
+    "text": text_trace,
+    "float": _float_bytes,
+    "image": _image_bytes,
+    "pointer": _pointer_bytes,
+    "zero": _zero_bytes,
+    "gpu": gpu_frame_trace,
+}
+
+
+def available_traces() -> List[str]:
+    """Registered trace names, sorted."""
+    return sorted(TRACES)
+
+
+def trace_bytes(name: str, n_bytes: int, seed: int = DEFAULT_SEED) -> bytes:
+    """Synthesise *n_bytes* of the named traffic class.
+
+    >>> len(trace_bytes("text", 100))
+    100
+    """
+    try:
+        builder = TRACES[name.lower()]
+    except KeyError:
+        known = ", ".join(available_traces())
+        raise KeyError(f"unknown trace {name!r}; known: {known}") from None
+    if n_bytes < 1:
+        raise ValueError(f"n_bytes must be >= 1, got {n_bytes}")
+    return builder(n_bytes, seed)

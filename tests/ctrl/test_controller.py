@@ -97,6 +97,25 @@ class TestWriteController:
         assert zeros_by_channel[1] == 0
 
 
+class TestLineBytesSteering:
+    def test_non_default_line_size_still_round_robins(self):
+        """Steering granularity follows line_bytes: 128-byte lines over 2
+        channels must alternate, not funnel into channel 0."""
+        from repro.ctrl.controller import MemoryController, transactions_from_bytes
+        controller = MemoryController(channels=2, byte_lanes=2, window=4,
+                                      line_bytes=128, backend="reference")
+        controller.submit(transactions_from_bytes(bytes(512), line_bytes=128))
+        controller.flush()
+        for channel in range(2):
+            assert controller.channel_statistics(channel).beats == 256
+            assert controller.channel_statistics(channel).bursts == 2
+
+    def test_line_bytes_validation(self):
+        from repro.ctrl.controller import MemoryController
+        with pytest.raises(ValueError):
+            MemoryController(line_bytes=0)
+
+
 class TestCompareControllers:
     def test_lookahead_never_hurts(self):
         import numpy as np

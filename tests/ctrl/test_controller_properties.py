@@ -1,0 +1,117 @@
+"""Hypothesis property tests for controller invariants.
+
+Three structural guarantees of the write path, independent of backend:
+
+* address → channel steering is *total* (defined for every non-negative
+  address) and *stable* (a pure function of the address);
+* lane striping round-trips payload bytes — nothing is lost, duplicated
+  or reordered within a lane;
+* merged channel statistics equal the sum of the per-lane statistics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel
+from repro.core.vectorized import resolve_backend
+from repro.ctrl.controller import (
+    CACHE_LINE_BYTES,
+    MemoryController,
+    WriteTransaction,
+)
+
+geometries = st.tuples(st.integers(min_value=1, max_value=4),
+                       st.integers(min_value=1, max_value=5))
+payload_lists = st.lists(st.binary(min_size=1, max_size=96),
+                         min_size=1, max_size=8)
+
+
+def build(channels, lanes, window=8, record=False):
+    return MemoryController(channels=channels, byte_lanes=lanes,
+                            model=CostModel.fixed(), window=window,
+                            backend=resolve_backend("auto"), record=record)
+
+
+class TestChannelSteering:
+    @given(geometry=geometries,
+           addresses=st.lists(st.integers(min_value=0, max_value=2 ** 48),
+                              min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_total_and_stable(self, geometry, addresses):
+        channels, lanes = geometry
+        controller = build(channels, lanes)
+        for address in addresses:
+            first = controller.channel_of(address)
+            assert 0 <= first < channels
+            assert controller.channel_of(address) == first
+            # Every address inside the same cache line steers identically.
+            assert controller.channel_of(
+                (address // CACHE_LINE_BYTES) * CACHE_LINE_BYTES) == first
+
+    @given(line=st.integers(min_value=0, max_value=1000),
+           channels=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_round_robin_over_lines(self, line, channels):
+        controller = build(channels, 1)
+        assert (controller.channel_of(line * CACHE_LINE_BYTES)
+                == line % channels)
+
+
+class TestStripingRoundTrip:
+    @given(geometry=geometries, payloads=payload_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_lane_streams_reassemble_payloads(self, geometry, payloads):
+        """De-striping the recorded lane decisions recovers every
+        transaction's payload byte-for-byte."""
+        channels, lanes = geometry
+        controller = build(channels, lanes, record=True)
+        transactions = [WriteTransaction(i * CACHE_LINE_BYTES, data)
+                        for i, data in enumerate(payloads)]
+        controller.submit(transactions)
+        stats = controller.flush()
+        assert stats.bytes_written == sum(len(p) for p in payloads)
+        assert controller.pending_bytes() == 0
+
+        cursors = {(c, l): iter(controller.lane_decisions(c, l))
+                   for c in range(channels) for l in range(lanes)}
+        for transaction in transactions:
+            channel = controller.channel_of(transaction.address)
+            rebuilt = bytearray(len(transaction.data))
+            for offset in range(len(transaction.data)):
+                byte, _flag = next(cursors[(channel, offset % lanes)])
+                rebuilt[offset] = byte
+            assert bytes(rebuilt) == transaction.data
+        # ... and nothing is left over in any lane.
+        for cursor in cursors.values():
+            assert next(cursor, None) is None
+
+
+class TestStatisticsConsistency:
+    @given(geometry=geometries, payloads=payload_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_channels_merge_to_lane_sums(self, geometry, payloads):
+        channels, lanes = geometry
+        controller = build(channels, lanes)
+        controller.submit([WriteTransaction(i * CACHE_LINE_BYTES, data)
+                           for i, data in enumerate(payloads)])
+        controller.flush()
+        total = controller.statistics()
+        zeros = transitions = beats = 0
+        for channel in range(channels):
+            merged = controller.channel_statistics(channel)
+            lane_zeros = sum(controller.lane_statistics(channel, l).zeros
+                             for l in range(lanes))
+            lane_trans = sum(controller.lane_statistics(channel, l).transitions
+                             for l in range(lanes))
+            lane_beats = sum(controller.lane_statistics(channel, l).beats
+                             for l in range(lanes))
+            assert (merged.zeros, merged.transitions, merged.beats) == \
+                (lane_zeros, lane_trans, lane_beats)
+            zeros += merged.zeros
+            transitions += merged.transitions
+            beats += merged.beats
+        assert (total.zeros, total.transitions, total.beats) == \
+            (zeros, transitions, beats)
+        assert beats == total.bytes_written
+        assert (sum(controller.channel_statistics(c).bursts
+                    for c in range(channels)) == total.transactions)

@@ -1,0 +1,138 @@
+"""Unit tests for the unified interface-model protocol."""
+
+import pytest
+
+from repro.phy.interface import (
+    COSTLY_LEVELS,
+    INTERFACES,
+    Interface,
+    available_interfaces,
+    get_interface,
+)
+from repro.phy.lvstl import LvstlInterface, lvstl11
+from repro.phy.pod import pod12, pod135
+from repro.phy.power import GBPS, InterfaceEnergyModel, PICOFARAD
+from repro.phy.sstl import sstl15
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", sorted(INTERFACES))
+    def test_every_preset_satisfies_the_protocol(self, name):
+        iface = get_interface(name)
+        assert isinstance(iface, Interface)
+        assert iface.costly_level in COSTLY_LEVELS
+        assert iface.v_swing > 0
+        assert iface.energy_per_transition(3 * PICOFARAD) > 0
+        for level in (0, 1):
+            assert iface.dc_current(level) >= 0.0
+        # The per-level energies follow the termination currents.
+        rate = 4 * GBPS
+        for level, energy in ((0, iface.energy_per_zero(rate)),
+                              (1, iface.energy_per_one(rate))):
+            if iface.dc_current(level) == 0.0:
+                assert energy == 0.0
+            else:
+                assert energy > 0.0
+
+    def test_registry_lookup(self):
+        assert get_interface("POD135").name == "POD135"
+        assert get_interface("lvstl11").name == "LVSTL11"
+        assert "pod12" in available_interfaces()
+        with pytest.raises(KeyError):
+            get_interface("ecl")
+
+    def test_costly_level_polarity_table(self):
+        assert pod135().costly_level == "zero"
+        assert sstl15().costly_level == "both"
+        assert lvstl11().costly_level == "one"
+
+
+class TestLvstl:
+    def test_polarity_mirror_of_pod(self):
+        """LVSTL is POD's mirror: ones cost, zeros are free."""
+        lvstl = lvstl11()
+        rate = 3.2 * GBPS
+        assert lvstl.energy_per_zero(rate) == 0.0
+        assert lvstl.energy_per_one(rate) > 0.0
+        assert lvstl.dc_current(0) == 0.0
+        assert lvstl.dc_current(1) > 0.0
+
+    def test_voh_divider(self):
+        lvstl = LvstlInterface(vddq=1.1, r_termination=60.0, r_pullup=40.0)
+        assert lvstl.v_high == pytest.approx(1.1 * 0.6)
+        assert lvstl.v_swing == lvstl.v_high
+
+    def test_low_swing(self):
+        """The whole point of LVSTL: swing well below the POD12 swing."""
+        assert lvstl11().v_swing < pod12().v_swing
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LvstlInterface(vddq=0.0)
+        with pytest.raises(ValueError):
+            LvstlInterface(vddq=1.1, r_termination=-1.0)
+        with pytest.raises(ValueError):
+            lvstl11().energy_per_one(0.0)
+        with pytest.raises(ValueError):
+            lvstl11().energy_per_zero(-1.0)
+        with pytest.raises(ValueError):
+            lvstl11().energy_per_transition(0.0)
+        with pytest.raises(ValueError):
+            lvstl11().dc_current(2)
+
+
+class TestEnergyModelOverAnyInterface:
+    @pytest.mark.parametrize("name", sorted(INTERFACES))
+    def test_constructs_and_prices(self, name):
+        model = InterfaceEnergyModel(get_interface(name), 4 * GBPS,
+                                     3 * PICOFARAD)
+        energy = model.burst_energy(10, 20, lane_beats=72)
+        assert energy > 0.0
+        # Adding the one-level term never reduces the total.
+        assert energy >= model.burst_energy(10, 20)
+
+    def test_pod_two_argument_form_unchanged(self):
+        """The one-level term is exactly zero on POD, bit for bit."""
+        model = InterfaceEnergyModel(pod135(), 12 * GBPS, 3 * PICOFARAD)
+        assert model.energy_per_one == 0.0
+        assert (model.burst_energy(7, 13, lane_beats=72)
+                == model.burst_energy(7, 13))
+
+    def test_lane_beats_validation(self):
+        model = InterfaceEnergyModel(sstl15(), 2 * GBPS, 3 * PICOFARAD)
+        with pytest.raises(ValueError):
+            model.burst_energy(0, 10, lane_beats=5)
+
+    def test_sstl_energy_depends_only_on_transitions(self):
+        """With lane_beats accounted, SSTL energy is invariant to the
+        zeros/ones split — the physical reason DBI DC buys nothing."""
+        model = InterfaceEnergyModel(sstl15(), 2 * GBPS, 3 * PICOFARAD)
+        beats = 9 * 8
+        assert (model.burst_energy(5, 10, lane_beats=beats)
+                == pytest.approx(model.burst_energy(5, 60, lane_beats=beats)))
+
+    def test_lvstl_energy_decreases_with_zeros(self):
+        model = InterfaceEnergyModel(lvstl11(), 2 * GBPS, 3 * PICOFARAD)
+        beats = 9 * 8
+        assert (model.burst_energy(5, 60, lane_beats=beats)
+                < model.burst_energy(5, 10, lane_beats=beats))
+
+
+class TestDifferentialCostBridge:
+    def test_pod_bridge_is_the_paper_bridge(self):
+        model = InterfaceEnergyModel(pod135(), 12 * GBPS, 3 * PICOFARAD)
+        cost = model.cost_model()
+        assert cost.alpha == model.energy_per_transition
+        assert cost.beta == model.energy_per_zero
+
+    def test_sstl_bridge_is_transition_only(self):
+        model = InterfaceEnergyModel(sstl15(), 2 * GBPS, 3 * PICOFARAD)
+        cost = model.cost_model()
+        assert cost.beta == 0.0
+        assert cost.alpha > 0.0
+
+    def test_lvstl_bridge_clamps_to_transition_only(self):
+        model = InterfaceEnergyModel(lvstl11(), 2 * GBPS, 3 * PICOFARAD)
+        cost = model.cost_model()
+        assert cost.beta == 0.0
+        assert cost.alpha > 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for the controller-replay experiment axis."""
+
+import pytest
+
+from repro.sim.experiments import (
+    ActivityCache,
+    ReplayPoint,
+    ReplaySpec,
+    interface_replay_experiment,
+    run_replay,
+)
+from repro.core.vectorized import available_backends
+from repro.phy.power import GBPS, PICOFARAD
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="test-replay",
+        payload=bytes(range(256)) * 8,
+        points=(ReplayPoint("pod135", 12 * GBPS, 3 * PICOFARAD),),
+        channels=2, byte_lanes=2, window=8,
+    )
+    defaults.update(overrides)
+    return ReplaySpec(**defaults)
+
+
+class TestReplaySpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_spec(payload=b"")
+        with pytest.raises(ValueError):
+            small_spec(points=())
+        with pytest.raises(ValueError):
+            small_spec(channels=0)
+        point = ReplayPoint("pod135", 12 * GBPS, 3 * PICOFARAD)
+        with pytest.raises(ValueError):
+            small_spec(points=(point, point))
+
+    def test_point_label_defaults(self):
+        point = ReplayPoint("lvstl11", 3.2 * GBPS, 2 * PICOFARAD)
+        assert point.label == "lvstl11@3.2Gbps/2pF"
+
+    def test_replay_key_is_ratio_keyed(self):
+        spec = small_spec()
+        slow = ReplayPoint("pod135", 1 * GBPS, 3 * PICOFARAD)
+        fast = ReplayPoint("pod135", 18 * GBPS, 3 * PICOFARAD)
+        assert (spec.replay_key(slow.energy_model().cost_model())
+                != spec.replay_key(fast.energy_model().cost_model()))
+        # Same point, different payloads -> different keys.
+        other = small_spec(payload=b"\x00" * 64)
+        model = slow.energy_model().cost_model()
+        assert spec.replay_key(model) != other.replay_key(model)
+
+
+class TestRunReplay:
+    def test_totals_are_exact_and_consistent(self):
+        result = run_replay(small_spec(), backend="reference")
+        totals = next(iter(result.totals.values()))
+        assert totals.bytes_written == 256 * 8
+        assert totals.beats == totals.bytes_written
+        assert totals.zeros == sum(c[0] for c in totals.channels)
+        assert totals.transitions == sum(c[1] for c in totals.channels)
+        priced = result.series[next(iter(result.series))]
+        assert priced["energy_joules"] == pytest.approx(
+            sum(priced["per_channel_energy"]))
+
+    def test_backends_agree_exactly(self):
+        results = [run_replay(small_spec(), backend=backend)
+                   for backend in available_backends()]
+        reference = results[0]
+        for other in results[1:]:
+            assert other.totals == reference.totals
+            assert other.series == reference.series
+
+    def test_transition_only_points_share_one_replay(self):
+        """SSTL and LVSTL clamp to the same differential ratio -> one
+        replay serves both operating points."""
+        spec = interface_replay_experiment(
+            bytes(range(256)) * 4, interfaces=("pod135", "sstl15", "lvstl11"),
+            channels=2, byte_lanes=2, window=8)
+        result = run_replay(spec)
+        assert result.provenance["replays"] == 2
+        assert len(result.series) == 3
+        # ... but the *priced* energies still differ per standard.
+        energies = {label: priced["energy_joules"]
+                    for label, priced in result.series.items()}
+        assert len(set(energies.values())) == 3
+
+    def test_shared_cache_reuses_replays(self):
+        cache = ActivityCache()
+        spec = small_spec()
+        first = run_replay(spec, cache=cache)
+        second = run_replay(spec, cache=cache)
+        assert first.provenance["replays"] == 1
+        assert second.provenance["replays"] == 0
+        assert second.provenance["cache_hits"] == 1
+        assert second.series == first.series
+
+    def test_jobs_deterministic(self):
+        spec = interface_replay_experiment(
+            bytes(range(256)) * 4,
+            interfaces=("pod135", "pod12", "sstl15"),
+            data_rate_hz=2 * GBPS, channels=2, byte_lanes=2, window=8)
+        serial = run_replay(spec, jobs=1)
+        parallel = run_replay(spec, jobs=3)
+        assert parallel.totals == serial.totals
+        assert parallel.series == serial.series
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            run_replay(small_spec(), jobs=0)

@@ -102,6 +102,77 @@ class TestSweeps:
         assert "best saving" in out
 
 
+class TestCtrl:
+    def test_synthetic_replay(self, capsys):
+        code, out, __ = run_cli(capsys, "ctrl", "--bursts", "200",
+                                "--channels", "2", "--lanes", "2")
+        assert code == 0
+        assert "pod135@12Gbps/3pF" in out
+        assert "| channel |" in out and "| total |" in out
+        assert "pJ/byte" in out
+
+    def test_named_trace(self, capsys):
+        pytest.importorskip("numpy")
+        code, out, __ = run_cli(capsys, "ctrl", "--trace", "text",
+                                "--bytes", "4096", "--interface", "pod12")
+        assert code == 0
+        assert "pod12" in out
+        assert "4096 bytes" in out
+
+    def test_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "dump.bin"
+        path.write_bytes(bytes(range(256)) * 4)
+        code, out, __ = run_cli(capsys, "ctrl", "--trace", str(path),
+                                "--interface", "sstl15", "--lanes", "1")
+        assert code == 0
+        assert "sstl15" in out
+
+    def test_unknown_trace(self, capsys):
+        code, __, err = run_cli(capsys, "ctrl", "--trace", "quantumfoam")
+        assert code == 2
+        assert "unknown trace" in err or "NumPy" in err
+
+    def test_empty_trace_file(self, capsys, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        code, __, err = run_cli(capsys, "ctrl", "--trace", str(path))
+        assert code == 2
+        assert "empty" in err
+
+    def test_multi_interface_shares_replays(self, capsys):
+        code, out, __ = run_cli(capsys, "ctrl", "--bursts", "100",
+                                "--interface", "pod135", "sstl15", "lvstl11")
+        assert code == 0
+        # SSTL and LVSTL collapse to one transition-only replay.
+        assert "replays=2" in out
+        for name in ("pod135", "sstl15", "lvstl11"):
+            assert name in out
+
+    def test_backend_parity_on_cli_totals(self, capsys):
+        outputs = []
+        for backend in ("reference", "auto"):
+            code, out, __ = run_cli(capsys, "ctrl", "--bursts", "100",
+                                    "--backend", backend)
+            assert code == 0
+            outputs.append([line for line in out.splitlines()
+                            if line.startswith("|")])
+        assert outputs[0] == outputs[1]
+
+    def test_jobs_flag(self, capsys):
+        code, out, __ = run_cli(capsys, "ctrl", "--bursts", "100",
+                                "--interface", "pod135", "pod12",
+                                "--jobs", "2")
+        assert code == 0
+
+    def test_trace_and_bursts_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "ctrl", "--trace", "text", "--bursts", "10")
+
+    def test_rejects_unknown_interface(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "ctrl", "--interface", "ttl")
+
+
 class TestTable1:
     def test_table1_prints_rows(self, capsys):
         code, out, __ = run_cli(capsys, "table1")

@@ -102,3 +102,27 @@ class TestGpuFrameTrace:
         payload = gpu_frame_trace(16384)
         zero_bytes = sum(1 for byte in payload if byte == 0)
         assert zero_bytes > len(payload) * 0.05
+
+
+class TestTraceRegistry:
+    def test_every_class_registered_and_sized(self):
+        from repro.workloads.traces import TRACES, available_traces, trace_bytes
+        assert available_traces() == sorted(TRACES)
+        # Awkward sizes included: the rounded-down mixture shares of the
+        # gpu trace used to come up a few bytes short.
+        for size in (13, 999, 1000):
+            for name in available_traces():
+                payload = trace_bytes(name, size, seed=3)
+                assert len(payload) == size, (name, size)
+
+    def test_deterministic(self):
+        from repro.workloads.traces import trace_bytes
+        assert trace_bytes("float", 777, seed=5) == trace_bytes("float", 777,
+                                                                seed=5)
+
+    def test_unknown_name_and_bad_size(self):
+        from repro.workloads.traces import trace_bytes
+        with pytest.raises(KeyError):
+            trace_bytes("mp3", 100)
+        with pytest.raises(ValueError):
+            trace_bytes("text", 0)
