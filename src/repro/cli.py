@@ -11,6 +11,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro table1
     python -m repro ctrl --trace gpu --interface pod135 lvstl11
     python -m repro ctrl --bursts 10000 --channels 4 --lanes 4
+    python -m repro faults --rates 1e-3 1e-2 1e-1 --out faults.json
+    python -m repro granularity --patterns --alpha 2 --beta 1
 
 Every subcommand prints a markdown table or ASCII plot to stdout, so
 results can be piped into reports directly.  The sweep subcommands run
@@ -42,15 +44,21 @@ from .core.vectorized import BACKENDS
 from .phy.interface import available_interfaces
 from .phy.pod import pod12, pod135
 from .phy.power import GBPS, PICOFARAD, PICOJOULE
+from .extensions.granularity import VALID_GROUP_SIZES
+from .extensions.reliability import DEFAULT_FAULT_RATES
 from .sim.experiments import (
     ExperimentResult,
     ReplayPoint,
     ReplaySpec,
     alpha_experiment,
+    fault_experiment,
+    granularity_experiment,
     load_artifact,
     load_experiment,
     rate_experiment,
     run_experiment,
+    run_faults,
+    run_granularity,
     run_replay,
     save_artifact,
 )
@@ -62,6 +70,7 @@ from .sim.report import (
     markdown_table,
 )
 from .sim.sweep import to_alpha_result, to_load_result, to_rate_result
+from .workloads.patterns import PATTERN_NAMES, pattern_population
 from .workloads.population import RandomPopulation
 
 
@@ -330,6 +339,101 @@ def _cmd_ctrl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_out(path: Optional[str]) -> bool:
+    """Validate an ``--out`` target directory before simulating."""
+    if not path:
+        return True
+    out_dir = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(out_dir):
+        print(f"--out {path}: directory {out_dir} does not exist",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def _axis_population(args: argparse.Namespace):
+    """Population source for the faults/granularity axes.
+
+    ``--patterns`` selects the directed suite (all patterns when given
+    without names), tiled so the population size approximates
+    ``--samples``; otherwise ``--samples`` seeded random bursts.
+    """
+    if args.patterns is not None:
+        names = list(args.patterns) or PATTERN_NAMES
+        return pattern_population(names,
+                                  repeats=max(1, args.samples // len(names)))
+    return RandomPopulation(count=args.samples, seed=args.seed)
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if not _check_out(args.out):
+        return 2
+    spec = fault_experiment(_axis_population(args),
+                            schemes=list(dict.fromkeys(args.schemes)),
+                            rates=tuple(args.rates), seed=args.fault_seed)
+    result = run_faults(spec, backend=args.backend, word_impl=args.word_impl)
+    rows: List[List[object]] = []
+    for slot_name, _scheme in spec.slots:
+        for row in result.series[slot_name]:
+            rows.append([slot_name, f"{row['rate']:g}",
+                         row["injected_faults"], row["bit_errors"],
+                         f"{row['bit_error_rate']:.3e}",
+                         f"{row['beat_error_rate']:.3e}",
+                         f"{row['amplification']:.3f}"])
+    print(f"population: {len(spec.population)} bursts, "
+          f"mask seed {spec.seed}")
+    print(markdown_table(
+        ["scheme", "fault rate", "injected", "bit errors", "BER",
+         "beat ER", "amplification"], rows))
+    if args.out:
+        try:
+            result.save(args.out)
+        except OSError as error:
+            print(f"--out {args.out}: cannot write artifact ({error})",
+                  file=sys.stderr)
+            return 2
+        print(f"# artifact written to {args.out}")
+    provenance = result.provenance
+    print(f"\n# backend={provenance['backend']} "
+          f"word_impl={provenance['word_impl']} "
+          f"injections={provenance['injections']} "
+          f"cache_hits={provenance['cache_hits']} "
+          f"elapsed={provenance['elapsed_s']:.3f}s")
+    return 0
+
+
+def _cmd_granularity(args: argparse.Namespace) -> int:
+    if not _check_out(args.out):
+        return 2
+    model = CostModel(args.alpha, args.beta)
+    spec = granularity_experiment(_axis_population(args), model=model,
+                                  group_sizes=tuple(args.group_sizes))
+    result = run_granularity(spec, backend=args.backend)
+    rows = [[row["group_size"], f"{row['mean_zeros']:.3f}",
+             f"{row['mean_transitions']:.3f}", f"{row['mean_cost']:.3f}",
+             row["lines_per_byte_lane"]]
+            for row in result.rows]
+    print(f"population: {len(spec.population)} bursts")
+    print(markdown_table(
+        ["group size", "zeros/burst", "transitions/burst",
+         f"cost (a={args.alpha:g}, b={args.beta:g})", "lines/byte lane"],
+        rows))
+    if args.out:
+        try:
+            result.save(args.out)
+        except OSError as error:
+            print(f"--out {args.out}: cannot write artifact ({error})",
+                  file=sys.stderr)
+            return 2
+        print(f"# artifact written to {args.out}")
+    provenance = result.provenance
+    print(f"\n# backend={provenance['backend']} "
+          f"encodes={provenance['encodes']} "
+          f"cache_hits={provenance['cache_hits']} "
+          f"elapsed={provenance['elapsed_s']:.3f}s")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .hw.synthesis import _design_specs, synthesize, table_one_markdown
     results = {
@@ -468,6 +572,55 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for distinct operating-point "
                            "replays (default: 1, serial)")
     ctrl.set_defaults(handler=_cmd_ctrl)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection coverage curves across schemes")
+    _add_population_arguments(faults)
+    faults.add_argument("--patterns", nargs="*", metavar="NAME",
+                        choices=PATTERN_NAMES, default=None,
+                        help="use the directed pattern suite (optionally a "
+                             "subset) instead of random bursts")
+    faults.add_argument("--schemes", nargs="+", metavar="SCHEME",
+                        choices=available_schemes(),
+                        default=["raw", "dbi-dc", "dbi-ac", "dbi-opt"],
+                        help="schemes to inject into (default: the paper's "
+                             "four)")
+    faults.add_argument("--rates", type=float, nargs="+", metavar="P",
+                        default=list(DEFAULT_FAULT_RATES),
+                        help="per-lane-beat fault probabilities")
+    faults.add_argument("--fault-seed", dest="fault_seed", type=int,
+                        default=7, help="error-mask stream seed (default: 7)")
+    faults.add_argument("--word-impl", dest="word_impl",
+                        choices=("auto", "int", "uint64"), default="auto",
+                        help="mask-parallel word representation (default: "
+                             "auto — uint64 lanes with NumPy, big ints "
+                             "without)")
+    _add_backend_argument(faults)
+    faults.add_argument("--out", metavar="PATH",
+                        help="persist the run as a JSON experiment artifact")
+    faults.set_defaults(handler=_cmd_faults)
+
+    granularity = sub.add_parser(
+        "granularity", help="grouped-DBI granularity ablation")
+    _add_population_arguments(granularity)
+    granularity.add_argument("--patterns", nargs="*", metavar="NAME",
+                             choices=PATTERN_NAMES, default=None,
+                             help="use the directed pattern suite "
+                                  "(optionally a subset) instead of random "
+                                  "bursts")
+    granularity.add_argument("--alpha", type=float, default=1.0,
+                             help="transition cost (default: 1)")
+    granularity.add_argument("--beta", type=float, default=1.0,
+                             help="zero-beat cost (default: 1)")
+    granularity.add_argument("--group-sizes", dest="group_sizes", type=int,
+                             nargs="+", choices=VALID_GROUP_SIZES,
+                             default=list(VALID_GROUP_SIZES),
+                             help="data lanes per DBI line")
+    _add_backend_argument(granularity)
+    granularity.add_argument("--out", metavar="PATH",
+                             help="persist the run as a JSON experiment "
+                                  "artifact")
+    granularity.set_defaults(handler=_cmd_granularity)
 
     table1 = sub.add_parser("table1", help="Table I synthesis estimates")
     table1.add_argument("--bursts", type=_positive_int, default=None,

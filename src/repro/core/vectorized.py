@@ -253,7 +253,8 @@ def solve_batch(data, model, prev_words: Union[int, Sequence[int]] = ALL_ONES_WO
                            prev)
 
 
-def _viterbi_planes(words_raw, words_inv, alpha: float, beta: float, prev):
+def _viterbi_planes(words_raw, words_inv, alpha: float, beta: float, prev,
+                    width: int = WORD_WIDTH):
     """The two-state Viterbi recursion over prepared word planes.
 
     The compute core of :func:`solve_batch`, split out so windowed
@@ -262,14 +263,22 @@ def _viterbi_planes(words_raw, words_inv, alpha: float, beta: float, prev):
     by round without re-packing.  Performs the same IEEE-754 double
     operations in the same order as :func:`repro.core.trellis.solve`;
     all guarantees of :func:`solve_batch` flow from this function.
+
+    ``width`` is the lane count of one word (the zeros term counts
+    ``width - popcount``): 9 for the paper's byte+DBI words, ``g + 1``
+    for the grouped-DBI trellises of
+    :class:`repro.extensions.granularity.GroupedDbiOptimal`.  Words must
+    stay below 2**9 so the shared popcount table applies.
     """
     np = _require_numpy()
+    if not 0 < width <= WORD_WIDTH:
+        raise ValueError(f"width must be in [1, {WORD_WIDTH}], got {width}")
     batch, n = words_raw.shape
     pop = popcount_table()
 
     def edge(prev_w, word):
         # Same IEEE ops, same order, as CostModel.word_cost.
-        return alpha * pop[prev_w ^ word] + beta * (WORD_WIDTH - pop[word])
+        return alpha * pop[prev_w ^ word] + beta * (width - pop[word])
 
     cost_raw = edge(prev, words_raw[:, 0])
     cost_inv = edge(prev, words_inv[:, 0])
@@ -420,18 +429,21 @@ def flags_to_words(data, flags):
     return np.where(np.asarray(flags, dtype=bool), words_inv, words_raw)
 
 
-def batch_activity(words, prev_words: Union[int, Sequence[int]] = ALL_ONES_WORD):
+def batch_activity(words, prev_words: Union[int, Sequence[int]] = ALL_ONES_WORD,
+                   width: int = WORD_WIDTH):
     """Per-burst ``(transitions, zeros)`` tallies for a batch of word rows.
 
     Each row is measured from its own boundary word (independent mode).
-    Returns two ``(batch,)`` int64 arrays.
+    ``width`` is the lane count per word (zeros = ``width - popcount``);
+    the default is the paper's 9-lane byte+DBI word, grouped-DBI callers
+    pass ``group_size + 1``.  Returns two ``(batch,)`` int64 arrays.
     """
     np = _require_numpy()
     words = np.asarray(words, dtype=np.int64)
     batch, n = words.shape
     pop = popcount_table()
     prev = _as_prev_words(prev_words, batch)
-    zeros = (WORD_WIDTH - pop[words]).sum(axis=1)
+    zeros = (width - pop[words]).sum(axis=1)
     transitions = pop[prev ^ words[:, 0]]
     if n > 1:
         transitions = transitions + pop[words[:, :-1] ^ words[:, 1:]].sum(axis=1)

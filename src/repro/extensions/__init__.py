@@ -1,5 +1,32 @@
 """Extensions beyond the paper: design-space explorations enabled by the
-library (DBI granularity, reliability under wire faults)."""
+library (DBI granularity, reliability under wire faults).
+
+Backends
+--------
+Both extension engines follow the library-wide backend vocabulary
+(``backend="auto" | "reference" | "vector"``, defaulting from
+``REPRO_BACKEND`` / :func:`repro.set_default_backend`), each with a
+scalar executable specification and a batched production engine that the
+differential suites in ``tests/extensions/`` pin bit-identical:
+
+* **granularity** (:mod:`repro.extensions.granularity`) — the scalar
+  reference solves one two-state trellis per group lane per burst; the
+  vector backend stripes the ``8 // g`` group lanes of a packed
+  population along the batch axis and solves them in one group-width
+  batch Viterbi call.  Requires NumPy (``auto`` falls back to the
+  reference without it), like the encoding layer's vector kernels.
+* **reliability** (:mod:`repro.extensions.reliability`) — the scalar
+  reference re-decodes one corrupted burst per injected fault; the
+  mask-parallel engine XORs packed error-mask planes into the
+  :mod:`repro.hw.bitsim` word representation and tallies decoded bit
+  errors with popcounts.  Like the gate-level layer — and unlike the
+  encoding layer — the batched engine works *without* NumPy (packing
+  into arbitrary-width Python ints; ``word_impl`` selects the word
+  representation), so ``auto`` always resolves to it.
+
+This module, like every ``repro`` package, imports without NumPy
+installed; NumPy is consulted lazily inside the vector fast paths only.
+"""
 
 from .granularity import (
     GroupedDbiOptimal,
@@ -9,21 +36,33 @@ from .granularity import (
     split_groups,
 )
 from .reliability import (
+    DEFAULT_FAULT_RATES,
+    FaultCoverageRow,
     FaultStatistics,
     decode_with_faults,
+    draw_fault_masks,
+    draw_fault_positions,
     error_amplification,
+    fault_coverage_curve,
     fault_sweep,
+    fault_sweep_batch,
     wrong_decision_is_harmless,
 )
 
 __all__ = [
+    "DEFAULT_FAULT_RATES",
+    "FaultCoverageRow",
     "FaultStatistics",
     "GroupedDbiOptimal",
     "GroupedEncoding",
     "VALID_GROUP_SIZES",
     "decode_with_faults",
+    "draw_fault_masks",
+    "draw_fault_positions",
     "error_amplification",
+    "fault_coverage_curve",
     "fault_sweep",
+    "fault_sweep_batch",
     "granularity_table",
     "split_groups",
     "wrong_decision_is_harmless",

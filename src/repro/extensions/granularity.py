@@ -16,16 +16,28 @@ paper's encoder, which the tests assert.
 Activity accounting matches the paper's convention, per group: a group
 word is ``group_size + 1`` lanes (data + its DBI line), zeros and
 transitions are counted over all of them.
+
+Backend selection follows the library-wide vocabulary
+(``"auto" | "reference" | "vector"``, see :mod:`repro.core.vectorized`):
+the vector path stripes the ``8 // g`` group lanes of every burst along
+the batch axis — an 8-byte burst at ``group_size=4`` becomes two
+independent 5-lane trellis columns — and solves them in a single
+:func:`repro.core.vectorized._viterbi_planes` call with
+``width = group_size + 1``.  Invert flags, zeros and transitions are
+bit-identical to the scalar :meth:`GroupedDbiOptimal._solve_group`
+reference (same IEEE-754 operations in the same order; the differential
+suite in ``tests/extensions/test_granularity.py`` enforces this).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.bitops import popcount
 from ..core.burst import Burst
 from ..core.costs import CostModel
+from ..core.vectorized import resolve_backend, try_pack_bursts
 
 #: Group sizes that tile a byte lane evenly.
 VALID_GROUP_SIZES = (1, 2, 4, 8)
@@ -88,6 +100,17 @@ class GroupedDbiOptimal:
         self.model = model
         self.group_size = group_size
 
+    def fingerprint(self) -> str:
+        """Stable content key (cf. :meth:`repro.core.schemes.DbiScheme.fingerprint`).
+
+        Ratio-keyed like :meth:`repro.core.encoder.DbiOptimal.fingerprint`:
+        two instances with the same group size and the same
+        transition/zero cost ratio make identical invert decisions, so
+        the experiment engine may share their cached activity totals.
+        """
+        return (f"dbi-grouped[g={self.group_size},"
+                f"r={self.model.ac_fraction.hex()}]")
+
     def encode(self, burst: Burst) -> GroupedEncoding:
         """Encode *burst*; each group lane starts from idle-high."""
         g = self.group_size
@@ -109,6 +132,102 @@ class GroupedDbiOptimal:
                                invert_flags=invert_flags,
                                zeros=total_zeros,
                                transitions=total_transitions)
+
+    # -- batch API -------------------------------------------------------
+    def encode_batch(self, bursts: Iterable[Burst],
+                     backend: Optional[str] = None) -> List[GroupedEncoding]:
+        """Encode a whole burst population (idle-high boundaries).
+
+        With the ``vector`` backend (the default whenever NumPy is
+        available) equal-length populations are solved array-at-a-time:
+        the ``8 // g`` group lanes of every burst are striped along the
+        batch axis and run through one group-width batch Viterbi call.
+        Ragged populations and the ``reference`` backend fall back to
+        per-burst :meth:`encode`.  Results are bit-identical either way.
+        """
+        burst_list = [burst if isinstance(burst, Burst) else Burst(burst)
+                      for burst in bursts]
+        if burst_list and resolve_backend(backend) == "vector":
+            packed = try_pack_bursts(burst_list)
+            if packed is not None:
+                flags, zeros, transitions = self._batch_solve(packed)
+                k = self.groups_per_byte
+                return [
+                    GroupedEncoding(
+                        burst=burst, group_size=self.group_size,
+                        invert_flags=tuple(
+                            tuple(bool(flags[lane, row, beat])
+                                  for lane in range(k))
+                            for beat in range(packed.shape[1])),
+                        zeros=int(zeros[row]),
+                        transitions=int(transitions[row]))
+                    for row, burst in enumerate(burst_list)
+                ]
+        return [self.encode(burst) for burst in burst_list]
+
+    def activity_totals(self, bursts: Iterable[Burst],
+                        backend: Optional[str] = None) -> Tuple[int, int]:
+        """Population ``(total_zeros, total_transitions)`` totals.
+
+        The aggregate fast path behind :func:`granularity_table` and the
+        granularity experiment axis: the vector backend tallies the
+        striped word planes without materialising per-burst
+        :class:`GroupedEncoding` objects.  Totals are exact integers and
+        identical across backends.
+        """
+        burst_list = list(bursts)
+        if burst_list and resolve_backend(backend) == "vector":
+            packed = try_pack_bursts(burst_list)
+            if packed is not None:
+                _flags, zeros, transitions = self._batch_solve(packed)
+                return int(zeros.sum()), int(transitions.sum())
+        total_zeros = 0
+        total_transitions = 0
+        for burst in burst_list:
+            encoding = self.encode(burst)
+            total_zeros += encoding.zeros
+            total_transitions += encoding.transitions
+        return total_zeros, total_transitions
+
+    @property
+    def groups_per_byte(self) -> int:
+        return 8 // self.group_size
+
+    def _batch_solve(self, packed):
+        """Group-striped batch Viterbi over a packed ``(batch, n)`` array.
+
+        Returns ``(flags, zeros, transitions)`` where ``flags`` is a
+        ``(groups_per_byte, batch, n)`` bool array (lane *k* of burst
+        *b*, beat *i*) and ``zeros``/``transitions`` are per-burst
+        ``(batch,)`` int64 tallies summed over the burst's group lanes.
+        """
+        import numpy as np
+
+        from ..core.vectorized import _viterbi_planes, batch_activity
+
+        g = self.group_size
+        k = self.groups_per_byte
+        batch, n = packed.shape
+        mask = (1 << g) - 1
+        dbi_bit = 1 << g
+        idle = (1 << (g + 1)) - 1
+        wide = packed.astype(np.int64)
+        # Stripe group lanes along the batch axis: row ``lane * batch + b``
+        # carries group lane ``lane`` of burst ``b`` — every row is an
+        # independent (g+1)-lane trellis with an idle-high boundary.
+        values = np.concatenate(
+            [(wide >> (lane * g)) & mask for lane in range(k)], axis=0)
+        words_raw = values | dbi_bit
+        words_inv = values ^ mask
+        prev = np.full(k * batch, idle, dtype=np.int64)
+        flags, _costs = _viterbi_planes(words_raw, words_inv,
+                                        self.model.alpha, self.model.beta,
+                                        prev, width=g + 1)
+        words = np.where(flags, words_inv, words_raw)
+        transitions, zeros = batch_activity(words, idle, width=g + 1)
+        return (flags.reshape(k, batch, n),
+                zeros.reshape(k, batch).sum(axis=0),
+                transitions.reshape(k, batch).sum(axis=0))
 
     # -- internals -------------------------------------------------------
     def _group_word(self, value: int, inverted: bool) -> int:
@@ -164,21 +283,21 @@ class GroupedDbiOptimal:
 
 def granularity_table(bursts: Sequence[Burst], model: CostModel,
                       group_sizes: Sequence[int] = VALID_GROUP_SIZES,
+                      backend: Optional[str] = None,
                       ) -> List[Tuple[int, float, float, float, int]]:
     """Rows ``(group_size, mean zeros, mean transitions, mean cost,
-    total lines per byte lane)`` for the granularity ablation."""
+    total lines per byte lane)`` for the granularity ablation.
+
+    ``backend`` follows the library vocabulary; totals (and therefore
+    rows) are identical between the reference and vector paths.
+    """
     rows: List[Tuple[int, float, float, float, int]] = []
     n = len(bursts)
     if n == 0:
         raise ValueError("burst population is empty")
     for g in group_sizes:
         scheme = GroupedDbiOptimal(model, group_size=g)
-        zeros = 0
-        transitions = 0
-        for burst in bursts:
-            encoding = scheme.encode(burst)
-            zeros += encoding.zeros
-            transitions += encoding.transitions
+        zeros, transitions = scheme.activity_totals(bursts, backend=backend)
         mean_cost = model.activity_cost(transitions, zeros) / n
         rows.append((g, zeros / n, transitions / n, mean_cost, 8 + 8 // g))
     return rows

@@ -15,18 +15,44 @@ are unlikely to cause application errors") rests on the distinction:
   byte (8 wrong bits), whereas a data-lane fault stays a single-bit error.
   :func:`error_amplification` and :func:`fault_sweep` quantify this —
   the hidden reliability cost of any inversion code.
+
+Backend selection
+-----------------
+The Monte Carlo sweeps come in two forms.  :func:`fault_sweep` is the
+per-burst reference: one Python decode per injected fault.
+:func:`fault_sweep_batch` and :func:`fault_coverage_curve` are the
+mask-parallel engines: every fault of the whole population is packed
+into the :mod:`repro.hw.bitsim` word representation (one word per wire
+lane, one *bit* per fault vector — arbitrary-precision Python ints or
+NumPy ``uint64`` lane arrays, selected by ``word_impl`` exactly like
+:class:`~repro.hw.bitsim.CompiledNetlist`), fault masks are XOR-ed into
+the encoded word planes, the DBI decode runs plane-wise, and bit-error
+tallies come from popcounts of the decoded-difference planes.  Entry
+points accept ``backend="auto" | "reference" | "vector"``; like the
+gate-level layer (:func:`repro.hw.bitsim.resolve_sim_backend`), ``auto``
+resolves to the mask-parallel engine even without NumPy, because the
+pure-int packing is itself a large win.  Both backends share one
+pure-Python ``random.Random`` draw path, so statistics are bit-identical
+across backends, word implementations and the CI NumPy matrix.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..core.bitops import BYTE_WIDTH, WORD_WIDTH, decode_word, popcount
+from ..core.bitops import (
+    ALL_ONES_WORD,
+    BYTE_WIDTH,
+    WORD_WIDTH,
+    decode_word,
+    popcount,
+)
 from ..core.burst import Burst
 from ..core.schemes import DbiScheme, EncodedBurst
+from ..core.vectorized import flags_to_words, try_vector_pack
+from ..hw.bitsim import get_kernel, resolve_sim_backend
 
 
 def decode_with_faults(words: Sequence[int],
@@ -112,28 +138,62 @@ class FaultStatistics:
                 if self.dbi_lane_faults else 0.0)
 
 
+def draw_fault_positions(lengths: Sequence[int], faults_per_burst: int,
+                         seed: int) -> List[List[Tuple[int, int]]]:
+    """Per-burst uniform ``(beat, lane)`` fault draws, burst-major order.
+
+    The single RNG draw path shared by :func:`fault_sweep` and
+    :func:`fault_sweep_batch`: a pure-Python ``random.Random(seed)``
+    stream (no NumPy), consuming two uniform variates per fault —
+    ``int(random() * length)`` for the beat, then ``int(random() * 9)``
+    for the lane — for each fault of each burst in population order.
+    Sharing the draws is what makes the two sweeps bit-identical on the
+    same seed.  (The multiply draw is exact for these tiny ranges and
+    several times faster than ``randrange``, which matters because the
+    draw is the mask-parallel sweep's largest remaining serial cost.)
+    """
+    if faults_per_burst < 1:
+        raise ValueError("faults_per_burst must be >= 1")
+    uniform = random.Random(seed).random
+    return [
+        [(int(uniform() * length), int(uniform() * WORD_WIDTH))
+         for _ in range(faults_per_burst)]
+        for length in lengths
+    ]
+
+
 def fault_sweep(scheme: DbiScheme, bursts: Sequence[Burst],
                 faults_per_burst: int = 1, seed: int = 7) -> FaultStatistics:
     """Inject uniform single-lane faults and tally decoded bit errors.
 
-    Each fault picks a uniform (beat, lane) in the encoded burst; the
-    expected amplification of a fault is therefore
-    ``(8·P[data lane] + 8·P[DBI lane]) / 9``... precisely: data-lane
-    faults contribute 1 wrong bit, DBI-lane faults 8, giving an expected
-    ``(8·1 + 1·8) / 9 ≈ 1.78`` versus exactly 1.0 for a DBI-less bus.
+    Each fault picks a uniform (beat, lane) in the encoded burst.  A
+    data-lane fault contributes exactly 1 wrong decoded bit and a
+    DBI-lane fault complements the whole byte (8 wrong bits), so with 8
+    data lanes and 1 DBI lane the expected amplification per fault is
+    ``(8·1 + 1·8) / 9 = 16/9 ≈ 1.78`` — versus exactly 1.0 for a bus
+    without DBI.  A small exhaustive sweep confirms the expectation:
+
+    >>> from repro.baselines import Raw
+    >>> from repro.core.burst import Burst
+    >>> encoded = Raw().encode(Burst([0xA5]))
+    >>> total = sum(error_amplification(encoded, beat=0, lane=lane)
+    ...             for lane in range(WORD_WIDTH))
+    >>> total, total / WORD_WIDTH == 16 / 9
+    (16, True)
+
+    This is the per-burst reference implementation (one Python decode
+    per fault); :func:`fault_sweep_batch` computes identical statistics
+    mask-parallel.
     """
-    if faults_per_burst < 1:
-        raise ValueError("faults_per_burst must be >= 1")
-    rng = np.random.default_rng(seed)
+    positions = draw_fault_positions([len(burst) for burst in bursts],
+                                     faults_per_burst, seed)
     injected = 0
     total_errors = 0
     dbi_faults = 0
     dbi_errors = 0
-    for burst in bursts:
+    for burst, faults in zip(bursts, positions):
         encoded = scheme.encode(burst)
-        for _ in range(faults_per_burst):
-            beat = int(rng.integers(0, len(encoded)))
-            lane = int(rng.integers(0, WORD_WIDTH))
+        for beat, lane in faults:
             errors = error_amplification(encoded, beat, lane)
             injected += 1
             total_errors += errors
@@ -144,3 +204,235 @@ def fault_sweep(scheme: DbiScheme, bursts: Sequence[Burst],
                            total_bit_errors=total_errors,
                            dbi_lane_faults=dbi_faults,
                            dbi_lane_bit_errors=dbi_errors)
+
+
+# -- the mask-parallel fault engine -----------------------------------------
+
+def _batch_wire_words(scheme: DbiScheme, burst_list: Sequence[Burst]):
+    """``(batch, n)`` int64 wire words via the vector encode kernel.
+
+    Returns ``None`` whenever :func:`~repro.core.vectorized.try_vector_pack`
+    declines (no NumPy, ragged population, scheme without a batch
+    kernel), in which case callers materialise words through
+    :meth:`~repro.core.schemes.DbiScheme.encode_batch` instead.  Skipping
+    the per-burst :class:`~repro.core.schemes.EncodedBurst` objects is
+    worth ~2x on the fault engines' encode stage; bit-identity holds
+    because :func:`~repro.core.vectorized.flags_to_words` applies the
+    same DBI word construction as :func:`~repro.core.bitops.make_word`.
+    """
+    data = try_vector_pack(scheme, burst_list)
+    if data is None:
+        return None
+    import numpy as np
+
+    prev = np.full(data.shape[0], ALL_ONES_WORD, dtype=np.int64)
+    return flags_to_words(data, scheme.batch_flags(data, prev))
+
+
+def _tally_masked_faults(values: Sequence[int], masks: Sequence[int],
+                         word_impl: str = "auto") -> FaultStatistics:
+    """Decode-and-tally for one fault per vector, mask-parallel.
+
+    ``values[f]`` is the clean 9-bit wire word fault *f* lands on,
+    ``masks[f]`` its (single-lane) fault mask.  Both are packed into
+    bit-plane words — one word per wire lane, bit *f* of lane *l*'s word
+    is bit *l* of vector *f* — so the XOR injection, the plane-wise DBI
+    decode and the error popcounts each touch all faults at once.
+    """
+    kernel = get_kernel(word_impl)
+    n = len(values)
+    planes = kernel.pack_bus(values, WORD_WIDTH, n)
+    mask_planes = kernel.pack_bus(masks, WORD_WIDTH, n)
+    valid = kernel.valid_mask(n)
+    # Plane-wise DBI decode: a DBI bit of 0 means "transmitted inverted",
+    # so the invert-back flip plane is the complement of the DBI plane.
+    flip_clean = planes[BYTE_WIDTH] ^ valid
+    flip_faulty = (planes[BYTE_WIDTH] ^ mask_planes[BYTE_WIDTH]) ^ valid
+    dbi_fault_plane = mask_planes[BYTE_WIDTH]
+    total_errors = 0
+    dbi_errors = 0
+    for lane in range(BYTE_WIDTH):
+        decoded_clean = planes[lane] ^ flip_clean
+        decoded_faulty = (planes[lane] ^ mask_planes[lane]) ^ flip_faulty
+        diff = decoded_clean ^ decoded_faulty
+        total_errors += kernel.popcount(diff)
+        dbi_errors += kernel.popcount(diff & dbi_fault_plane)
+    return FaultStatistics(injected_faults=n,
+                           total_bit_errors=total_errors,
+                           dbi_lane_faults=kernel.popcount(dbi_fault_plane),
+                           dbi_lane_bit_errors=dbi_errors)
+
+
+def fault_sweep_batch(scheme: DbiScheme, bursts: Sequence[Burst],
+                      faults_per_burst: int = 1, seed: int = 7,
+                      backend: Optional[str] = None,
+                      word_impl: str = "auto") -> FaultStatistics:
+    """Mask-parallel :func:`fault_sweep`: identical statistics, batched.
+
+    Draws the same ``(beat, lane)`` faults as :func:`fault_sweep` (the
+    shared :func:`draw_fault_positions` stream), then injects *all* of
+    them in one pass: one bit per fault in the packed word planes, XOR
+    for the injection, popcounts for the tallies.  The result is
+    bit-identical to :func:`fault_sweep` on the same seed, at
+    millions of faults per second instead of thousands.
+
+    ``backend`` follows :func:`repro.hw.bitsim.resolve_sim_backend`
+    (``auto`` picks the mask-parallel engine even without NumPy;
+    ``reference`` delegates to the per-burst sweep).  ``word_impl``
+    selects the packed word representation exactly as for
+    :class:`~repro.hw.bitsim.CompiledNetlist`.
+    """
+    if faults_per_burst < 1:
+        raise ValueError("faults_per_burst must be >= 1")
+    burst_list = list(bursts)
+    if resolve_sim_backend(backend) == "reference":
+        return fault_sweep(scheme, burst_list, faults_per_burst, seed)
+    positions = draw_fault_positions([len(burst) for burst in burst_list],
+                                     faults_per_burst, seed)
+    masks = [1 << lane for faults in positions for _beat, lane in faults]
+    word_matrix = _batch_wire_words(scheme, burst_list)
+    if word_matrix is not None:
+        import numpy as np
+
+        rows = np.repeat(np.arange(len(burst_list)), faults_per_burst)
+        beats = np.fromiter(
+            (beat for faults in positions for beat, _lane in faults),
+            dtype=np.intp, count=len(masks))
+        values = word_matrix[rows, beats].tolist()
+    else:
+        encoded = scheme.encode_batch(burst_list)
+        burst_words = [enc.words for enc in encoded]
+        values = [words[beat] for words, faults in zip(burst_words, positions)
+                  for beat, _lane in faults]
+    return _tally_masked_faults(values, masks, word_impl)
+
+
+def draw_fault_masks(n_words: int, rate: float, seed: int) -> List[int]:
+    """Multi-lane fault masks: each of the 9 lanes of each of ``n_words``
+    wire words flips independently with probability *rate*.
+
+    The stream is seeded per ``(seed, rate)`` through a string key (str
+    seeds hash deterministically in ``random.Random``, unaffected by
+    ``PYTHONHASHSEED``), so a rate's masks do not depend on which other
+    rates a sweep includes — the property that makes coverage rows
+    individually cacheable by the experiment engine.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    rng = random.Random(f"{seed}:{float(rate).hex()}")
+    masks: List[int] = []
+    for _ in range(n_words):
+        mask = 0
+        for lane in range(WORD_WIDTH):
+            if rng.random() < rate:
+                mask |= 1 << lane
+        masks.append(mask)
+    return masks
+
+
+@dataclass(frozen=True)
+class FaultCoverageRow:
+    """One fault-rate point of a coverage curve.
+
+    ``injected_faults`` counts lane-beat flips actually injected,
+    ``bit_errors`` the wrong decoded data bits they caused,
+    ``corrupted_beats`` the beats decoding to a wrong byte.
+    """
+
+    rate: float
+    injected_faults: int
+    total_beats: int
+    bit_errors: int
+    corrupted_beats: int
+    dbi_lane_faults: int
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Wrong decoded data bits per transmitted data bit."""
+        total_bits = BYTE_WIDTH * self.total_beats
+        return self.bit_errors / total_bits if total_bits else 0.0
+
+    @property
+    def beat_error_rate(self) -> float:
+        """Fraction of beats whose decoded byte is wrong."""
+        return (self.corrupted_beats / self.total_beats
+                if self.total_beats else 0.0)
+
+    @property
+    def amplification(self) -> float:
+        """Decoded bit errors per injected lane fault."""
+        return (self.bit_errors / self.injected_faults
+                if self.injected_faults else 0.0)
+
+
+#: Default per-lane-beat fault rates for coverage curves (log-spaced).
+DEFAULT_FAULT_RATES = (1e-3, 3e-3, 1e-2, 3e-2, 1e-1)
+
+
+def fault_coverage_curve(scheme: DbiScheme, bursts: Sequence[Burst],
+                         rates: Sequence[float] = DEFAULT_FAULT_RATES,
+                         seed: int = 7, backend: Optional[str] = None,
+                         word_impl: str = "auto") -> List[FaultCoverageRow]:
+    """Decoded-error statistics versus raw fault rate, one row per rate.
+
+    Every lane-beat of the encoded population flips independently with
+    probability ``rate`` (so beats can take multi-lane faults, unlike
+    the single-lane sweeps).  The population is encoded once; per rate,
+    fresh masks from :func:`draw_fault_masks` are injected and tallied —
+    mask-parallel under the ``vector`` backend, per-word under
+    ``reference`` — with bit-identical rows either way.
+    """
+    burst_list = list(bursts)
+    word_matrix = _batch_wire_words(scheme, burst_list)
+    if word_matrix is not None:
+        # Row-major ravel == burst-major, beat-minor: the reference order.
+        values = word_matrix.ravel().tolist()
+    else:
+        encoded = scheme.encode_batch(burst_list)
+        values = [word for enc in encoded for word in enc.words]
+    total = len(values)
+    rows: List[FaultCoverageRow] = []
+    if resolve_sim_backend(backend) == "vector":
+        kernel = get_kernel(word_impl)
+        planes = kernel.pack_bus(values, WORD_WIDTH, total)
+        valid = kernel.valid_mask(total)
+        flip_clean = planes[BYTE_WIDTH] ^ valid
+        for rate in rates:
+            masks = draw_fault_masks(total, rate, seed)
+            mask_planes = kernel.pack_bus(masks, WORD_WIDTH, total)
+            flip_faulty = (planes[BYTE_WIDTH]
+                           ^ mask_planes[BYTE_WIDTH]) ^ valid
+            bit_errors = 0
+            union = None
+            for lane in range(BYTE_WIDTH):
+                diff = ((planes[lane] ^ flip_clean)
+                        ^ ((planes[lane] ^ mask_planes[lane]) ^ flip_faulty))
+                bit_errors += kernel.popcount(diff)
+                union = diff if union is None else union | diff
+            rows.append(FaultCoverageRow(
+                rate=float(rate),
+                injected_faults=sum(kernel.popcount(plane)
+                                    for plane in mask_planes),
+                total_beats=total,
+                bit_errors=bit_errors,
+                corrupted_beats=kernel.popcount(union),
+                dbi_lane_faults=kernel.popcount(mask_planes[BYTE_WIDTH])))
+    else:
+        for rate in rates:
+            masks = draw_fault_masks(total, rate, seed)
+            injected = 0
+            bit_errors = 0
+            corrupted = 0
+            dbi_faults = 0
+            for word, mask in zip(values, masks):
+                injected += popcount(mask)
+                dbi_faults += (mask >> BYTE_WIDTH) & 1
+                diff = decode_word(word ^ mask) ^ decode_word(word)
+                errors = popcount(diff)
+                bit_errors += errors
+                corrupted += 1 if errors else 0
+            rows.append(FaultCoverageRow(
+                rate=float(rate), injected_faults=injected,
+                total_beats=total, bit_errors=bit_errors,
+                corrupted_beats=corrupted, dbi_lane_faults=dbi_faults))
+    return rows

@@ -159,6 +159,24 @@ class _IntKernel:
         return (1 << n_vectors) - 1
 
     @staticmethod
+    def valid_mask(n_vectors: int) -> int:
+        """A word with exactly the ``n_vectors`` valid lanes set.
+
+        For this kernel identical to :meth:`mask`; kept as a separate
+        method because callers that popcount whole words (the
+        mask-parallel fault engine in
+        :mod:`repro.extensions.reliability`) must not see garbage above
+        the valid range, which :meth:`mask` does permit in the ``uint64``
+        kernel.
+        """
+        return (1 << n_vectors) - 1
+
+    @staticmethod
+    def popcount(word: int) -> int:
+        """Total set bits of one word (exact, all vector lanes)."""
+        return _popcount_int(word)
+
+    @staticmethod
     def zero_word(n_vectors: int) -> int:
         return 0
 
@@ -238,6 +256,25 @@ class _Uint64Kernel:
         # lane-wise and both toggle counting and unpacking mask to the
         # valid vector range.
         return self._ones
+
+    def valid_mask(self, n_vectors: int):
+        """A lane array with exactly the ``n_vectors`` valid bits set.
+
+        Unlike :meth:`mask` (which tolerates garbage above the valid
+        range), this is safe to popcount whole — the contract the
+        mask-parallel fault engine relies on.
+        """
+        n_words = self._n_words(n_vectors)
+        out = _np.zeros(n_words, dtype=_np.uint64)
+        full, remainder = divmod(n_vectors, 64)
+        out[:full] = self._ones
+        if remainder:
+            out[full] = _np.uint64((1 << remainder) - 1)
+        return out
+
+    def popcount(self, word) -> int:
+        """Total set bits of one lane array (exact, all vector lanes)."""
+        return self._popcount(word)
 
     def zero_word(self, n_vectors: int):
         return _np.zeros(self._n_words(n_vectors), dtype=_np.uint64)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Tuple
 
-from ..core.bitops import WORD_WIDTH, check_word
+from ..core.bitops import WORD_WIDTH, check_word, popcount
 
 
 @dataclass
@@ -120,13 +120,17 @@ class LaneGroup:
         """Worst-case lanes toggling in a single beat over *words*.
 
         The SSO figure of merit of Kim et al. (paper ref. [14]): DBI DC
-        bounds this at 5 per byte lane, RAW can hit 9.
+        bounds this at 5 per byte lane, RAW can hit 9.  Uses the same
+        :func:`~repro.core.bitops.popcount` as the word-level tallies in
+        :func:`repro.analysis.sso.sso_of_words`, so the two SSO counts
+        cannot drift (the parity test in ``tests/phy/test_lane.py``
+        enforces it).
         """
         worst = 0
         level = self.state_word
         for word in words:
             check_word(word)
-            worst = max(worst, bin(level ^ word).count("1"))
+            worst = max(worst, popcount(level ^ word))
             level = word
         return worst
 

@@ -35,6 +35,19 @@ ratio* (operating points whose differential alpha/beta ratio coincides —
 e.g. SSTL and LVSTL, both transition-only — replay once) and prices
 per-channel energy from the cached integer tallies.
 
+PR 6 adds two more axes with the same cache discipline and the same
+``repro.experiment/1`` artifact format (discriminated by a ``kind``
+field):
+
+* **reliability** — :class:`FaultSpec` / :func:`run_faults` injects the
+  mask-parallel fault engine of :mod:`repro.extensions.reliability`
+  across a scheme × fault-rate grid, one cached coverage row per
+  (scheme fingerprint, rate, seed, population digest);
+* **granularity** — :class:`GranularitySpec` / :func:`run_granularity`
+  runs the grouped-DBI ablation of :mod:`repro.extensions.granularity`
+  over a grid of group sizes, sharing encode entries with figure sweeps
+  through the grouped scheme's ratio-keyed fingerprint.
+
 Pricing is the linear form shared by the abstract cost model and the
 physical energy model: ``alpha`` per transition, ``beta`` per zero.  Two
 term orders exist only to preserve IEEE-754 bit-identity with the legacy
@@ -62,6 +75,12 @@ from ..ctrl.controller import (
     CACHE_LINE_BYTES,
     MemoryController,
     transactions_from_bytes,
+)
+from ..extensions.granularity import GroupedDbiOptimal, VALID_GROUP_SIZES
+from ..extensions.reliability import (
+    DEFAULT_FAULT_RATES,
+    FaultCoverageRow,
+    fault_coverage_curve,
 )
 from ..phy.interface import get_interface
 from ..phy.pod import PodInterface, pod135
@@ -660,7 +679,7 @@ class ReplayTotals:
 
 
 #: What an :class:`ActivityCache` stores (see its docstring).
-CachedTotals = Union[ActivityTotals, ReplayTotals]
+CachedTotals = Union[ActivityTotals, ReplayTotals, FaultCoverageRow]
 
 
 @dataclass
@@ -837,6 +856,286 @@ def interface_replay_experiment(payload: bytes,
                       window=window, line_bytes=line_bytes)
 
 
+# -- the reliability axis ----------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fault-coverage experiment: schemes × fault-rate grid × population.
+
+    One row per (scheme slot, rate): the population is encoded once per
+    distinct scheme fingerprint, every lane-beat of the encoded words
+    flips independently with the row's rate
+    (:func:`repro.extensions.reliability.fault_coverage_curve`), and the
+    decoded-error tallies are cached like replays — the cache key binds
+    the rate, the mask seed, the scheme fingerprint and the population
+    digest.  Rates draw per-``(seed, rate)`` independent mask streams, so
+    a row never depends on which other rates the spec contains.
+
+    Rows are independent of the electrical interface: fault statistics
+    count decoded *bits*, which only the scheme's wire words determine —
+    one spec therefore serves every interface operating point.
+    """
+
+    name: str
+    population: BurstPopulation
+    #: Ordered ``(slot name, scheme)`` pairs, one output series each.
+    slots: Tuple[Tuple[str, DbiScheme], ...]
+    rates: Tuple[float, ...] = DEFAULT_FAULT_RATES
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ValueError("fault spec needs at least one scheme slot")
+        if not self.rates:
+            raise ValueError("fault spec needs at least one fault rate")
+        names = [slot_name for slot_name, __ in self.slots]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate slot names in {names}")
+
+    def coverage_key(self, scheme: DbiScheme, rate: float) -> str:
+        """Cache key of one (scheme, rate) coverage row."""
+        return (f"fault[p={float(rate).hex()},s={self.seed}]"
+                f"{scheme.fingerprint()}@{self.population.digest()}")
+
+
+def _coverage_row_json(row: FaultCoverageRow) -> Dict[str, object]:
+    return {
+        "rate": row.rate,
+        "injected_faults": row.injected_faults,
+        "total_beats": row.total_beats,
+        "bit_errors": row.bit_errors,
+        "corrupted_beats": row.corrupted_beats,
+        "dbi_lane_faults": row.dbi_lane_faults,
+        "bit_error_rate": row.bit_error_rate,
+        "beat_error_rate": row.beat_error_rate,
+        "amplification": row.amplification,
+    }
+
+
+@dataclass
+class FaultResult:
+    """Everything :func:`run_faults` produced for one spec.
+
+    ``series`` maps slot name → coverage rows (dicts, rate order, the
+    integer tallies plus the derived rates); ``totals`` keeps the exact
+    :class:`~repro.extensions.reliability.FaultCoverageRow` records under
+    their cache keys.
+    """
+
+    spec: FaultSpec
+    series: Dict[str, List[Dict[str, object]]]
+    totals: Dict[str, FaultCoverageRow]
+    provenance: Dict[str, object]
+
+    def save(self, path) -> None:
+        save_fault_artifact(self, path)
+
+
+def run_faults(spec: FaultSpec, backend: Optional[str] = None,
+               cache: Optional[ActivityCache] = None,
+               word_impl: str = "auto") -> FaultResult:
+    """Execute a fault spec: plan unique coverage rows, inject, tally.
+
+    Mirrors :func:`run_replay`'s cache discipline: rows are deduplicated
+    by :meth:`FaultSpec.coverage_key` (two slots with equal fingerprints
+    share every row), only the missing rates of a slot are injected, and
+    the result is bit-identical across backends and word implementations
+    (there is no ``jobs``: the vector engine is already mask-parallel).
+    ``backend`` follows :func:`repro.hw.bitsim.resolve_sim_backend` —
+    ``auto`` resolves to the mask-parallel engine even without NumPy.
+    """
+    from ..hw.bitsim import resolve_sim_backend
+
+    resolved = resolve_sim_backend(backend)
+    if cache is None:
+        cache = ActivityCache()
+    start = time.perf_counter()
+    bursts = spec.population.bursts()
+    executed = 0
+    hits = 0
+    series: Dict[str, List[Dict[str, object]]] = {}
+    keys_seen: Dict[str, None] = {}
+    for slot_name, scheme in spec.slots:
+        keys = {rate: spec.coverage_key(scheme, rate) for rate in spec.rates}
+        missing: List[float] = []
+        for rate in spec.rates:
+            keys_seen.setdefault(keys[rate])
+            if keys[rate] in cache:
+                cache.hits += 1
+                hits += 1
+            else:
+                cache.misses += 1
+                missing.append(rate)
+        if missing:
+            rows = fault_coverage_curve(scheme, bursts, rates=missing,
+                                        seed=spec.seed, backend=resolved,
+                                        word_impl=word_impl)
+            for rate, row in zip(missing, rows):
+                cache.store(keys[rate], row)
+            executed += len(missing)
+        series[slot_name] = [_coverage_row_json(cache.get(keys[rate]))
+                             for rate in spec.rates]
+
+    provenance = {
+        "backend": resolved,
+        "word_impl": word_impl,
+        "injections": executed,
+        "cache_hits": hits,
+        "cache_misses": executed,
+        "rates": len(spec.rates),
+        "seed": spec.seed,
+        "population": spec.population.digest(),
+        "population_bursts": len(spec.population),
+        "elapsed_s": time.perf_counter() - start,
+        "python": platform.python_version(),
+        "created_unix": time.time(),
+    }
+    from .. import __version__
+
+    provenance["repro_version"] = __version__
+    totals = {key: cache.get(key) for key in keys_seen}
+    return FaultResult(spec=spec, series=series, totals=totals,
+                       provenance=provenance)
+
+
+def fault_experiment(population,
+                     schemes: Sequence[str] = ("raw", "dbi-dc", "dbi-ac",
+                                               "dbi-opt"),
+                     rates: Sequence[float] = DEFAULT_FAULT_RATES,
+                     seed: int = 7,
+                     name: str = "fault-coverage") -> FaultSpec:
+    """The standard reliability axis: registry schemes × rate grid."""
+    slots = tuple((scheme_name, get_scheme(scheme_name))
+                  for scheme_name in schemes)
+    return FaultSpec(name=name, population=as_population(population),
+                     slots=slots, rates=tuple(float(rate) for rate in rates),
+                     seed=seed)
+
+
+# -- the granularity axis ----------------------------------------------------
+
+@dataclass(frozen=True)
+class GranularitySpec:
+    """A DBI-granularity ablation: group sizes × population × cost model.
+
+    One row per group size, each an independent
+    :class:`~repro.extensions.granularity.GroupedDbiOptimal` encode of
+    the population, cached under the scheme's ratio-keyed fingerprint +
+    population digest — exactly the encode-entry discipline of
+    :func:`run_experiment`, so granularity rows share the cache with
+    figure sweeps.
+    """
+
+    name: str
+    population: BurstPopulation
+    model: CostModel
+    group_sizes: Tuple[int, ...] = VALID_GROUP_SIZES
+
+    def __post_init__(self) -> None:
+        if not self.group_sizes:
+            raise ValueError("granularity spec needs at least one group size")
+        for group_size in self.group_sizes:
+            if group_size not in VALID_GROUP_SIZES:
+                raise ValueError(
+                    f"group_size must be one of {VALID_GROUP_SIZES}, "
+                    f"got {group_size}")
+
+    def scheme_for(self, group_size: int) -> GroupedDbiOptimal:
+        return GroupedDbiOptimal(self.model, group_size=group_size)
+
+
+@dataclass
+class GranularityResult:
+    """Everything :func:`run_granularity` produced for one spec.
+
+    ``rows`` matches :func:`repro.extensions.granularity
+    .granularity_table` exactly (as dicts, group-size order); ``totals``
+    keeps the exact integer tallies under their cache keys.
+    """
+
+    spec: GranularitySpec
+    rows: List[Dict[str, object]]
+    totals: Dict[str, ActivityTotals]
+    provenance: Dict[str, object]
+
+    def save(self, path) -> None:
+        save_granularity_artifact(self, path)
+
+
+def run_granularity(spec: GranularitySpec, backend: Optional[str] = None,
+                    cache: Optional[ActivityCache] = None
+                    ) -> GranularityResult:
+    """Execute a granularity spec: one cached encode per group size.
+
+    Totals are exact integers and identical across backends
+    (:meth:`GroupedDbiOptimal.activity_totals` guarantees bit-identity),
+    and the produced rows equal
+    :func:`repro.extensions.granularity.granularity_table` on the same
+    population.
+    """
+    resolved = resolve_backend(backend)
+    if cache is None:
+        cache = ActivityCache()
+    start = time.perf_counter()
+    bursts = spec.population.bursts()
+    count = len(spec.population)
+    executed = 0
+    rows: List[Dict[str, object]] = []
+    keys_seen: Dict[str, None] = {}
+    for group_size in spec.group_sizes:
+        scheme = spec.scheme_for(group_size)
+        key = ActivityCache.key_for(scheme, spec.population)
+        keys_seen.setdefault(key)
+        if key in cache:
+            cache.hits += 1
+        else:
+            cache.misses += 1
+            zeros, transitions = scheme.activity_totals(bursts,
+                                                        backend=resolved)
+            cache.store(key, ActivityTotals(transitions=transitions,
+                                            zeros=zeros, bursts=count))
+            executed += 1
+        totals = cache.get(key)
+        rows.append({
+            "group_size": group_size,
+            "mean_zeros": totals.mean_zeros,
+            "mean_transitions": totals.mean_transitions,
+            "mean_cost": spec.model.activity_cost(
+                totals.transitions, totals.zeros) / count,
+            "lines_per_byte_lane": 8 + 8 // group_size,
+        })
+
+    provenance = {
+        "backend": resolved,
+        "encodes": executed,
+        "cache_hits": len(spec.group_sizes) - executed,
+        "cache_misses": executed,
+        "group_sizes": list(spec.group_sizes),
+        "population": spec.population.digest(),
+        "population_bursts": count,
+        "elapsed_s": time.perf_counter() - start,
+        "python": platform.python_version(),
+        "created_unix": time.time(),
+    }
+    from .. import __version__
+
+    provenance["repro_version"] = __version__
+    totals_map = {key: cache.get(key) for key in keys_seen}
+    return GranularityResult(spec=spec, rows=rows, totals=totals_map,
+                             provenance=provenance)
+
+
+def granularity_experiment(population, model: Optional[CostModel] = None,
+                           group_sizes: Sequence[int] = VALID_GROUP_SIZES,
+                           name: str = "granularity-ablation"
+                           ) -> GranularitySpec:
+    """The standard granularity axis (fixed-coefficient model default)."""
+    return GranularitySpec(
+        name=name, population=as_population(population),
+        model=model if model is not None else CostModel.fixed(),
+        group_sizes=tuple(group_sizes))
+
+
 # -- artifact persistence ----------------------------------------------------
 
 def _population_to_json(population: BurstPopulation) -> Dict[str, object]:
@@ -946,6 +1245,11 @@ def load_artifact(path) -> ExperimentResult:
         raise ValueError(
             f"{path}: not a {ARTIFACT_FORMAT} artifact "
             f"(format={payload.get('format')!r})")
+    kind = payload.get("kind", "experiment")
+    if kind != "experiment":
+        raise ValueError(
+            f"{path}: artifact kind {kind!r} is not a figure experiment; "
+            f"use load_fault_artifact / load_granularity_artifact")
     spec_record = payload["spec"]
     grid = tuple(
         GridPoint(alpha=point["alpha"], beta=point["beta"],
@@ -968,3 +1272,142 @@ def load_artifact(path) -> ExperimentResult:
     provenance["loaded_from"] = str(path)
     return ExperimentResult(spec=spec, series=payload["series"],
                             totals=totals, provenance=provenance)
+
+
+def _load_kind(path, kind: str) -> Dict[str, object]:
+    """Read + validate one kind-discriminated ``repro.experiment/1`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path}: artifact must be a JSON object, got "
+            f"{type(payload).__name__}")
+    if payload.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: not a {ARTIFACT_FORMAT} artifact "
+            f"(format={payload.get('format')!r})")
+    found = payload.get("kind", "experiment")
+    if found != kind:
+        raise ValueError(
+            f"{path}: artifact kind {found!r}, expected {kind!r}")
+    return payload
+
+
+def _fault_slot_from_json(record: Mapping[str, object]
+                          ) -> Tuple[str, Optional[DbiScheme]]:
+    scheme: Optional[DbiScheme] = None
+    scheme_name = record.get("scheme")
+    if scheme_name is not None:
+        try:
+            candidate = get_scheme(str(scheme_name))
+        except KeyError:
+            candidate = None
+        if (candidate is not None
+                and candidate.fingerprint() == record.get("fingerprint")):
+            scheme = candidate
+    return str(record["name"]), scheme
+
+
+def save_fault_artifact(result: FaultResult, path) -> None:
+    """Persist a fault-coverage result (``kind="faults"``)."""
+    spec = result.spec
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "kind": "faults",
+        "spec": {
+            "name": spec.name,
+            "population": _population_to_json(spec.population),
+            "slots": [{"name": slot_name, "scheme": scheme.name,
+                       "fingerprint": scheme.fingerprint()}
+                      for slot_name, scheme in spec.slots],
+            "rates": list(spec.rates),
+            "seed": spec.seed,
+        },
+        "series": {name: list(rows) for name, rows in result.series.items()},
+        "totals": {key: _coverage_row_json(row)
+                   for key, row in result.totals.items()},
+        "provenance": dict(result.provenance),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def load_fault_artifact(path) -> FaultResult:
+    """Load a persisted fault-coverage experiment.
+
+    Registry schemes whose fingerprints still match are rebuilt (so the
+    spec can be re-run); unknown slots come back scheme-less and are
+    render-only.
+    """
+    payload = _load_kind(path, "faults")
+    spec_record = payload["spec"]
+    slots = tuple(_fault_slot_from_json(record)
+                  for record in spec_record["slots"])
+    runnable = tuple((slot_name, scheme) for slot_name, scheme in slots
+                     if scheme is not None)
+    spec = FaultSpec(
+        name=spec_record["name"],
+        population=_population_from_json(spec_record["population"]),
+        slots=runnable if runnable else tuple(slots),
+        rates=tuple(spec_record["rates"]),
+        seed=int(spec_record.get("seed", 7)),
+    )
+    totals = {key: FaultCoverageRow(
+                  rate=record["rate"],
+                  injected_faults=record["injected_faults"],
+                  total_beats=record["total_beats"],
+                  bit_errors=record["bit_errors"],
+                  corrupted_beats=record["corrupted_beats"],
+                  dbi_lane_faults=record["dbi_lane_faults"])
+              for key, record in payload.get("totals", {}).items()}
+    provenance = dict(payload.get("provenance", {}))
+    provenance["loaded_from"] = str(path)
+    return FaultResult(spec=spec, series=payload["series"],
+                       totals=totals, provenance=provenance)
+
+
+def save_granularity_artifact(result: GranularityResult, path) -> None:
+    """Persist a granularity result (``kind="granularity"``)."""
+    spec = result.spec
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "kind": "granularity",
+        "spec": {
+            "name": spec.name,
+            "population": _population_to_json(spec.population),
+            "model": {"alpha": spec.model.alpha, "beta": spec.model.beta},
+            "group_sizes": list(spec.group_sizes),
+        },
+        "rows": list(result.rows),
+        "totals": {key: {"transitions": totals.transitions,
+                         "zeros": totals.zeros,
+                         "bursts": totals.bursts}
+                   for key, totals in result.totals.items()},
+        "provenance": dict(result.provenance),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def load_granularity_artifact(path) -> GranularityResult:
+    """Load a persisted granularity ablation (re-runnable spec)."""
+    payload = _load_kind(path, "granularity")
+    spec_record = payload["spec"]
+    model_record = spec_record["model"]
+    spec = GranularitySpec(
+        name=spec_record["name"],
+        population=_population_from_json(spec_record["population"]),
+        model=CostModel(alpha=model_record["alpha"],
+                        beta=model_record["beta"]),
+        group_sizes=tuple(spec_record["group_sizes"]),
+    )
+    totals = {key: ActivityTotals(transitions=record["transitions"],
+                                  zeros=record["zeros"],
+                                  bursts=record["bursts"])
+              for key, record in payload.get("totals", {}).items()}
+    provenance = dict(payload.get("provenance", {}))
+    provenance["loaded_from"] = str(path)
+    return GranularityResult(spec=spec, rows=payload["rows"],
+                             totals=totals, provenance=provenance)

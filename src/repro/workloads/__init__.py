@@ -9,9 +9,12 @@ pure-Python population sources).
 
 from .patterns import (
     PATTERN_NAMES,
+    PATTERNS,
     all_ones,
     all_zeros,
     checkerboard,
+    get_pattern,
+    pattern_population,
     pattern_suite,
     ramp,
     static_checkerboard,
@@ -33,11 +36,14 @@ __all__ = [
     "ExplicitPopulation",
     "OpaquePopulation",
     "PATTERN_NAMES",
+    "PATTERNS",
     "RandomPopulation",
     "all_ones",
     "all_zeros",
     "as_population",
     "checkerboard",
+    "get_pattern",
+    "pattern_population",
     "pattern_suite",
     "ramp",
     "static_checkerboard",

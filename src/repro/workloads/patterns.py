@@ -5,11 +5,18 @@ analysis: all-zeros (maximum DC stress), alternating checkerboards (maximum
 AC stress), walking ones/zeros (classic signal-integrity patterns), and the
 JEDEC-style PRBS-ish mixtures.  Each generator documents which scheme it is
 designed to stress.
+
+:data:`PATTERNS` is the name → generator registry behind the CLI and the
+experiment engine; :func:`pattern_population` wraps a selection of
+patterns as a *rectangular* :class:`~repro.workloads.population
+.ExplicitPopulation`, so patterned workloads pack into ``(batch, n)``
+arrays and run straight through the schemes' ``batch_flags`` vector
+kernels like any other population source.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
 from ..core.burst import DEFAULT_BURST_LENGTH, Burst
 
@@ -56,25 +63,61 @@ def ramp(burst_length: int = DEFAULT_BURST_LENGTH, start: int = 0) -> Burst:
     return Burst([(start + i) & 0xFF for i in range(burst_length)])
 
 
+#: Name → generator registry, in the canonical suite order.  Every
+#: generator takes ``burst_length`` and returns one
+#: :class:`~repro.core.burst.Burst`.
+PATTERNS: Dict[str, object] = {
+    "all_zeros": all_zeros,
+    "all_ones": all_ones,
+    "checkerboard": checkerboard,
+    "static_checkerboard": static_checkerboard,
+    "walking_ones": walking_ones,
+    "walking_zeros": walking_zeros,
+    "ramp": ramp,
+}
+
+PATTERN_NAMES = list(PATTERNS)
+
+
+def get_pattern(name: str,
+                burst_length: int = DEFAULT_BURST_LENGTH) -> Burst:
+    """One named directed pattern.
+
+    >>> get_pattern("walking_ones", 3).data
+    (1, 2, 4)
+    """
+    try:
+        generator = PATTERNS[name]
+    except KeyError:
+        known = ", ".join(PATTERN_NAMES)
+        raise KeyError(
+            f"unknown pattern {name!r}; known patterns: {known}") from None
+    return generator(burst_length)
+
+
 def pattern_suite(burst_length: int = DEFAULT_BURST_LENGTH) -> List[Burst]:
     """The full directed suite, one burst per named pattern."""
-    return [
-        all_zeros(burst_length),
-        all_ones(burst_length),
-        checkerboard(burst_length),
-        static_checkerboard(burst_length),
-        walking_ones(burst_length),
-        walking_zeros(burst_length),
-        ramp(burst_length),
-    ]
+    return [generator(burst_length) for generator in PATTERNS.values()]
 
 
-PATTERN_NAMES = [
-    "all_zeros",
-    "all_ones",
-    "checkerboard",
-    "static_checkerboard",
-    "walking_ones",
-    "walking_zeros",
-    "ramp",
-]
+def pattern_population(names: Optional[Sequence[str]] = None,
+                       burst_length: int = DEFAULT_BURST_LENGTH,
+                       repeats: int = 1):
+    """The directed suite as a batch-capable population source.
+
+    Selects *names* (default: the whole registry, suite order) at a
+    common *burst_length* and wraps them in an
+    :class:`~repro.workloads.population.ExplicitPopulation`.  All
+    patterns share one length, so the population is rectangular —
+    ``burst_length is not None`` — and the experiment engine's vector
+    fast paths pack it directly into the schemes' batch kernels.
+    ``repeats`` tiles the selection (pattern-major) for workloads that
+    want more than one burst per pattern.
+    """
+    from .population import ExplicitPopulation
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    selected = list(names) if names is not None else PATTERN_NAMES
+    bursts = [get_pattern(name, burst_length) for name in selected]
+    return ExplicitPopulation(bursts * repeats)

@@ -21,13 +21,13 @@ def fixed_model() -> CostModel:
 
 
 def _random_bursts(count: int, seed: int):
-    # Imported lazily: the workload generators require NumPy, and the
-    # core/baselines subtrees must stay collectable without it (the CI
-    # reference-fallback leg runs them NumPy-free).
-    pytest.importorskip("numpy", exc_type=ImportError)
-    from repro.workloads.random_data import random_bursts
+    # RandomPopulation reproduces workloads.random_data.random_bursts
+    # byte-for-byte when NumPy is installed and substitutes a
+    # deterministic pure-Python stream when it is not, so every suite
+    # using these fixtures stays runnable on the CI NumPy-free leg.
+    from repro.workloads.population import RandomPopulation
 
-    return random_bursts(count=count, seed=seed)
+    return RandomPopulation(count=count, seed=seed).bursts()
 
 
 @pytest.fixture(scope="session")

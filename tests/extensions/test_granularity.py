@@ -7,12 +7,17 @@ from hypothesis import strategies as st
 from repro.core.burst import Burst
 from repro.core.costs import CostModel
 from repro.core.encoder import DbiOptimal
+from repro.core.vectorized import HAVE_NUMPY
 from repro.extensions.granularity import (
     GroupedDbiOptimal,
     VALID_GROUP_SIZES,
     granularity_table,
     split_groups,
 )
+
+BACKENDS_HERE = ["reference"] + (["vector"] if HAVE_NUMPY else [])
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="vector backend needs NumPy")
 
 bursts = st.lists(st.integers(min_value=0, max_value=255),
                   min_size=1, max_size=12).map(Burst)
@@ -115,6 +120,96 @@ def _stream_cost(scheme, stream, flags):
     return cost
 
 
+class TestBatchBackendParity:
+    """The batch Viterbi kernels must be bit-identical to the scalar
+    reference: same invert flags (tie-breaks included), same totals."""
+
+    @needs_numpy
+    @pytest.mark.parametrize("group_size", VALID_GROUP_SIZES)
+    def test_encode_batch_matches_encode(self, small_random_bursts,
+                                         group_size):
+        for model in (CostModel.fixed(), CostModel.from_ac_fraction(0.3),
+                      CostModel.from_ac_fraction(0.8)):
+            scheme = GroupedDbiOptimal(model, group_size=group_size)
+            batch = scheme.encode_batch(small_random_bursts,
+                                        backend="vector")
+            for burst, vectorized in zip(small_random_bursts, batch):
+                scalar = scheme.encode(burst)
+                assert vectorized == scalar
+
+    @needs_numpy
+    @pytest.mark.parametrize("group_size", VALID_GROUP_SIZES)
+    def test_activity_totals_backend_parity(self, small_random_bursts,
+                                            group_size):
+        scheme = GroupedDbiOptimal(CostModel.fixed(), group_size=group_size)
+        assert (scheme.activity_totals(small_random_bursts,
+                                       backend="vector")
+                == scheme.activity_totals(small_random_bursts,
+                                          backend="reference"))
+
+    def test_reference_backend_without_packing(self):
+        """Ragged populations fall back to per-burst encode on any
+        backend; results match the scalar path exactly."""
+        ragged = [Burst([0x00, 0xFF]), Burst([0x12, 0x34, 0x56])]
+        scheme = GroupedDbiOptimal(CostModel.fixed(), group_size=4)
+        assert scheme.encode_batch(ragged) == [scheme.encode(b)
+                                               for b in ragged]
+
+    def test_encode_batch_coerces_iterables(self):
+        scheme = GroupedDbiOptimal(CostModel.fixed(), group_size=2)
+        (encoding,) = scheme.encode_batch([[0x0F, 0xF0]])
+        assert encoding == scheme.encode(Burst([0x0F, 0xF0]))
+
+    def test_empty_batch(self):
+        scheme = GroupedDbiOptimal(CostModel.fixed(), group_size=8)
+        assert scheme.encode_batch([]) == []
+        assert scheme.activity_totals([]) == (0, 0)
+
+    def test_fingerprint_is_ratio_keyed(self):
+        a = GroupedDbiOptimal(CostModel(1.0, 1.0), group_size=4)
+        b = GroupedDbiOptimal(CostModel(2.0, 2.0), group_size=4)
+        c = GroupedDbiOptimal(CostModel(2.0, 1.0), group_size=4)
+        d = GroupedDbiOptimal(CostModel(1.0, 1.0), group_size=2)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+        assert a.fingerprint() != d.fingerprint()
+
+
+class TestGroup8MatchesPaperExactly:
+    """group_size=8 must reproduce the paper encoder's *decisions*, not
+    just its totals: identical invert flags under identical tie-breaks,
+    on both backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS_HERE)
+    def test_flags_and_activity_match_dbi_opt(self, small_random_bursts,
+                                              backend):
+        for model in (CostModel.fixed(), CostModel.from_ac_fraction(0.25),
+                      CostModel.from_ac_fraction(0.75)):
+            grouped_scheme = GroupedDbiOptimal(model, group_size=8)
+            reference_scheme = DbiOptimal(model)
+            for burst in small_random_bursts:
+                grouped = grouped_scheme.encode_batch([burst],
+                                                      backend=backend)[0]
+                reference = reference_scheme.encode(burst)
+                assert (tuple(flags[0] for flags in grouped.invert_flags)
+                        == reference.invert_flags)
+                transitions, zeros = reference.activity()
+                assert (grouped.zeros, grouped.transitions) == (zeros,
+                                                                transitions)
+
+    @pytest.mark.parametrize("backend", BACKENDS_HERE)
+    def test_tie_break_prefers_raw(self, backend):
+        """An all-0x96 burst costs the same raw or inverted under
+        alpha=beta=1; the paper encoder's strict-< comparisons keep the
+        raw path, and grouped g=8 must make the same call."""
+        burst = Burst([0x96] * 4)
+        scheme = GroupedDbiOptimal(CostModel.fixed(), group_size=8)
+        reference = DbiOptimal(CostModel.fixed()).encode(burst)
+        grouped = scheme.encode_batch([burst], backend=backend)[0]
+        assert (tuple(flags[0] for flags in grouped.invert_flags)
+                == reference.invert_flags)
+
+
 class TestGranularityTable:
     def test_rows_and_lines(self, small_random_bursts):
         rows = granularity_table(small_random_bursts[:20], CostModel.fixed())
@@ -125,6 +220,14 @@ class TestGranularityTable:
     def test_empty_population(self):
         with pytest.raises(ValueError):
             granularity_table([], CostModel.fixed())
+
+    @needs_numpy
+    def test_backend_parity(self, small_random_bursts):
+        assert (granularity_table(small_random_bursts[:30],
+                                  CostModel.fixed(), backend="vector")
+                == granularity_table(small_random_bursts[:30],
+                                     CostModel.fixed(),
+                                     backend="reference"))
 
     def test_granularity_sweet_spot(self, medium_random_bursts):
         """Granularity trades encoding freedom against DBI-lane overhead:

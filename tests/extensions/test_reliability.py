@@ -9,15 +9,24 @@ from repro.core.burst import Burst
 from repro.core.costs import CostModel
 from repro.core.encoder import DbiOptimal
 from repro.core.schemes import get_scheme
+from repro.core.vectorized import HAVE_NUMPY
 from repro.extensions.reliability import (
+    DEFAULT_FAULT_RATES,
     decode_with_faults,
+    draw_fault_masks,
+    draw_fault_positions,
     error_amplification,
+    fault_coverage_curve,
     fault_sweep,
+    fault_sweep_batch,
     wrong_decision_is_harmless,
 )
 
 bursts = st.lists(st.integers(min_value=0, max_value=255),
                   min_size=1, max_size=12).map(Burst)
+
+#: Packed word representations available in this environment.
+WORD_IMPLS = ["int"] + (["uint64"] if HAVE_NUMPY else [])
 
 
 class TestDecodeWithFaults:
@@ -80,8 +89,11 @@ class TestWrongDecisionHarmless:
 class TestFaultSweep:
     @pytest.fixture(scope="class")
     def population(self):
-        from repro.workloads.random_data import random_bursts
-        return random_bursts(count=300, seed=55)
+        # NumPy-optional on purpose: this suite runs on the CI
+        # NumPy-free leg (the pure-Python stream differs byte-wise, but
+        # every assertion here is distribution-level or differential).
+        from repro.workloads.population import RandomPopulation
+        return RandomPopulation(count=300, seed=55).bursts()
 
     def test_validation(self, population):
         with pytest.raises(ValueError):
@@ -104,3 +116,143 @@ class TestFaultSweep:
         a = fault_sweep(DbiDc(), population[:50], seed=9)
         b = fault_sweep(DbiDc(), population[:50], seed=9)
         assert a == b
+
+
+class TestDrawFaultPositions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            draw_fault_positions([8], faults_per_burst=0, seed=1)
+
+    def test_shape_and_ranges(self):
+        positions = draw_fault_positions([4, 8], faults_per_burst=3, seed=2)
+        assert [len(faults) for faults in positions] == [3, 3]
+        for length, faults in zip([4, 8], positions):
+            for beat, lane in faults:
+                assert 0 <= beat < length
+                assert 0 <= lane < 9
+
+    def test_pure_python_stream(self):
+        """The draw path is random.Random, so the stream is identical on
+        every platform and on both CI NumPy legs."""
+        positions = draw_fault_positions([8, 8], faults_per_burst=2, seed=7)
+        import random
+        uniform = random.Random(7).random
+        expected = [[(int(uniform() * 8), int(uniform() * 9))
+                     for _ in range(2)] for _ in range(2)]
+        assert positions == expected
+
+
+class TestFaultSweepBatch:
+    """The tentpole differential: mask-parallel == per-burst reference."""
+
+    @pytest.fixture(scope="class")
+    def population(self):
+        from repro.workloads.population import RandomPopulation
+        return RandomPopulation(count=200, seed=55).bursts()
+
+    @pytest.mark.parametrize("word_impl", WORD_IMPLS)
+    @pytest.mark.parametrize("scheme_name",
+                             ["raw", "dbi-dc", "dbi-ac", "dbi-opt"])
+    def test_bit_identical_to_reference(self, population, scheme_name,
+                                        word_impl):
+        scheme = get_scheme(scheme_name)
+        for faults_per_burst, seed in ((1, 7), (3, 42)):
+            reference = fault_sweep(scheme, population,
+                                    faults_per_burst=faults_per_burst,
+                                    seed=seed)
+            batch = fault_sweep_batch(scheme, population,
+                                      faults_per_burst=faults_per_burst,
+                                      seed=seed, word_impl=word_impl)
+            assert batch == reference
+
+    def test_reference_backend_delegates(self, population):
+        assert (fault_sweep_batch(DbiDc(), population, seed=5,
+                                  backend="reference")
+                == fault_sweep(DbiDc(), population, seed=5))
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            fault_sweep_batch(DbiDc(), population, faults_per_burst=0)
+
+    def test_word_impls_agree(self, population):
+        if not HAVE_NUMPY:
+            pytest.skip("uint64 word implementation needs NumPy")
+        assert (fault_sweep_batch(Raw(), population, word_impl="int")
+                == fault_sweep_batch(Raw(), population, word_impl="uint64"))
+
+    def test_empty_population(self):
+        stats = fault_sweep_batch(DbiDc(), [])
+        assert stats.injected_faults == 0
+        assert stats.mean_amplification == 0.0
+
+
+class TestDrawFaultMasks:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            draw_fault_masks(10, rate=-0.1, seed=1)
+        with pytest.raises(ValueError):
+            draw_fault_masks(10, rate=1.5, seed=1)
+
+    def test_extreme_rates(self):
+        assert draw_fault_masks(5, rate=0.0, seed=1) == [0] * 5
+        assert draw_fault_masks(5, rate=1.0, seed=1) == [0x1FF] * 5
+
+    def test_rate_streams_independent(self):
+        """A rate's masks never depend on which other rates a sweep ran
+        — the property the experiment cache relies on."""
+        alone = draw_fault_masks(64, rate=0.01, seed=3)
+        draw_fault_masks(64, rate=0.1, seed=3)  # interleaved other rate
+        assert draw_fault_masks(64, rate=0.01, seed=3) == alone
+
+
+class TestFaultCoverageCurve:
+    @pytest.fixture(scope="class")
+    def population(self):
+        from repro.workloads.population import RandomPopulation
+        return RandomPopulation(count=150, seed=21).bursts()
+
+    @pytest.mark.parametrize("word_impl", WORD_IMPLS)
+    def test_backends_bit_identical(self, population, word_impl):
+        scheme = get_scheme("dbi-opt")
+        vector = fault_coverage_curve(scheme, population, seed=13,
+                                      backend="vector", word_impl=word_impl)
+        reference = fault_coverage_curve(scheme, population, seed=13,
+                                         backend="reference")
+        assert vector == reference
+
+    def test_row_shape(self, population):
+        rows = fault_coverage_curve(DbiDc(), population, rates=(0.05,),
+                                    seed=3)
+        (row,) = rows
+        assert row.rate == 0.05
+        assert row.total_beats == sum(len(b) for b in population)
+        # Multi-lane faults can cancel through the DBI complement, so
+        # bit errors need not equal injections — but both scale with
+        # the rate and every corrupted beat has >= 1 bit error.
+        assert row.corrupted_beats <= row.bit_errors
+        assert 0 < row.injected_faults
+        assert row.amplification == pytest.approx(16 / 9, rel=0.25)
+
+    def test_rates_monotone_in_injections(self, population):
+        rows = fault_coverage_curve(Raw(), population,
+                                    rates=DEFAULT_FAULT_RATES, seed=7)
+        injected = [row.injected_faults for row in rows]
+        assert injected == sorted(injected)
+        assert [row.rate for row in rows] == list(DEFAULT_FAULT_RATES)
+
+    def test_empty_population(self):
+        (row,) = fault_coverage_curve(Raw(), [], rates=(0.1,))
+        assert row.total_beats == 0
+        assert row.bit_error_rate == 0.0
+        assert row.beat_error_rate == 0.0
+
+
+class TestDoctests:
+    def test_module_doctests(self):
+        """The docstring examples (including the 16/9 exhaustive sweep
+        fixed in this PR) must execute."""
+        import doctest
+        import repro.extensions.reliability as module
+        results = doctest.testmod(module)
+        assert results.attempted > 0
+        assert results.failed == 0

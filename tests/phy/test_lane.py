@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.analysis.sso import sso_of_words
 from repro.core.bitops import total_transitions, total_zeros
 from repro.phy.lane import Lane, LaneGroup
 
@@ -93,6 +94,21 @@ class TestLaneGroup:
         group = LaneGroup()
         assert group.max_simultaneous_switching(raw_words) == 8
         assert group.max_simultaneous_switching(dc_words) <= 5
+
+    @given(word_lists)
+    def test_max_switching_matches_sso_analysis(self, words):
+        """LaneGroup and the SSO analysis module count identical worst
+        cases: both popcount XORs from the idle-high boundary, so the two
+        SSO figures can never drift apart."""
+        assert (LaneGroup().max_simultaneous_switching(words)
+                == sso_of_words(words).max_switching)
+
+    @given(word_lists, st.integers(min_value=0, max_value=0x1FF))
+    def test_max_switching_matches_sso_from_any_state(self, words, start):
+        group = LaneGroup()
+        group.reset(start)
+        assert (group.max_simultaneous_switching(words)
+                == sso_of_words(words, prev_word=start).max_switching)
 
     def test_reset_to_pattern(self):
         group = LaneGroup()

@@ -1,0 +1,166 @@
+"""The reliability and granularity experiment axes (PR 6)."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.schemes import get_scheme
+from repro.extensions.granularity import (
+    VALID_GROUP_SIZES,
+    granularity_table,
+)
+from repro.extensions.reliability import fault_coverage_curve
+from repro.sim.experiments import (
+    ActivityCache,
+    FaultSpec,
+    GranularitySpec,
+    fault_experiment,
+    granularity_experiment,
+    load_artifact,
+    load_fault_artifact,
+    load_granularity_artifact,
+    run_faults,
+    run_granularity,
+)
+from repro.workloads.patterns import pattern_population
+from repro.workloads.population import RandomPopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return RandomPopulation(count=80, seed=17)
+
+
+class TestFaultSpec:
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            fault_experiment(population, schemes=())
+        with pytest.raises(ValueError):
+            fault_experiment(population, rates=())
+        with pytest.raises(ValueError):
+            FaultSpec(name="dup", population=population,
+                      slots=(("x", get_scheme("raw")),
+                             ("x", get_scheme("dbi-dc"))))
+
+    def test_coverage_key_binds_everything(self, population):
+        spec = fault_experiment(population, rates=(0.01,), seed=5)
+        scheme = get_scheme("dbi-opt")
+        key = spec.coverage_key(scheme, 0.01)
+        assert scheme.fingerprint() in key
+        assert population.digest() in key
+        assert "s=5" in key
+        other_rate = spec.coverage_key(scheme, 0.02)
+        assert key != other_rate
+
+
+class TestRunFaults:
+    def test_matches_direct_curve(self, population):
+        spec = fault_experiment(population, rates=(0.01, 0.1), seed=11)
+        result = run_faults(spec)
+        for slot_name, scheme in spec.slots:
+            direct = fault_coverage_curve(scheme, population.bursts(),
+                                          rates=(0.01, 0.1), seed=11)
+            assert ([row["bit_errors"] for row in result.series[slot_name]]
+                    == [row.bit_errors for row in direct])
+            assert ([row["amplification"]
+                     for row in result.series[slot_name]]
+                    == [row.amplification for row in direct])
+
+    def test_cache_discipline(self, population):
+        """Repeat runs hit; a superset of rates re-injects only the new
+        ones and reproduces the shared rows exactly."""
+        cache = ActivityCache()
+        spec = fault_experiment(population, rates=(0.01, 0.1), seed=11)
+        first = run_faults(spec, cache=cache)
+        assert first.provenance["cache_misses"] == 2 * len(spec.slots)
+        again = run_faults(spec, cache=cache)
+        assert again.provenance["injections"] == 0
+        assert again.series == first.series
+        wider = fault_experiment(population, rates=(0.001, 0.01, 0.1),
+                                 seed=11)
+        widened = run_faults(wider, cache=cache)
+        assert widened.provenance["cache_hits"] == 2 * len(spec.slots)
+        for slot_name in first.series:
+            assert widened.series[slot_name][1:] == first.series[slot_name]
+
+    def test_backend_parity(self, population):
+        spec = fault_experiment(population, rates=(0.05,), seed=3)
+        vector = run_faults(spec, backend="vector")
+        reference = run_faults(spec, backend="reference")
+        assert vector.series == reference.series
+
+    def test_artifact_round_trip(self, population, tmp_path):
+        spec = fault_experiment(population, rates=(0.02,), seed=9)
+        result = run_faults(spec)
+        path = tmp_path / "faults.json"
+        result.save(path)
+        loaded = load_fault_artifact(path)
+        assert loaded.series == result.series
+        assert loaded.spec.rates == spec.rates
+        assert loaded.spec.seed == spec.seed
+        # The spec is re-runnable and reproduces the series exactly.
+        rerun = run_faults(loaded.spec)
+        assert rerun.series == result.series
+
+    def test_kind_guards(self, population, tmp_path):
+        path = tmp_path / "faults.json"
+        run_faults(fault_experiment(population, rates=(0.02,))).save(path)
+        with pytest.raises(ValueError, match="kind"):
+            load_artifact(path)
+        with pytest.raises(ValueError, match="kind"):
+            load_granularity_artifact(path)
+
+
+class TestGranularitySpec:
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            granularity_experiment(population, group_sizes=())
+        with pytest.raises(ValueError):
+            GranularitySpec(name="bad", population=population,
+                            model=CostModel.fixed(), group_sizes=(3,))
+
+
+class TestRunGranularity:
+    def test_matches_granularity_table(self, population):
+        result = run_granularity(granularity_experiment(population))
+        table = granularity_table(population.bursts(), CostModel.fixed())
+        assert [(row["group_size"], row["mean_zeros"],
+                 row["mean_transitions"], row["mean_cost"],
+                 row["lines_per_byte_lane"]) for row in result.rows] == table
+
+    def test_cache_shares_ratio_keyed_encodes(self, population):
+        """Two models with the same alpha/beta ratio share cached
+        totals — the grouped fingerprint is ratio-keyed like DbiOptimal's."""
+        cache = ActivityCache()
+        run_granularity(granularity_experiment(
+            population, model=CostModel(1.0, 1.0)), cache=cache)
+        scaled = run_granularity(granularity_experiment(
+            population, model=CostModel(2.0, 2.0)), cache=cache)
+        assert scaled.provenance["encodes"] == 0
+        assert scaled.provenance["cache_hits"] == len(VALID_GROUP_SIZES)
+
+    def test_patterned_population(self):
+        """The directed pattern suite runs through the axis as a
+        rectangular batch population."""
+        result = run_granularity(
+            granularity_experiment(pattern_population(repeats=3)))
+        assert [row["group_size"] for row in result.rows] == list(
+            VALID_GROUP_SIZES)
+
+    def test_artifact_round_trip(self, population, tmp_path):
+        result = run_granularity(granularity_experiment(
+            population, model=CostModel(2.0, 1.0), group_sizes=(4, 8)))
+        path = tmp_path / "granularity.json"
+        result.save(path)
+        loaded = load_granularity_artifact(path)
+        assert loaded.rows == result.rows
+        assert loaded.spec.model == CostModel(2.0, 1.0)
+        rerun = run_granularity(loaded.spec)
+        assert rerun.rows == result.rows
+
+    def test_kind_guards(self, population, tmp_path):
+        path = tmp_path / "granularity.json"
+        run_granularity(granularity_experiment(population)).save(path)
+        with pytest.raises(ValueError, match="kind"):
+            load_artifact(path)
+        with pytest.raises(ValueError, match="kind"):
+            load_fault_artifact(path)

@@ -300,3 +300,76 @@ class TestEngineFlags:
                                 "--from-artifact", str(path))
         assert code == 2
         assert "expected 'rate'" in err
+
+
+class TestFaultsCommand:
+    def test_default_table(self, capsys):
+        code, out, __ = run_cli(capsys, "faults", "--samples", "60",
+                                "--rates", "0.01", "0.1")
+        assert code == 0
+        assert "| scheme | fault rate |" in out
+        assert "dbi-opt" in out
+        assert "# backend=" in out
+
+    def test_patterns_population(self, capsys):
+        code, out, __ = run_cli(capsys, "faults", "--patterns",
+                                "checkerboard", "all_zeros", "--samples",
+                                "10", "--schemes", "dbi-dc", "--rates",
+                                "0.05")
+        assert code == 0
+        assert "| dbi-dc |" in out
+
+    def test_word_impl_and_backend_parity(self, capsys):
+        code_a, out_a, __ = run_cli(capsys, "faults", "--samples", "40",
+                                    "--rates", "0.05", "--word-impl", "int")
+        code_b, out_b, __ = run_cli(capsys, "faults", "--samples", "40",
+                                    "--rates", "0.05", "--backend",
+                                    "reference")
+        assert code_a == code_b == 0
+        table = lambda text: [line for line in text.splitlines()
+                              if line.startswith("|")]
+        assert table(out_a) == table(out_b)
+
+    def test_out_artifact(self, capsys, tmp_path):
+        path = tmp_path / "faults.json"
+        code, out, __ = run_cli(capsys, "faults", "--samples", "40",
+                                "--rates", "0.05", "--out", str(path))
+        assert code == 0
+        assert f"artifact written to {path}" in out
+        from repro.sim.experiments import load_fault_artifact
+        assert load_fault_artifact(path).spec.rates == (0.05,)
+
+    def test_out_directory_validated(self, capsys, tmp_path):
+        code, __, err = run_cli(capsys, "faults", "--samples", "10",
+                                "--out", str(tmp_path / "nope" / "f.json"))
+        assert code == 2
+        assert "does not exist" in err
+
+
+class TestGranularityCommand:
+    def test_default_table(self, capsys):
+        code, out, __ = run_cli(capsys, "granularity", "--samples", "60")
+        assert code == 0
+        assert "| group size |" in out
+        # One row per valid group size plus the header row.
+        assert sum(line.startswith("| ") for line in out.splitlines()) == 5
+
+    def test_group_size_choices_enforced(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "granularity", "--group-sizes", "3")
+
+    def test_patterns_and_coefficients(self, capsys):
+        code, out, __ = run_cli(capsys, "granularity", "--patterns",
+                                "--alpha", "2", "--beta", "1",
+                                "--group-sizes", "4", "8")
+        assert code == 0
+        assert "cost (a=2, b=1)" in out
+
+    def test_out_artifact(self, capsys, tmp_path):
+        path = tmp_path / "granularity.json"
+        code, out, __ = run_cli(capsys, "granularity", "--samples", "40",
+                                "--out", str(path))
+        assert code == 0
+        from repro.sim.experiments import load_granularity_artifact
+        loaded = load_granularity_artifact(path)
+        assert [row["group_size"] for row in loaded.rows] == [1, 2, 4, 8]

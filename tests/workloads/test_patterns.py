@@ -7,9 +7,12 @@ from repro.core.costs import CostModel
 from repro.core.encoder import DbiOptimal
 from repro.workloads.patterns import (
     PATTERN_NAMES,
+    PATTERNS,
     all_ones,
     all_zeros,
     checkerboard,
+    get_pattern,
+    pattern_population,
     pattern_suite,
     ramp,
     static_checkerboard,
@@ -75,3 +78,44 @@ def test_optimal_dominates_on_every_pattern():
         opt_cost = optimal.encode(burst).cost(model)
         for scheme in (Raw(), DbiDc(), DbiAc()):
             assert opt_cost <= scheme.encode(burst).cost(model)
+
+
+def test_registry_matches_suite_order():
+    assert list(PATTERNS) == PATTERN_NAMES
+    assert [generator(4).data for generator in PATTERNS.values()] == [
+        burst.data for burst in pattern_suite(4)]
+
+
+def test_get_pattern():
+    assert get_pattern("walking_ones", 3).data == (1, 2, 4)
+    with pytest.raises(KeyError, match="known patterns"):
+        get_pattern("prbs31")
+
+
+def test_pattern_population_rectangular_batchable():
+    population = pattern_population(burst_length=8)
+    assert len(population) == len(PATTERN_NAMES)
+    assert population.burst_length == 8
+    assert [burst.data for burst in population.bursts()] == [
+        burst.data for burst in pattern_suite(8)]
+
+
+def test_pattern_population_selection_and_repeats():
+    population = pattern_population(["checkerboard", "ramp"],
+                                    burst_length=4, repeats=3)
+    assert len(population) == 6
+    expected = [checkerboard(4).data, ramp(4).data]
+    assert [b.data for b in population.bursts()] == expected * 3
+    with pytest.raises(ValueError):
+        pattern_population(repeats=0)
+    with pytest.raises(KeyError):
+        pattern_population(["nope"])
+
+
+def test_module_doctests():
+    import doctest
+
+    import repro.workloads.patterns as module
+    results = doctest.testmod(module)
+    assert results.attempted > 0
+    assert results.failed == 0
