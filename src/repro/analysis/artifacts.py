@@ -10,16 +10,39 @@ CI pipeline (or a reviewer) asks of such files:
   leg proves ``--jobs 1`` and ``--jobs 4`` artifacts are bit-identical;
 * *what is in this file?* — :func:`summarize_artifact` renders a short
   markdown digest of the spec and provenance.
+
+The service layer adds a third question — *did the daemon answer exactly
+what a direct run produces?* — which :func:`canonical_artifact_json`
+settles: it serialises any artifact payload to a canonical byte string
+with the run-volatile ``provenance`` member dropped, so two payloads are
+equivalent iff their canonical strings are byte-identical.  This is how
+the ``service-smoke`` CI job diffs daemon responses against direct
+:func:`~repro.sim.experiments.run_experiment` output.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
-from typing import List, Union
+from typing import List, Mapping, Union
 
 from ..sim.experiments import ExperimentResult, load_artifact
 from ..sim.report import markdown_table
+
+
+def canonical_artifact_json(payload: Mapping[str, object]) -> str:
+    """Canonical byte-comparable serialisation of an artifact payload.
+
+    Drops the top-level ``provenance`` member (wall-clock timings,
+    timestamps, host Python — everything that legitimately differs
+    between two equivalent runs) and dumps the rest with sorted keys and
+    fixed separators.  Spec, series, totals and point keys all remain,
+    so equality really is result equality.
+    """
+    trimmed = {key: value for key, value in payload.items()
+               if key != "provenance"}
+    return json.dumps(trimmed, sort_keys=True, separators=(",", ":"))
 
 ArtifactLike = Union[str, ExperimentResult]
 

@@ -13,6 +13,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro ctrl --bursts 10000 --channels 4 --lanes 4
     python -m repro faults --rates 1e-3 1e-2 1e-1 --out faults.json
     python -m repro granularity --patterns --alpha 2 --beta 1
+    python -m repro serve --port 7351 --cache-dir ~/.cache/repro
 
 Every subcommand prints a markdown table or ASCII plot to stdout, so
 results can be piped into reports directly.  The sweep subcommands run
@@ -20,7 +21,11 @@ through the experiment engine (:mod:`repro.sim.experiments`): they accept
 ``--backend`` (defaulting from ``REPRO_BACKEND``), ``--jobs N`` for
 process-pool execution, ``--out`` to persist the run as a JSON artifact
 and ``--from-artifact`` to re-render a saved artifact without
-re-simulating.
+re-simulating.  Every engine subcommand (sweeps, ``ctrl``, ``faults``,
+``granularity``) also accepts ``--cache-dir DIR`` — a persistent
+on-disk activity cache (:mod:`repro.service.diskcache`) shared across
+runs, processes and the ``repro serve`` daemon; ``REPRO_CACHE_DIR``
+supplies the default.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from .phy.pod import pod12, pod135
 from .phy.power import GBPS, PICOFARAD, PICOJOULE
 from .extensions.granularity import VALID_GROUP_SIZES
 from .extensions.reliability import DEFAULT_FAULT_RATES
+from .service.diskcache import open_cache, resolve_cache_dir
 from .sim.experiments import (
     ExperimentResult,
     ReplayPoint,
@@ -55,12 +61,14 @@ from .sim.experiments import (
     granularity_experiment,
     load_artifact,
     load_experiment,
+    load_replay_artifact,
     rate_experiment,
     run_experiment,
     run_faults,
     run_granularity,
     run_replay,
     save_artifact,
+    save_replay_artifact,
 )
 from .sim.report import (
     format_alpha_sweep,
@@ -128,7 +136,7 @@ def _population_from_args(args: argparse.Namespace) -> RandomPopulation:
 #: Simulation flags that --from-artifact renders meaningless (flag name
 #: -> its parser default, shared by every sweep subcommand).
 _SIM_FLAG_DEFAULTS = {"samples": 2000, "seed": 0x0DB1, "jobs": 1,
-                      "backend": None}
+                      "backend": None, "cache_dir": None}
 
 
 def _run_or_load(args: argparse.Namespace, build_spec, figure: str,
@@ -164,7 +172,8 @@ def _run_or_load(args: argparse.Namespace, build_spec, figure: str,
             return None
     else:
         result = run_experiment(build_spec(), backend=args.backend,
-                                jobs=args.jobs)
+                                jobs=args.jobs,
+                                cache=open_cache(args.cache_dir))
         sweep = converter(result)
     if args.out:
         try:
@@ -296,24 +305,39 @@ def _ctrl_payload(args: argparse.Namespace) -> Optional[bytes]:
 
 
 def _cmd_ctrl(args: argparse.Namespace) -> int:
-    payload = _ctrl_payload(args)
-    if payload is None:
+    if not _check_out(args.out):
         return 2
-    interfaces = list(dict.fromkeys(args.interface))
-    spec = ReplaySpec(
-        name="cli-ctrl-replay", payload=payload,
-        points=tuple(ReplayPoint(interface=name,
-                                 data_rate_hz=args.data_rate_gbps * GBPS,
-                                 c_load_farads=args.c_load_pf * PICOFARAD)
-                     for name in interfaces),
-        channels=args.channels, byte_lanes=args.lanes, window=args.window,
-        line_bytes=args.line_bytes)
-    result = run_replay(spec, backend=args.backend, jobs=args.jobs)
+    if args.from_artifact:
+        try:
+            result = load_replay_artifact(args.from_artifact)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"{args.from_artifact}: cannot load artifact ({error})",
+                  file=sys.stderr)
+            return 2
+        spec = result.spec
+        payload_bytes = int(result.provenance.get("payload_bytes",
+                                                  len(spec.payload)))
+    else:
+        payload = _ctrl_payload(args)
+        if payload is None:
+            return 2
+        interfaces = list(dict.fromkeys(args.interface))
+        spec = ReplaySpec(
+            name="cli-ctrl-replay", payload=payload,
+            points=tuple(ReplayPoint(interface=name,
+                                     data_rate_hz=args.data_rate_gbps * GBPS,
+                                     c_load_farads=args.c_load_pf * PICOFARAD)
+                         for name in interfaces),
+            channels=args.channels, byte_lanes=args.lanes, window=args.window,
+            line_bytes=args.line_bytes)
+        result = run_replay(spec, backend=args.backend, jobs=args.jobs,
+                            cache=open_cache(args.cache_dir))
+        payload_bytes = len(payload)
     totals_any = next(iter(result.totals.values()))
-    print(f"payload: {len(payload)} bytes -> {totals_any.transactions} "
-          f"transactions of <= {args.line_bytes} B over "
-          f"{args.channels} channel(s) x {args.lanes} lane(s), "
-          f"window {args.window}")
+    print(f"payload: {payload_bytes} bytes -> {totals_any.transactions} "
+          f"transactions of <= {spec.line_bytes} B over "
+          f"{spec.channels} channel(s) x {spec.byte_lanes} lane(s), "
+          f"window {spec.window}")
     for point in spec.points:
         priced = result.series[point.label]
         totals = result.totals_for(point.label)
@@ -331,11 +355,21 @@ def _cmd_ctrl(args: argparse.Namespace) -> int:
         print(markdown_table(
             ["channel", "bytes", "zeros", "transitions", "energy [pJ]",
              "pJ/byte"], rows))
+    if args.out:
+        try:
+            save_replay_artifact(result, args.out)
+        except OSError as error:
+            print(f"--out {args.out}: cannot write artifact ({error})",
+                  file=sys.stderr)
+            return 2
+        print(f"\n# artifact written to {args.out}")
     provenance = result.provenance
     print(f"\n# backend={provenance['backend']} "
           f"replays={provenance['replays']} "
           f"cache_hits={provenance['cache_hits']} "
-          f"elapsed={provenance['elapsed_s']:.3f}s")
+          f"elapsed={provenance['elapsed_s']:.3f}s"
+          + (f" | loaded from {provenance['loaded_from']}"
+             if "loaded_from" in provenance else ""))
     return 0
 
 
@@ -371,7 +405,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     spec = fault_experiment(_axis_population(args),
                             schemes=list(dict.fromkeys(args.schemes)),
                             rates=tuple(args.rates), seed=args.fault_seed)
-    result = run_faults(spec, backend=args.backend, word_impl=args.word_impl)
+    result = run_faults(spec, backend=args.backend, word_impl=args.word_impl,
+                        cache=open_cache(args.cache_dir))
     rows: List[List[object]] = []
     for slot_name, _scheme in spec.slots:
         for row in result.series[slot_name]:
@@ -408,7 +443,8 @@ def _cmd_granularity(args: argparse.Namespace) -> int:
     model = CostModel(args.alpha, args.beta)
     spec = granularity_experiment(_axis_population(args), model=model,
                                   group_sizes=tuple(args.group_sizes))
-    result = run_granularity(spec, backend=args.backend)
+    result = run_granularity(spec, backend=args.backend,
+                             cache=open_cache(args.cache_dir))
     rows = [[row["group_size"], f"{row['mean_zeros']:.3f}",
              f"{row['mean_transitions']:.3f}", f"{row['mean_cost']:.3f}",
              row["lines_per_byte_lane"]]
@@ -431,6 +467,26 @@ def _cmd_granularity(args: argparse.Namespace) -> int:
           f"encodes={provenance['encodes']} "
           f"cache_hits={provenance['cache_hits']} "
           f"elapsed={provenance['elapsed_s']:.3f}s")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.daemon import ExperimentDaemon
+
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    daemon = ExperimentDaemon(host=args.host, port=args.port,
+                              cache_dir=cache_dir,
+                              artifact_dir=args.artifact_dir,
+                              backend=args.backend)
+    host, port = daemon.address
+    where = f"cache: {cache_dir}" if cache_dir else "in-memory cache"
+    print(f"repro service listening on {host}:{port} ({where})", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        daemon.shutdown()
     return 0
 
 
@@ -472,11 +528,20 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
+                        default=None,
+                        help="persistent on-disk activity cache shared "
+                             "across runs and processes (default: "
+                             "REPRO_CACHE_DIR, else in-memory)")
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     _add_backend_argument(parser)
     parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                         help="worker processes for the encode grid "
                              "(default: 1, serial)")
+    _add_cache_dir_argument(parser)
     parser.add_argument("--out", metavar="PATH",
                         help="persist the run as a JSON experiment artifact")
     parser.add_argument("--from-artifact", dest="from_artifact",
@@ -571,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
     ctrl.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                       help="worker processes for distinct operating-point "
                            "replays (default: 1, serial)")
+    _add_cache_dir_argument(ctrl)
+    ctrl.add_argument("--out", metavar="PATH",
+                      help="persist the replay as a JSON experiment artifact")
+    ctrl.add_argument("--from-artifact", dest="from_artifact", metavar="PATH",
+                      help="re-render a saved replay artifact instead of "
+                           "simulating")
     ctrl.set_defaults(handler=_cmd_ctrl)
 
     faults = sub.add_parser(
@@ -596,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "auto — uint64 lanes with NumPy, big ints "
                              "without)")
     _add_backend_argument(faults)
+    _add_cache_dir_argument(faults)
     faults.add_argument("--out", metavar="PATH",
                         help="persist the run as a JSON experiment artifact")
     faults.set_defaults(handler=_cmd_faults)
@@ -617,10 +689,26 @@ def build_parser() -> argparse.ArgumentParser:
                              default=list(VALID_GROUP_SIZES),
                              help="data lanes per DBI line")
     _add_backend_argument(granularity)
+    _add_cache_dir_argument(granularity)
     granularity.add_argument("--out", metavar="PATH",
                              help="persist the run as a JSON experiment "
                                   "artifact")
     granularity.set_defaults(handler=_cmd_granularity)
+
+    serve = sub.add_parser(
+        "serve", help="run the experiment query daemon (JSON lines over TCP)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7351,
+                       help="TCP port; 0 binds an ephemeral port "
+                            "(default: 7351)")
+    _add_cache_dir_argument(serve)
+    serve.add_argument("--artifact-dir", dest="artifact_dir", metavar="DIR",
+                       default=None,
+                       help="directory of artifacts the 'artifact' op may "
+                            "serve")
+    _add_backend_argument(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     table1 = sub.add_parser("table1", help="Table I synthesis estimates")
     table1.add_argument("--bursts", type=_positive_int, default=None,

@@ -1,0 +1,55 @@
+"""Experiment engine as a service.
+
+The :mod:`repro.sim.experiments` engine already deduplicates encodes
+through a content-addressed :class:`~repro.sim.experiments.ActivityCache`
+— but that cache dies with the process, sweeps cannot span machines, and
+every CLI invocation re-pays interpreter startup plus cold encodes.
+This package scales the engine to serving-infrastructure shape in three
+layers, each usable on its own:
+
+* :mod:`repro.service.diskcache` — :class:`~repro.service.diskcache.
+  DiskActivityCache`, an on-disk tier with the exact
+  :class:`~repro.sim.experiments.ActivityCache` interface.  Entries are
+  per-key JSON files named by the SHA-256 of the content-addressed cache
+  key, written via atomic rename, so any number of concurrent writers
+  (processes or machines sharing a filesystem) are safe without locks;
+  the read path never blocks.  ``REPRO_CACHE_DIR`` / ``--cache-dir``
+  select the directory and :func:`repro.sim.experiments.shared_cache`
+  honours the variable, so warm runs skip every encode across processes.
+
+* :mod:`repro.service.shard` — :func:`~repro.service.shard.shard_spec`
+  splits an :class:`~repro.sim.experiments.ExperimentSpec` grid into N
+  deterministic contiguous shards, each an ordinary runnable spec;
+  :func:`~repro.service.shard.merge_shards` reassembles the shard
+  results into one :class:`~repro.sim.experiments.ExperimentResult`
+  **bit-identical** to the unsharded run (totals are exact integers and
+  cell pricing is per-point, so the split is exact by construction).
+  :func:`~repro.service.shard.run_shards` is the one-call local driver:
+  shard, fan out to independent processes against a shared disk cache,
+  merge.
+
+* :mod:`repro.service.daemon` / :mod:`repro.service.client` — a
+  long-running JSON-lines TCP server (stdlib :mod:`socketserver`, no new
+  dependencies) that loads the disk cache once and answers ``sweep`` /
+  ``replay`` / ``artifact`` / ``stats`` queries, started with ``repro
+  serve``; the client is a thin blocking socket wrapper.  Artifact
+  payloads in responses are exactly :func:`~repro.sim.experiments.
+  result_to_json` output, so daemon answers are byte-identical (modulo
+  run-volatile provenance) to direct engine runs.
+
+Everything here is pure stdlib: the package imports, and the daemon
+serves, without NumPy installed (the engine then runs its reference
+backend).
+"""
+
+from .diskcache import DiskActivityCache, open_cache, resolve_cache_dir
+from .shard import merge_shards, run_shards, shard_spec
+
+__all__ = [
+    "DiskActivityCache",
+    "merge_shards",
+    "open_cache",
+    "resolve_cache_dir",
+    "run_shards",
+    "shard_spec",
+]

@@ -1,0 +1,104 @@
+"""Thin blocking client for the experiment daemon.
+
+One TCP connection, JSON lines in both directions, no dependencies::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("127.0.0.1", 7351) as client:
+        client.ping()
+        artifact = client.sweep(figure="alpha", samples=2000, points=26)
+        stats = client.stats()
+
+Convenience methods raise :class:`ServiceError` on ``ok: false``
+responses and return the useful member (the artifact payload, the stats
+dict, ...); :meth:`ServiceClient.request` is the raw escape hatch that
+returns the full response object either way.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Mapping, Optional
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``ok: false``; the message is its ``error``."""
+
+
+class ServiceClient:
+    """A persistent JSON-lines connection to one daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7351,
+                 timeout: Optional[float] = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port),
+                                                  timeout=self.timeout)
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, request: Mapping[str, object]) -> Dict[str, object]:
+        """Send one request object, return the full response object."""
+        self.connect()
+        self._file.write(json.dumps(dict(request),
+                                    separators=(",", ":")).encode("utf-8"))
+        self._file.write(b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not isinstance(response, dict):
+            raise ConnectionError(f"malformed daemon response: {response!r}")
+        return response
+
+    def _checked(self, request: Mapping[str, object]) -> Dict[str, object]:
+        response = self.request(request)
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "unknown error")))
+        return response
+
+    # -- convenience wrappers -------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        return self._checked({"op": "ping"})
+
+    def stats(self) -> Dict[str, object]:
+        return self._checked({"op": "stats"})["stats"]
+
+    def sweep(self, **params) -> Dict[str, object]:
+        """Run a figure sweep; returns the ``repro.experiment/1`` artifact."""
+        return self._checked({"op": "sweep", **params})["artifact"]
+
+    def replay(self, **params) -> Dict[str, object]:
+        """Run a controller replay; returns the ``kind="replay"`` artifact."""
+        return self._checked({"op": "replay", **params})["artifact"]
+
+    def artifacts(self) -> list:
+        """Names of the artifacts the daemon can serve."""
+        return list(self._checked({"op": "artifact"})["artifacts"])
+
+    def artifact(self, name: str) -> Dict[str, object]:
+        """Fetch one stored artifact by name."""
+        return self._checked({"op": "artifact", "name": name})["artifact"]

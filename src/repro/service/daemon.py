@@ -1,0 +1,299 @@
+"""Long-running query daemon over the experiment engine.
+
+One process loads (or creates) a :class:`~repro.service.diskcache.
+DiskActivityCache` and answers queries from any number of clients, so
+interactive sessions and CI pipelines stop re-paying Python startup and
+cold encodes per invocation.  Transport is deliberately minimal — a
+stdlib :class:`socketserver.ThreadingTCPServer` speaking **JSON lines**
+(one request object per line, one response object per line, UTF-8) — so
+``nc``/``socat`` work as clients and nothing new is installed.
+
+Operations (the ``op`` field of a request):
+
+``ping``
+    liveness + version.
+``stats``
+    cache entry/hit/miss counters, per-op served counts, uptime.
+``sweep``
+    build a figure spec (``figure`` = ``alpha``/``rate``/``load`` with
+    the CLI's parameters) and run it through the shared cache; the
+    response's ``artifact`` member is exactly
+    :func:`repro.sim.experiments.result_to_json` output — byte-identical
+    (modulo run-volatile provenance) to a direct
+    :func:`~repro.sim.experiments.run_experiment` + ``save_artifact``.
+``replay``
+    run a controller replay (synthetic ``bursts``/``seed`` payload or an
+    explicit ``payload_hex``) and return the ``kind="replay"`` artifact.
+``artifact``
+    list the daemon's artifact directory, or fetch one stored artifact
+    by name.
+
+Every response carries ``ok``; failures carry ``error`` and never kill
+the connection (bad JSON included), so a client can stream requests.
+:func:`sweep_spec_from_params` and :func:`replay_spec_from_params` are
+module-level so tests and the smoke driver build *identical* specs for
+direct-versus-daemon comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socketserver
+import threading
+import time
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..phy.power import GBPS, PICOFARAD
+from ..sim.experiments import (
+    ActivityCache,
+    ExperimentSpec,
+    ReplaySpec,
+    alpha_experiment,
+    interface_replay_experiment,
+    load_experiment,
+    rate_experiment,
+    replay_result_to_json,
+    result_to_json,
+    run_experiment,
+    run_replay,
+)
+from ..workloads.population import RandomPopulation
+from .diskcache import DiskActivityCache
+
+#: Figures the ``sweep`` op can build.
+SWEEP_FIGURES = ("alpha", "rate", "load")
+
+#: Hard cap on synthetic population / payload sizes a query may request
+#: (a serving daemon should not be OOM-able by one client line).
+MAX_QUERY_SAMPLES = 1_000_000
+
+
+def _int_param(params: Mapping[str, object], name: str, default: int,
+               minimum: int = 1, maximum: int = MAX_QUERY_SAMPLES) -> int:
+    value = int(params.get(name, default))
+    if not minimum <= value <= maximum:
+        raise ValueError(f"{name} must be in [{minimum}, {maximum}], "
+                         f"got {value}")
+    return value
+
+
+def sweep_spec_from_params(params: Mapping[str, object]) -> ExperimentSpec:
+    """The figure spec a ``sweep`` request describes (CLI parameter names)."""
+    figure = params.get("figure", "alpha")
+    if figure not in SWEEP_FIGURES:
+        raise ValueError(f"unknown figure {figure!r}; choose from "
+                         f"{SWEEP_FIGURES}")
+    samples = _int_param(params, "samples", 2000)
+    seed = int(params.get("seed", 0x0DB1))
+    population = RandomPopulation(count=samples, seed=seed)
+    if figure == "alpha":
+        return alpha_experiment(population,
+                                points=_int_param(params, "points", 26,
+                                                  minimum=2, maximum=10_000),
+                                include_fixed=bool(
+                                    params.get("include_fixed", True)))
+    from ..phy.pod import pod12, pod135
+
+    interface = {"pod135": pod135, "pod12": pod12}[
+        str(params.get("interface", "pod135"))]()
+    max_gbps = _int_param(params, "max_gbps", 20, maximum=1000)
+    rates = [0.5 * GBPS * step for step in range(1, 2 * max_gbps + 1)]
+    c_load_pf = float(params.get("c_load_pf", 3.0))
+    if figure == "rate":
+        return rate_experiment(population, interface=interface,
+                               c_load_farads=c_load_pf * PICOFARAD,
+                               data_rates_hz=rates)
+    loads = [float(value) * PICOFARAD
+             for value in params.get("loads_pf", (1.0, 2.0, 3.0, 4.0,
+                                                  6.0, 8.0))]
+    return load_experiment(population, interface=interface,
+                           c_loads_farads=loads, data_rates_hz=rates)
+
+
+def replay_spec_from_params(params: Mapping[str, object]) -> ReplaySpec:
+    """The replay spec a ``replay`` request describes."""
+    payload_hex = params.get("payload_hex")
+    if payload_hex is not None:
+        if len(payload_hex) > 2 * MAX_QUERY_SAMPLES:
+            raise ValueError("payload_hex too large")
+        payload = bytes.fromhex(str(payload_hex))
+        if not payload:
+            raise ValueError("payload_hex decodes to an empty payload")
+    else:
+        bursts = _int_param(params, "bursts", 2000)
+        population = RandomPopulation(count=bursts,
+                                      seed=int(params.get("seed", 0x0DB1)))
+        payload = b"".join(bytes(burst.data) for burst in population)
+    interfaces = tuple(str(name) for name in
+                       params.get("interfaces", ("pod135",)))
+    return interface_replay_experiment(
+        payload,
+        interfaces=interfaces,
+        data_rate_hz=float(params.get("data_rate_gbps", 12.0)) * GBPS,
+        c_load_farads=float(params.get("c_load_pf", 3.0)) * PICOFARAD,
+        channels=_int_param(params, "channels", 2, maximum=1024),
+        byte_lanes=_int_param(params, "lanes", 4, maximum=1024),
+        window=_int_param(params, "window", 16, maximum=65536),
+        line_bytes=_int_param(params, "line_bytes", 64, maximum=65536),
+        name="service-replay")
+
+
+class ExperimentService:
+    """Transport-independent request handler (one per daemon).
+
+    Holds the shared cache and artifact directory; :meth:`handle` maps
+    one request dict to one response dict and never raises — errors
+    become ``{"ok": false, "error": ...}`` responses.
+    """
+
+    def __init__(self, cache: Optional[ActivityCache] = None,
+                 artifact_dir: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
+        self.cache = cache if cache is not None else ActivityCache()
+        self.artifact_dir = (os.path.abspath(artifact_dir)
+                             if artifact_dir else None)
+        self.backend = backend
+        self.started = time.time()
+        self.served: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- ops -----------------------------------------------------------------
+
+    def _op_ping(self, params: Mapping[str, object]) -> Dict[str, object]:
+        del params
+        from .. import __version__
+
+        return {"ok": True, "pong": True, "version": __version__}
+
+    def _op_stats(self, params: Mapping[str, object]) -> Dict[str, object]:
+        del params
+        cache_dir = (self.cache.directory
+                     if isinstance(self.cache, DiskActivityCache) else None)
+        with self._lock:
+            served = dict(self.served)
+        return {
+            "ok": True,
+            "stats": {
+                "cache_entries": len(self.cache),
+                "cache_hits": self.cache.hits,
+                "cache_misses": self.cache.misses,
+                "cache_dir": cache_dir,
+                "artifact_dir": self.artifact_dir,
+                "served": served,
+                "uptime_s": time.time() - self.started,
+            },
+        }
+
+    def _op_sweep(self, params: Mapping[str, object]) -> Dict[str, object]:
+        spec = sweep_spec_from_params(params)
+        result = run_experiment(spec, backend=self.backend, cache=self.cache)
+        return {"ok": True, "artifact": result_to_json(result)}
+
+    def _op_replay(self, params: Mapping[str, object]) -> Dict[str, object]:
+        spec = replay_spec_from_params(params)
+        result = run_replay(spec, backend=self.backend, cache=self.cache)
+        return {"ok": True, "artifact": replay_result_to_json(result)}
+
+    def _artifact_names(self):
+        if self.artifact_dir is None or not os.path.isdir(self.artifact_dir):
+            return []
+        return sorted(name for name in os.listdir(self.artifact_dir)
+                      if name.endswith(".json"))
+
+    def _op_artifact(self, params: Mapping[str, object]) -> Dict[str, object]:
+        if self.artifact_dir is None:
+            return {"ok": False,
+                    "error": "daemon started without --artifact-dir"}
+        name = params.get("name")
+        if name is None:
+            return {"ok": True, "artifacts": self._artifact_names()}
+        name = str(name)
+        if name != os.path.basename(name) or name not in self._artifact_names():
+            return {"ok": False,
+                    "error": f"unknown artifact {name!r} (try op=artifact "
+                             "with no name to list)"}
+        with open(os.path.join(self.artifact_dir, name), "r",
+                  encoding="utf-8") as handle:
+            return {"ok": True, "name": name, "artifact": json.load(handle)}
+
+    _OPS = {"ping": _op_ping, "stats": _op_stats, "sweep": _op_sweep,
+            "replay": _op_replay, "artifact": _op_artifact}
+
+    def handle(self, request: object) -> Dict[str, object]:
+        if not isinstance(request, dict):
+            return {"ok": False,
+                    "error": "request must be a JSON object with an 'op'"}
+        op = request.get("op")
+        handler = self._OPS.get(op)
+        if handler is None:
+            return {"ok": False,
+                    "error": f"unknown op {op!r}; known: "
+                             f"{sorted(self._OPS)}"}
+        with self._lock:
+            self.served[op] = self.served.get(op, 0) + 1
+        try:
+            return handler(self, request)
+        except Exception as error:  # serve errors, don't die on them
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One JSON-lines connection; requests stream until the client closes."""
+
+    def handle(self) -> None:
+        service: ExperimentService = self.server.service  # type: ignore
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                response = {"ok": False,
+                            "error": f"bad request line: {error}"}
+            else:
+                response = service.handle(request)
+            self.wfile.write(json.dumps(response,
+                                        separators=(",", ":")).encode("utf-8"))
+            self.wfile.write(b"\n")
+            self.wfile.flush()
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ExperimentDaemon:
+    """Bind-and-serve wrapper around :class:`ExperimentService`.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    :attr:`address` (the ``repro serve`` CLI prints it, so scripts can
+    parse the listening line).  :meth:`serve_forever` blocks;
+    tests/embedders run it on a thread and call :meth:`shutdown`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 cache_dir: Optional[str] = None,
+                 artifact_dir: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
+        cache = (DiskActivityCache(cache_dir) if cache_dir
+                 else ActivityCache())
+        self.service = ExperimentService(cache=cache,
+                                         artifact_dir=artifact_dir,
+                                         backend=backend)
+        self._server = _Server((host, port), _LineHandler)
+        self._server.service = self.service  # type: ignore[attr-defined]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()

@@ -1,0 +1,227 @@
+"""Persistent, concurrency-safe tier of the activity cache.
+
+:class:`DiskActivityCache` subclasses
+:class:`~repro.sim.experiments.ActivityCache` and keeps its in-memory
+dict as the front tier: every :meth:`store` writes through to disk,
+every successful disk read populates the memory tier, and the engine's
+``key in cache`` / ``cache.get(key)`` protocol works unchanged — the
+executors in :mod:`repro.sim.experiments` cannot tell the tiers apart.
+
+On-disk layout
+--------------
+
+One JSON file per cache key, named ``sha256(key).json`` inside the cache
+directory, containing the key itself (collision/corruption guard), a
+``kind`` discriminator and the integer record::
+
+    {"format": "repro.cache/1", "key": "...", "kind": "activity",
+     "record": {"transitions": ..., "zeros": ..., "bursts": ...}}
+
+All three record families of the engine round-trip:
+:class:`~repro.sim.experiments.ActivityTotals` (encode entries),
+:class:`~repro.sim.experiments.ReplayTotals` (controller replays) and
+:class:`~repro.extensions.reliability.FaultCoverageRow` (fault-coverage
+rows).
+
+Concurrency
+-----------
+
+Writers are safe without locks: a store writes to a unique temporary
+file in the cache directory and publishes it with :func:`os.replace`,
+which is atomic on POSIX and Windows — a reader sees either the old
+complete entry or the new complete entry, never a torn one.  Keys are
+content-addressed (two writers racing on one key are writing the same
+bytes by construction), so last-writer-wins is also correct.  The read
+path takes no locks and never blocks on writers; entries that fail to
+parse (foreign files, manual truncation) are treated as misses and
+simply rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..extensions.reliability import FaultCoverageRow
+from ..sim.experiments import ActivityCache, ActivityTotals, ReplayTotals
+
+#: Identifier written into every cache entry file.
+CACHE_FORMAT = "repro.cache/1"
+
+#: Environment variable selecting the shared cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# -- record (de)serialisation ------------------------------------------------
+
+def encode_record(totals) -> Tuple[str, Dict[str, object]]:
+    """``(kind, JSON record)`` for any cached-totals value."""
+    if isinstance(totals, ActivityTotals):
+        return "activity", {"transitions": totals.transitions,
+                            "zeros": totals.zeros,
+                            "bursts": totals.bursts}
+    if isinstance(totals, ReplayTotals):
+        return "replay", {"transactions": totals.transactions,
+                          "bytes_written": totals.bytes_written,
+                          "beats": totals.beats,
+                          "channels": [list(channel)
+                                       for channel in totals.channels]}
+    if isinstance(totals, FaultCoverageRow):
+        return "fault", {"rate": totals.rate,
+                         "injected_faults": totals.injected_faults,
+                         "total_beats": totals.total_beats,
+                         "bit_errors": totals.bit_errors,
+                         "corrupted_beats": totals.corrupted_beats,
+                         "dbi_lane_faults": totals.dbi_lane_faults}
+    raise TypeError(f"cannot persist cache record of type "
+                    f"{type(totals).__name__}")
+
+
+def decode_record(kind: str, record: Dict[str, object]):
+    """Inverse of :func:`encode_record`."""
+    if kind == "activity":
+        return ActivityTotals(transitions=int(record["transitions"]),
+                              zeros=int(record["zeros"]),
+                              bursts=int(record["bursts"]))
+    if kind == "replay":
+        return ReplayTotals(
+            transactions=int(record["transactions"]),
+            bytes_written=int(record["bytes_written"]),
+            beats=int(record["beats"]),
+            channels=tuple(tuple(int(value) for value in channel)
+                           for channel in record["channels"]))
+    if kind == "fault":
+        return FaultCoverageRow(
+            rate=float(record["rate"]),
+            injected_faults=int(record["injected_faults"]),
+            total_beats=int(record["total_beats"]),
+            bit_errors=int(record["bit_errors"]),
+            corrupted_beats=int(record["corrupted_beats"]),
+            dbi_lane_faults=int(record["dbi_lane_faults"]))
+    raise ValueError(f"unknown cache record kind {kind!r}")
+
+
+# -- the disk tier -----------------------------------------------------------
+
+class DiskActivityCache(ActivityCache):
+    """An :class:`~repro.sim.experiments.ActivityCache` that persists.
+
+    ``directory`` is created on first use.  The inherited dict is the
+    in-process read tier; the directory is the shared source of truth.
+    Pass the same directory to any number of concurrent processes (or
+    machines over a shared filesystem) — see the module docstring for
+    the guarantees.
+    """
+
+    def __init__(self, directory) -> None:
+        super().__init__()
+        self.directory = os.path.abspath(os.fspath(directory))
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.directory, f"{digest}.json")
+
+    def _load(self, key: str):
+        """Read one entry from disk into memory; ``None`` on any miss.
+
+        Unparseable or mismatched files (a foreign file, a manually
+        truncated entry) count as misses — the next store simply
+        replaces them.
+        """
+        if key in self._totals:
+            return self._totals[key]
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if (not isinstance(payload, dict)
+                    or payload.get("format") != CACHE_FORMAT
+                    or payload.get("key") != key):
+                return None
+            totals = decode_record(payload["kind"], payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        self._totals[key] = totals
+        return totals
+
+    def __contains__(self, key: str) -> bool:
+        return self._load(key) is not None
+
+    def get(self, key: str):
+        totals = self._load(key)
+        if totals is None:
+            raise KeyError(key)
+        return totals
+
+    def store(self, key: str, totals) -> None:
+        kind, record = encode_record(totals)
+        self._totals[key] = totals
+        payload = {"format": CACHE_FORMAT, "key": key, "kind": kind,
+                   "record": record}
+        path = self._path(key)
+        # Unique temp name per writer: atomic publish via os.replace.
+        temp = f"{path}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+                handle.write("\n")
+            os.replace(temp, path)
+        finally:
+            if os.path.exists(temp):  # publish failed midway
+                os.unlink(temp)
+
+    def _entry_files(self) -> Iterator[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return iter(())
+        return (os.path.join(self.directory, name)
+                for name in sorted(names) if name.endswith(".json"))
+
+    def __len__(self) -> int:
+        # Stores write through, so disk is a superset of memory.
+        return sum(1 for __ in self._entry_files())
+
+    def iter_keys(self) -> Iterator[str]:
+        """Yield every persisted cache key (sorted by file name)."""
+        for path in self._entry_files():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                if (isinstance(payload, dict)
+                        and payload.get("format") == CACHE_FORMAT):
+                    yield str(payload["key"])
+            except (OSError, ValueError, KeyError):
+                continue
+
+    def clear(self) -> None:
+        for path in list(self._entry_files()):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        super().clear()
+
+
+# -- directory resolution ----------------------------------------------------
+
+def resolve_cache_dir(explicit: Optional[str] = None) -> Optional[str]:
+    """The cache directory to use: explicit flag, else ``REPRO_CACHE_DIR``.
+
+    Returns ``None`` when neither is set (callers then keep the engine's
+    default fresh in-memory cache).
+    """
+    if explicit:
+        return os.fspath(explicit)
+    return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def open_cache(cache_dir: Optional[str] = None
+               ) -> Optional[DiskActivityCache]:
+    """A :class:`DiskActivityCache` for the resolved directory, or ``None``."""
+    resolved = resolve_cache_dir(cache_dir)
+    if resolved is None:
+        return None
+    return DiskActivityCache(resolved)

@@ -1,0 +1,217 @@
+"""Deterministic sharding of experiment grids.
+
+A sweep's grid cells are independent given the cached activity totals,
+so an :class:`~repro.sim.experiments.ExperimentSpec` splits exactly:
+:func:`shard_spec` cuts the grid into N contiguous balanced slices (the
+slot list, population and pricing ride along unchanged), each shard runs
+through the ordinary :func:`~repro.sim.experiments.run_experiment` —
+in-process, as an independent OS process, or on another machine sharing
+a :class:`~repro.service.diskcache.DiskActivityCache` directory — and
+:func:`merge_shards` concatenates the results back into one
+:class:`~repro.sim.experiments.ExperimentResult` **bit-identical** to
+the unsharded run: totals are exact integers and every cell is priced
+only from its own grid point, so no float ever crosses a shard boundary.
+
+Shard identity travels inside ``figure_params["shard"]`` (index, count,
+parent name, grid offset, and the parent's figure identity), which makes
+shards self-describing: they persist as ordinary ``repro.experiment/1``
+artifacts, and :func:`merge_shards` can reassemble results loaded back
+from JSON just as well as in-memory ones.
+
+:func:`run_shards` is the local driver — shard, execute (optionally on a
+process pool with a shared disk cache so static slots are encoded once
+per *run*, not once per shard), merge.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.experiments import (
+    ActivityCache,
+    ActivityTotals,
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from ..workloads.population import DEFAULT_CHUNK_SIZE
+from .diskcache import DiskActivityCache
+
+
+def shard_spec(spec: ExperimentSpec, count: int) -> Tuple[ExperimentSpec, ...]:
+    """Split *spec* into at most *count* runnable single-slice specs.
+
+    The grid is cut into contiguous balanced slices in declaration
+    order, so ``shard_spec(spec, 1)[0]`` differs from *spec* only by the
+    shard tag and the number of shards never exceeds the number of grid
+    points.  The split is deterministic: the same ``(spec, count)``
+    always produces identical shards.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    cells = len(spec.grid)
+    count = min(count, cells)
+    shards: List[ExperimentSpec] = []
+    for index in range(count):
+        start = index * cells // count
+        stop = (index + 1) * cells // count
+        tag = {
+            "index": index,
+            "of": count,
+            "offset": start,
+            "parent": spec.name,
+            "figure": spec.figure,
+            "figure_params": dict(spec.figure_params),
+        }
+        shards.append(ExperimentSpec(
+            name=f"{spec.name}#shard{index}/{count}",
+            population=spec.population,
+            slots=spec.slots,
+            grid=spec.grid[start:stop],
+            pricing=spec.pricing,
+            figure=None,
+            figure_params={"shard": tag},
+        ))
+    return tuple(shards)
+
+
+def _shard_tag(result: ExperimentResult) -> Dict[str, object]:
+    tag = result.spec.figure_params.get("shard")
+    if not isinstance(tag, dict):
+        raise ValueError(
+            f"{result.spec.name!r} is not a shard result (no shard tag "
+            "in figure_params)")
+    return tag
+
+
+def merge_shards(results: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Reassemble shard results into the unsharded result, bit-identically.
+
+    Accepts the shards in any order (they are sorted by shard index) but
+    requires a complete, consistent set: same parent, same shard count,
+    same slots, same population digest, every index present exactly
+    once.  Series are concatenated in grid order and totals unioned
+    (conflicting totals under one cache key fail loudly — that would
+    mean the shards did not run the same population).
+    """
+    if not results:
+        raise ValueError("no shard results to merge")
+    tagged = sorted(results, key=lambda result: _shard_tag(result)["index"])
+    first_tag = _shard_tag(tagged[0])
+    parent = first_tag["parent"]
+    count = int(first_tag["of"])
+    indexes = [int(_shard_tag(result)["index"]) for result in tagged]
+    if indexes != list(range(count)):
+        raise ValueError(
+            f"incomplete shard set for {parent!r}: have indexes {indexes}, "
+            f"expected 0..{count - 1}")
+
+    reference = tagged[0].spec
+    slot_names = [slot.name for slot in reference.slots]
+    digest = reference.population.digest()
+    for result in tagged:
+        tag = _shard_tag(result)
+        if tag["parent"] != parent or int(tag["of"]) != count:
+            raise ValueError(
+                f"shard {result.spec.name!r} belongs to "
+                f"{tag['parent']!r}/{tag['of']}, not {parent!r}/{count}")
+        if [slot.name for slot in result.spec.slots] != slot_names:
+            raise ValueError(
+                f"shard {result.spec.name!r} has different slots")
+        if result.spec.population.digest() != digest:
+            raise ValueError(
+                f"shard {result.spec.name!r} ran population "
+                f"{result.spec.population.digest()}, expected {digest}")
+
+    grid = tuple(point for result in tagged for point in result.spec.grid)
+    series: Dict[str, List[float]] = {
+        name: [value for result in tagged for value in result.series[name]]
+        for name in slot_names
+    }
+    totals: Dict[str, ActivityTotals] = {}
+    for result in tagged:
+        for key, value in result.totals.items():
+            if key in totals and totals[key] != value:
+                raise ValueError(
+                    f"conflicting totals for cache key {key} across shards")
+            totals[key] = value
+
+    spec = ExperimentSpec(
+        name=str(parent),
+        population=reference.population,
+        slots=reference.slots,
+        grid=grid,
+        pricing=reference.pricing,
+        figure=first_tag.get("figure"),
+        figure_params=dict(first_tag.get("figure_params", {})),
+    )
+    provenance: Dict[str, object] = {
+        "merged_shards": count,
+        "backend": tagged[0].provenance.get("backend"),
+        "encodes": sum(int(result.provenance.get("encodes", 0))
+                       for result in tagged),
+        "cache_hits": sum(int(result.provenance.get("cache_hits", 0))
+                          for result in tagged),
+        "cache_misses": sum(int(result.provenance.get("cache_misses", 0))
+                            for result in tagged),
+        "grid_cells": len(grid),
+        "population": digest,
+        "population_bursts": len(reference.population),
+        "elapsed_s": sum(float(result.provenance.get("elapsed_s", 0.0))
+                         for result in tagged),
+        "python": platform.python_version(),
+        "created_unix": time.time(),
+    }
+    from .. import __version__
+
+    provenance["repro_version"] = __version__
+    return ExperimentResult(spec=spec, series=series, totals=totals,
+                            provenance=provenance)
+
+
+def _run_shard_task(shard: ExperimentSpec, backend: Optional[str],
+                    cache_dir: Optional[str],
+                    chunk_size: int) -> ExperimentResult:
+    """Process-pool payload: run one shard against the shared disk cache."""
+    cache = DiskActivityCache(cache_dir) if cache_dir else None
+    return run_experiment(shard, backend=backend, cache=cache,
+                          chunk_size=chunk_size)
+
+
+def run_shards(spec: ExperimentSpec, count: int,
+               backend: Optional[str] = None,
+               cache: Optional[ActivityCache] = None,
+               cache_dir: Optional[str] = None,
+               processes: bool = False,
+               chunk_size: int = DEFAULT_CHUNK_SIZE) -> ExperimentResult:
+    """Shard *spec*, run every shard, merge — bit-identical to one run.
+
+    ``processes=True`` executes each shard in its own OS process (the
+    multi-machine shape, driven locally); pass ``cache_dir`` so the
+    workers share one :class:`~repro.service.diskcache.DiskActivityCache`
+    and static slots encode once per run instead of once per shard.
+    In-process execution (the default) shares ``cache`` (or a fresh
+    in-memory one) across shards directly.
+    """
+    shards = shard_spec(spec, count)
+    if processes:
+        if cache is not None:
+            raise ValueError(
+                "processes=True shares state through cache_dir, not a "
+                "cache instance")
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [pool.submit(_run_shard_task, shard, backend,
+                                   cache_dir, chunk_size)
+                       for shard in shards]
+            results = [future.result() for future in futures]
+    else:
+        if cache is None:
+            cache = (DiskActivityCache(cache_dir) if cache_dir
+                     else ActivityCache())
+        results = [run_experiment(shard, backend=backend, cache=cache,
+                                  chunk_size=chunk_size)
+                   for shard in shards]
+    return merge_shards(results)

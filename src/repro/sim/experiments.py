@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -230,9 +231,24 @@ def shared_cache() -> ActivityCache:
     run (so the legacy sweep wrappers stay pure and backend-equivalence
     tests cannot be satisfied by stale entries); pass this explicitly to
     share encodes across experiments.
+
+    When ``REPRO_CACHE_DIR`` is set, the shared cache is a
+    :class:`repro.service.diskcache.DiskActivityCache` rooted there
+    instead of a plain in-memory store, so encodes persist across
+    *processes*: a warm CLI run (or a daemon restart) skips every encode
+    a previous run already paid for.
     """
     global _SHARED_CACHE
-    if _SHARED_CACHE is None:
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir:
+        from ..service.diskcache import DiskActivityCache
+
+        wanted = os.path.abspath(cache_dir)
+        if (not isinstance(_SHARED_CACHE, DiskActivityCache)
+                or _SHARED_CACHE.directory != wanted):
+            _SHARED_CACHE = DiskActivityCache(wanted)
+        return _SHARED_CACHE
+    if _SHARED_CACHE is None or type(_SHARED_CACHE) is not ActivityCache:
         _SHARED_CACHE = ActivityCache()
     return _SHARED_CACHE
 
@@ -789,6 +805,13 @@ def run_replay(spec: ReplaySpec, backend: Optional[str] = None,
             cache.misses += 1
             todo.append((key, model))
 
+    if todo and getattr(spec, "_render_only", False):
+        raise RuntimeError(
+            f"replay spec {spec.name!r} was loaded from an artifact "
+            "without its payload and cannot re-execute; pass a cache "
+            "holding its totals, or re-run with the original payload "
+            f"(missing: {[key for key, __ in todo]})")
+
     if todo:
         if jobs == 1 or len(todo) == 1:
             for key, model in todo:
@@ -1249,7 +1272,8 @@ def load_artifact(path) -> ExperimentResult:
     if kind != "experiment":
         raise ValueError(
             f"{path}: artifact kind {kind!r} is not a figure experiment; "
-            f"use load_fault_artifact / load_granularity_artifact")
+            f"use load_replay_artifact / load_fault_artifact / "
+            f"load_granularity_artifact")
     spec_record = payload["spec"]
     grid = tuple(
         GridPoint(alpha=point["alpha"], beta=point["beta"],
@@ -1306,6 +1330,110 @@ def _fault_slot_from_json(record: Mapping[str, object]
                 and candidate.fingerprint() == record.get("fingerprint")):
             scheme = candidate
     return str(record["name"]), scheme
+
+
+#: Replay payloads up to this size are inlined into the artifact (hex),
+#: keeping the artifact re-runnable; larger payloads persist digest-only
+#: and load as render-only specs.
+REPLAY_PAYLOAD_INLINE_LIMIT = 65536
+
+
+def _replay_totals_json(totals: ReplayTotals) -> Dict[str, object]:
+    return {"transactions": totals.transactions,
+            "bytes_written": totals.bytes_written,
+            "beats": totals.beats,
+            "channels": [list(channel) for channel in totals.channels]}
+
+
+def replay_result_to_json(result: ReplayResult) -> Dict[str, object]:
+    """A replay run as a JSON-serialisable ``kind="replay"`` artifact."""
+    spec = result.spec
+    payload_record: Dict[str, object] = {
+        "digest": spec.payload_digest(),
+        "bytes": len(spec.payload),
+    }
+    if getattr(spec, "_render_only", False):
+        payload_record["bytes"] = int(
+            result.provenance.get("payload_bytes", 0))
+    elif len(spec.payload) <= REPLAY_PAYLOAD_INLINE_LIMIT:
+        payload_record["hex"] = spec.payload.hex()
+    return {
+        "format": ARTIFACT_FORMAT,
+        "kind": "replay",
+        "spec": {
+            "name": spec.name,
+            "payload": payload_record,
+            "points": [{"interface": point.interface,
+                        "data_rate_hz": point.data_rate_hz,
+                        "c_load_farads": point.c_load_farads,
+                        "label": point.label}
+                       for point in spec.points],
+            "channels": spec.channels,
+            "byte_lanes": spec.byte_lanes,
+            "window": spec.window,
+            "line_bytes": spec.line_bytes,
+        },
+        "series": {label: dict(values)
+                   for label, values in result.series.items()},
+        "totals": {key: _replay_totals_json(totals)
+                   for key, totals in result.totals.items()},
+        "point_keys": dict(result.point_keys),
+        "provenance": dict(result.provenance),
+    }
+
+
+def save_replay_artifact(result: ReplayResult, path) -> None:
+    """Persist a controller-replay result (``kind="replay"``)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(replay_result_to_json(result), handle, indent=1)
+        handle.write("\n")
+
+
+def load_replay_artifact(path) -> ReplayResult:
+    """Load a persisted controller replay.
+
+    Artifacts with an inlined payload come back fully re-runnable;
+    digest-only artifacts come back *render-only* — their series and
+    totals re-render exactly, but :func:`run_replay` refuses to
+    re-execute them unless every replay key is already cached.
+    """
+    payload_json = _load_kind(path, "replay")
+    spec_record = payload_json["spec"]
+    payload_record = spec_record["payload"]
+    points = tuple(ReplayPoint(interface=str(point["interface"]),
+                               data_rate_hz=float(point["data_rate_hz"]),
+                               c_load_farads=float(point["c_load_farads"]),
+                               label=str(point["label"]))
+                   for point in spec_record["points"])
+    payload_hex = payload_record.get("hex")
+    render_only = payload_hex is None
+    payload = (b"\x00" if render_only else bytes.fromhex(payload_hex))
+    spec = ReplaySpec(
+        name=str(spec_record["name"]),
+        payload=payload,
+        points=points,
+        channels=int(spec_record["channels"]),
+        byte_lanes=int(spec_record["byte_lanes"]),
+        window=int(spec_record["window"]),
+        line_bytes=int(spec_record["line_bytes"]),
+    )
+    if render_only:
+        # Pin the persisted digest so replay keys (and therefore
+        # totals_for / cache lookups) still resolve.
+        object.__setattr__(spec, "_digest", str(payload_record["digest"]))
+        object.__setattr__(spec, "_render_only", True)
+    totals = {key: ReplayTotals(
+                  transactions=int(record["transactions"]),
+                  bytes_written=int(record["bytes_written"]),
+                  beats=int(record["beats"]),
+                  channels=tuple(tuple(int(value) for value in channel)
+                                 for channel in record["channels"]))
+              for key, record in payload_json.get("totals", {}).items()}
+    provenance = dict(payload_json.get("provenance", {}))
+    provenance["loaded_from"] = str(path)
+    return ReplayResult(spec=spec, series=payload_json["series"],
+                        totals=totals, provenance=provenance,
+                        point_keys=dict(payload_json.get("point_keys", {})))
 
 
 def save_fault_artifact(result: FaultResult, path) -> None:

@@ -1,0 +1,188 @@
+"""Query daemon: protocol, canonical equivalence to direct runs, errors.
+
+The daemon under test runs in-process on an ephemeral port (``port=0``),
+one per test class via fixtures; the smoke driver
+(:mod:`repro.service.smoke`, exercised by CI) covers the
+subprocess-spawned path.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.analysis.artifacts import canonical_artifact_json
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import (
+    ExperimentDaemon,
+    replay_spec_from_params,
+    sweep_spec_from_params,
+)
+from repro.sim.experiments import (
+    replay_result_to_json,
+    result_to_json,
+    run_experiment,
+    run_replay,
+    save_artifact,
+)
+
+SWEEP_PARAMS = {"figure": "alpha", "samples": 120, "points": 5, "seed": 42}
+REPLAY_PARAMS = {"bursts": 60, "seed": 9, "channels": 2, "lanes": 2,
+                 "interfaces": ["pod135", "lvstl11"]}
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    instance = ExperimentDaemon(port=0, cache_dir=str(tmp_path / "cache"),
+                                artifact_dir=str(tmp_path / "artifacts"))
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(daemon):
+    host, port = daemon.address
+    with ServiceClient(host, port, timeout=60) as connected:
+        yield connected
+
+
+class TestProtocol:
+    def test_ping(self, client):
+        response = client.ping()
+        assert response["pong"] is True
+        assert "version" in response
+
+    def test_unknown_op(self, client):
+        response = client.request({"op": "fridge"})
+        assert response["ok"] is False
+        assert "unknown op" in response["error"]
+
+    def test_non_object_request(self, client):
+        response = client.request({"op": "ping"})  # warm the connection
+        assert response["ok"]
+        raw = client._file
+        raw.write(b"[1, 2, 3]\n")
+        raw.flush()
+        response = json.loads(raw.readline())
+        assert response["ok"] is False
+
+    def test_bad_json_line_keeps_connection_alive(self, daemon):
+        host, port = daemon.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"this is not json\n")
+            handle.flush()
+            error = json.loads(handle.readline())
+            assert error["ok"] is False
+            assert "bad request line" in error["error"]
+            handle.write(b'{"op": "ping"}\n')
+            handle.flush()
+            assert json.loads(handle.readline())["ok"] is True
+
+    def test_blank_lines_ignored(self, daemon):
+        host, port = daemon.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"\n\n{\"op\": \"ping\"}\n")
+            handle.flush()
+            assert json.loads(handle.readline())["ok"] is True
+
+
+class TestSweep:
+    def test_matches_direct_run_canonically(self, client):
+        artifact = client.sweep(**SWEEP_PARAMS)
+        direct = result_to_json(
+            run_experiment(sweep_spec_from_params(SWEEP_PARAMS)))
+        assert (canonical_artifact_json(artifact)
+                == canonical_artifact_json(direct))
+
+    def test_warm_query_hits_disk_cache(self, client):
+        cold = client.sweep(**SWEEP_PARAMS)
+        assert cold["provenance"]["encodes"] > 0
+        warm = client.sweep(**SWEEP_PARAMS)
+        assert warm["provenance"]["encodes"] == 0
+        assert (canonical_artifact_json(cold)
+                == canonical_artifact_json(warm))
+        stats = client.stats()
+        assert stats["cache_entries"] > 0
+        assert stats["served"]["sweep"] == 2
+
+    def test_bad_figure_is_an_error_response(self, client):
+        with pytest.raises(ServiceError, match="unknown figure"):
+            client.sweep(figure="pie")
+
+    def test_oversized_request_rejected(self, client):
+        with pytest.raises(ServiceError, match="samples"):
+            client.sweep(figure="alpha", samples=10_000_000)
+
+
+class TestReplay:
+    def test_matches_direct_run_canonically(self, client):
+        artifact = client.replay(**REPLAY_PARAMS)
+        direct = replay_result_to_json(
+            run_replay(replay_spec_from_params(REPLAY_PARAMS)))
+        assert (canonical_artifact_json(artifact)
+                == canonical_artifact_json(direct))
+
+    def test_payload_hex(self, client):
+        payload = bytes(range(64)) * 8
+        artifact = client.replay(payload_hex=payload.hex(), channels=2,
+                                 lanes=2)
+        assert artifact["kind"] == "replay"
+        assert artifact["spec"]["payload"]["bytes"] == len(payload)
+
+
+class TestArtifacts:
+    def test_list_fetch_and_reject(self, daemon, client, tmp_path):
+        assert client.artifacts() == []
+        result = run_experiment(sweep_spec_from_params(SWEEP_PARAMS))
+        (tmp_path / "artifacts").mkdir(exist_ok=True)
+        save_artifact(result, tmp_path / "artifacts" / "fig.json")
+        assert client.artifacts() == ["fig.json"]
+        fetched = client.artifact("fig.json")
+        assert (canonical_artifact_json(fetched)
+                == canonical_artifact_json(result_to_json(result)))
+        with pytest.raises(ServiceError, match="unknown artifact"):
+            client.artifact("missing.json")
+        with pytest.raises(ServiceError, match="unknown artifact"):
+            client.artifact("../secrets.json")
+
+    def test_without_artifact_dir(self):
+        daemon = ExperimentDaemon(port=0)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = daemon.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError, match="artifact-dir"):
+                    client.artifacts()
+        finally:
+            daemon.shutdown()
+            thread.join(timeout=10)
+
+
+class TestConcurrentClients:
+    def test_parallel_queries_consistent(self, daemon):
+        host, port = daemon.address
+        outputs = []
+        lock = threading.Lock()
+
+        def query():
+            with ServiceClient(host, port, timeout=120) as client:
+                artifact = client.sweep(**SWEEP_PARAMS)
+                with lock:
+                    outputs.append(canonical_artifact_json(artifact))
+
+        threads = [threading.Thread(target=query) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert len(outputs) == 4
+        assert len(set(outputs)) == 1

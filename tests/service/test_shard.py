@@ -1,0 +1,149 @@
+"""Shard planner: deterministic splits, bit-identical merges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vectorized import available_backends
+from repro.phy.power import GBPS, PICOFARAD
+from repro.service.diskcache import DiskActivityCache
+from repro.service.shard import merge_shards, run_shards, shard_spec
+from repro.sim.experiments import (
+    ActivityCache,
+    alpha_experiment,
+    load_artifact,
+    load_experiment,
+    run_experiment,
+    save_artifact,
+)
+from repro.workloads.population import RandomPopulation
+
+ENCODER_ENERGY = {"dbi-dc": 0.2e-12, "dbi-ac": 0.3e-12,
+                  "dbi-opt-fixed": 1.7e-12}
+
+
+def _alpha_spec(samples=200, points=9):
+    return alpha_experiment(RandomPopulation(count=samples, seed=0x0DB1),
+                            points=points, include_fixed=True)
+
+
+def _load_spec():
+    return load_experiment(
+        RandomPopulation(count=150, seed=3),
+        c_loads_farads=(1 * PICOFARAD, 3 * PICOFARAD),
+        data_rates_hz=[GBPS * step for step in range(2, 7)],
+        encoder_energy_j=ENCODER_ENERGY)
+
+
+class TestShardSpec:
+    def test_deterministic_and_balanced(self):
+        spec = _alpha_spec(points=10)
+        shards = shard_spec(spec, 4)
+        again = shard_spec(spec, 4)
+        assert [shard.grid for shard in shards] == [s.grid for s in again]
+        assert [len(shard.grid) for shard in shards] == [2, 3, 2, 3]
+        # Contiguous, order-preserving cover of the parent grid.
+        flattened = tuple(point for shard in shards for point in shard.grid)
+        assert flattened == spec.grid
+
+    def test_single_shard_differs_only_by_tag(self):
+        spec = _alpha_spec(points=5)
+        (shard,) = shard_spec(spec, 1)
+        assert shard.grid == spec.grid
+        assert shard.slots == spec.slots
+        assert shard.figure is None
+        assert shard.figure_params["shard"]["parent"] == spec.name
+
+    def test_more_shards_than_cells(self):
+        spec = _alpha_spec(points=3)
+        shards = shard_spec(spec, 10)
+        assert len(shards) == 3
+        assert all(len(shard.grid) == 1 for shard in shards)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            shard_spec(_alpha_spec(), 0)
+
+
+class TestMerge:
+    @pytest.mark.parametrize("build_spec", [_alpha_spec, _load_spec],
+                             ids=["alpha", "load"])
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_bit_identical_to_unsharded(self, build_spec, backend):
+        spec = build_spec()
+        base = run_experiment(spec, backend=backend)
+        results = [run_experiment(shard, backend=backend)
+                   for shard in shard_spec(spec, 4)]
+        merged = merge_shards(results)
+        assert merged.series == base.series
+        assert merged.totals == base.totals
+        assert merged.spec == spec  # name, grid, figure identity restored
+
+    def test_merge_accepts_any_order(self):
+        spec = _alpha_spec(points=8)
+        results = [run_experiment(shard) for shard in shard_spec(spec, 3)]
+        merged = merge_shards(list(reversed(results)))
+        assert merged.series == run_experiment(spec).series
+
+    def test_merge_roundtrips_through_artifacts(self, tmp_path):
+        """Shards persisted as repro.experiment/1 files merge identically."""
+        spec = _alpha_spec(points=6)
+        base = run_experiment(spec)
+        loaded = []
+        for index, shard in enumerate(shard_spec(spec, 3)):
+            path = tmp_path / f"shard{index}.json"
+            save_artifact(run_experiment(shard), path)
+            loaded.append(load_artifact(path))
+        merged = merge_shards(loaded)
+        assert merged.series == base.series
+        assert merged.spec.name == spec.name
+        assert merged.spec.figure == spec.figure
+
+    def test_incomplete_set_rejected(self):
+        results = [run_experiment(shard)
+                   for shard in shard_spec(_alpha_spec(points=6), 3)]
+        with pytest.raises(ValueError, match="incomplete shard set"):
+            merge_shards(results[:-1])
+
+    def test_mixed_parents_rejected(self):
+        first = [run_experiment(shard)
+                 for shard in shard_spec(_alpha_spec(points=4), 2)]
+        other_spec = alpha_experiment(
+            RandomPopulation(count=200, seed=0x0DB1), points=4,
+            include_fixed=True, name="other-parent")
+        other = [run_experiment(shard) for shard in shard_spec(other_spec, 2)]
+        with pytest.raises(ValueError, match="belongs to"):
+            merge_shards([first[0], other[1]])
+
+    def test_non_shard_rejected(self):
+        with pytest.raises(ValueError, match="not a shard result"):
+            merge_shards([run_experiment(_alpha_spec(points=3))])
+
+
+class TestRunShards:
+    def test_in_process_shared_cache_encodes_once(self):
+        spec = _alpha_spec(points=9)
+        cache = ActivityCache()
+        merged = run_shards(spec, 4, cache=cache)
+        base = run_experiment(spec)
+        assert merged.series == base.series
+        # Static slots encode once per *run*, not once per shard: the
+        # shared cache collapses the shard plans to the unsharded plan.
+        assert merged.provenance["encodes"] == base.provenance["encodes"]
+
+    def test_processes_against_shared_disk_cache(self, tmp_path):
+        spec = _alpha_spec(points=8)
+        base = run_experiment(spec)
+        merged = run_shards(spec, 4, processes=True,
+                            cache_dir=str(tmp_path))
+        assert merged.series == base.series
+        assert merged.totals == base.totals
+        # A second sharded run is fully warm.
+        warm = run_shards(spec, 4, processes=True, cache_dir=str(tmp_path))
+        assert warm.provenance["encodes"] == 0
+        assert warm.series == base.series
+
+    def test_processes_reject_cache_instance(self, tmp_path):
+        with pytest.raises(ValueError, match="cache_dir"):
+            run_shards(_alpha_spec(points=4), 2, processes=True,
+                       cache=DiskActivityCache(tmp_path))

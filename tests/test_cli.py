@@ -373,3 +373,130 @@ class TestGranularityCommand:
         from repro.sim.experiments import load_granularity_artifact
         loaded = load_granularity_artifact(path)
         assert [row["group_size"] for row in loaded.rows] == [1, 2, 4, 8]
+
+class TestCtrlArtifacts:
+    def test_out_then_from_artifact(self, capsys, tmp_path):
+        path = tmp_path / "replay.json"
+        code, direct, __ = run_cli(capsys, "ctrl", "--bursts", "120",
+                                   "--channels", "2", "--lanes", "2",
+                                   "--out", str(path))
+        assert code == 0
+        assert f"artifact written to {path}" in direct
+
+        code, loaded, __ = run_cli(capsys, "ctrl", "--from-artifact",
+                                   str(path))
+        assert code == 0
+        assert f"loaded from {path}" in loaded
+        # The rendered tables are identical to the simulating run's.
+        direct_rows = [line for line in direct.splitlines()
+                       if line.startswith("|") or line.startswith("##")]
+        loaded_rows = [line for line in loaded.splitlines()
+                       if line.startswith("|") or line.startswith("##")]
+        assert direct_rows == loaded_rows
+
+    def test_from_artifact_bad_file(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{\"format\": \"nope\"}\n")
+        code, __, err = run_cli(capsys, "ctrl", "--from-artifact", str(path))
+        assert code == 2
+        assert "cannot load artifact" in err
+
+    def test_from_artifact_rejects_sweep_kind(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        code, __, err = run_cli(capsys, "sweep-alpha", "--samples", "30",
+                                "--points", "3", "--out", str(path))
+        assert code == 0
+        code, __, err = run_cli(capsys, "ctrl", "--from-artifact", str(path))
+        assert code == 2
+        assert "cannot load artifact" in err
+
+    def test_out_directory_validated(self, capsys, tmp_path):
+        code, __, err = run_cli(capsys, "ctrl", "--bursts", "10",
+                                "--out", str(tmp_path / "nope" / "r.json"))
+        assert code == 2
+        assert "does not exist" in err
+
+
+class TestCacheDirFlag:
+    def test_ctrl_warm_run_hits_disk_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, cold, __ = run_cli(capsys, "ctrl", "--bursts", "100",
+                                 "--cache-dir", cache_dir)
+        assert code == 0
+        assert "replays=1" in cold
+        code, warm, __ = run_cli(capsys, "ctrl", "--bursts", "100",
+                                 "--cache-dir", cache_dir)
+        assert code == 0
+        assert "replays=0" in warm
+        assert "cache_hits=1" in warm
+        cold_rows = [line for line in cold.splitlines()
+                     if line.startswith("|")]
+        warm_rows = [line for line in warm.splitlines()
+                     if line.startswith("|")]
+        assert cold_rows == warm_rows
+
+    def test_sweep_warm_run_matches_cold(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ("sweep-alpha", "--samples", "40", "--points", "3",
+                "--cache-dir", cache_dir)
+        code, cold, __ = run_cli(capsys, *argv)
+        assert code == 0
+        code, warm, __ = run_cli(capsys, *argv)
+        assert code == 0
+        assert [line for line in cold.splitlines() if line.startswith("|")] \
+            == [line for line in warm.splitlines() if line.startswith("|")]
+
+    def test_faults_accepts_cache_dir(self, capsys, tmp_path):
+        code, out, __ = run_cli(capsys, "faults", "--samples", "30",
+                                "--rates", "0.05", "--cache-dir",
+                                str(tmp_path / "cache"))
+        assert code == 0
+        import os
+        assert os.listdir(tmp_path / "cache")  # entries were persisted
+
+    def test_granularity_accepts_cache_dir(self, capsys, tmp_path):
+        code, out, __ = run_cli(capsys, "granularity", "--samples", "30",
+                                "--group-sizes", "4", "--cache-dir",
+                                str(tmp_path / "cache"))
+        assert code == 0
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7351
+        assert args.cache_dir is None
+        assert args.artifact_dir is None
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--cache-dir", "/tmp/c", "--artifact-dir", "/tmp/a",
+             "--backend", "reference"])
+        assert args.port == 0
+        assert args.cache_dir == "/tmp/c"
+        assert args.artifact_dir == "/tmp/a"
+        assert args.backend == "reference"
+
+    def test_serve_and_exit(self, capsys, monkeypatch):
+        """`repro serve` on an ephemeral port announces its address."""
+        from repro.service import daemon as daemon_module
+
+        started = {}
+
+        class _Recorder(daemon_module.ExperimentDaemon):
+            def serve_forever(self):
+                started["address"] = self.address
+                raise KeyboardInterrupt
+
+            def shutdown(self):
+                # BaseServer.shutdown() would wait for a serve loop that
+                # never started; closing the socket is all that's left.
+                self._server.server_close()
+
+        monkeypatch.setattr(daemon_module, "ExperimentDaemon", _Recorder)
+        code, out, __ = run_cli(capsys, "serve", "--port", "0")
+        assert code == 0
+        host, port = started["address"]
+        assert f"listening on {host}:{port}" in out
