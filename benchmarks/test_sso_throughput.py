@@ -1,0 +1,149 @@
+"""SSO-tally throughput — the word-parallel phy layer's acceptance gate.
+
+Tallies the per-beat switching statistics of ``REPRO_BENCH_SSO_BURSTS``
+(default 10 000) DBI-OPT encoded bursts on both engines:
+
+* **reference** — :func:`repro.analysis.sso.sso_of_scheme`: one Python
+  XOR + popcount per beat (timed on a fraction of the workload and
+  extrapolated linearly — it is linear in beats by construction);
+* **word-parallel** — :func:`sso_of_scheme_batch`: one
+  ``batch_flags`` encode, transition words packed into bit planes, the
+  histogram read off carry-save counter planes with popcounts, under
+  both word implementations (``uint64`` NumPy lanes and pure-Python big
+  ints).
+
+The gate requires the ``uint64`` word implementation (the auto pick
+whenever NumPy is present, as on this CI job) to be **>= 10x faster**,
+with bit-identical statistics on the parity prefix; the pure-int row is
+reported ungated — it is the no-NumPy fallback, not the production
+path.  A batched :class:`repro.phy.bus.MemoryBus` write row is reported
+for context (the same word-parallel layer driving per-wire counters).
+
+Every run persists its measurements to ``BENCH_phy_sso.json`` (override
+the directory with ``REPRO_BENCH_ARTIFACT_DIR``), uploaded by CI's
+``benchmark-trajectory`` job.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from conftest import emit
+
+from repro.analysis.sso import sso_of_scheme, sso_of_scheme_batch
+from repro.core.schemes import get_scheme
+from repro.phy.bus import MemoryBus
+from repro.workloads.population import RandomPopulation
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - benches are skipped without NumPy
+    HAVE_NUMPY = False
+
+#: Workload size of the gate.
+BENCH_BURSTS = int(os.environ.get("REPRO_BENCH_SSO_BURSTS", "10000"))
+
+#: Required wall-clock advantage of the gated (auto) word implementation.
+SPEEDUP_FLOOR = 10.0
+
+#: The reference is timed on 1/N of the workload and extrapolated.
+REFERENCE_FRACTION = 10
+
+#: Both paths are timed best-of-N so one scheduler hiccup cannot flip
+#: the gate (the standard guard for a wall-clock ratio assertion).
+TIMING_REPS = 3
+
+ARTIFACT_NAME = "BENCH_phy_sso.json"
+
+
+def _best_of(reps, fn):
+    """Minimum wall-clock seconds over *reps* calls of *fn*."""
+    return min(_timed(fn) for _ in range(reps))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _write_artifact(payload):
+    directory = pathlib.Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "."))
+    path = directory / ARTIFACT_NAME
+    payload = {"schema": "repro.bench/phy_sso/1", **payload}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.mark.skipif(not HAVE_NUMPY,
+                    reason="the gated word implementation requires NumPy")
+def test_sso_throughput_gate():
+    bursts = RandomPopulation(count=BENCH_BURSTS, seed=0x0DB1).bursts()
+    scheme = get_scheme("dbi-opt")
+    prefix = bursts[:BENCH_BURSTS // REFERENCE_FRACTION]
+
+    reference_stats = sso_of_scheme(scheme, prefix)
+    t_reference = REFERENCE_FRACTION * _best_of(
+        TIMING_REPS, lambda: sso_of_scheme(scheme, prefix))
+
+    # Bit-identity (histogram, max, total) on the parity prefix.
+    assert sso_of_scheme_batch(scheme, prefix) == reference_stats
+
+    rows = []
+    for word_impl, gated in (("uint64", True), ("int", False)):
+        stats = sso_of_scheme_batch(scheme, bursts, word_impl=word_impl)
+        elapsed = _best_of(
+            TIMING_REPS,
+            lambda: sso_of_scheme_batch(scheme, bursts, word_impl=word_impl))
+        assert stats.beats == sum(len(burst) for burst in bursts)
+        rows.append({
+            "word_impl": word_impl,
+            "gated": gated,
+            "batch_s": round(elapsed, 4),
+            "speedup": round(t_reference / elapsed, 1),
+            "beats_per_second": round(stats.beats / elapsed),
+            "max_switching": stats.max_switching,
+            "mean_switching": round(stats.mean_switching, 4),
+        })
+
+    # Context row: the same word-parallel layer behind MemoryBus.write.
+    payload = bytes(byte for burst in bursts for byte in burst)
+    bus = MemoryBus(lambda: get_scheme("dbi-opt"), byte_lanes=4,
+                    burst_length=8, backend="vector")
+    t_bus = _best_of(TIMING_REPS, lambda: bus.write(payload))
+
+    path = _write_artifact({
+        "n_bursts": BENCH_BURSTS,
+        "beats": reference_stats.beats * REFERENCE_FRACTION,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "reference_s": round(t_reference, 4),
+        "reference_extrapolated": True,
+        "tallies": rows,
+        "bus_write": {
+            "payload_bytes": len(payload),
+            "byte_lanes": 4,
+            "elapsed_s": round(t_bus, 4),
+        },
+    })
+
+    lines = [
+        f"| {row['word_impl']} | {row['batch_s']:.3f}s "
+        f"({row['speedup']:.0f}x, {row['beats_per_second']:,} beats/s) "
+        f"| {'GATED >= ' + str(SPEEDUP_FLOOR) + 'x' if row['gated'] else 'reported'} |"
+        for row in rows
+    ]
+    emit(f"word-parallel SSO tally at {BENCH_BURSTS} bursts "
+         f"(artifact: {path})",
+         f"reference {t_reference:.2f}s* \n" + "\n".join(lines)
+         + f"\nbatched MemoryBus.write of {len(payload):,} bytes: "
+         f"{t_bus:.3f}s"
+         + "\n(* = reference time extrapolated from "
+         f"1/{REFERENCE_FRACTION} of the workload)")
+
+    for row in rows:
+        if row["gated"]:
+            assert row["speedup"] >= SPEEDUP_FLOOR, row

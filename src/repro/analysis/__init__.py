@@ -11,10 +11,13 @@ from .crossover import (
 from .sso import (
     DBI_DC_IDLE_FIRST_BEAT_BOUND,
     DBI_DC_TOGGLE_BOUND,
+    DEFAULT_LINE_IMPEDANCE_OHMS,
     SsoStatistics,
     sso_comparison,
     sso_of_scheme,
+    sso_of_scheme_batch,
     sso_of_words,
+    sso_of_words_batch,
 )
 from .statistics import (
     MeanEstimate,
@@ -37,6 +40,7 @@ __all__ = [
     "summarize_artifact",
     "DBI_DC_IDLE_FIRST_BEAT_BOUND",
     "DBI_DC_TOGGLE_BOUND",
+    "DEFAULT_LINE_IMPEDANCE_OHMS",
     "MeanEstimate",
     "SavingsRecord",
     "SsoStatistics",
@@ -55,5 +59,7 @@ __all__ = [
     "sparkline",
     "sso_comparison",
     "sso_of_scheme",
+    "sso_of_scheme_batch",
     "sso_of_words",
+    "sso_of_words_batch",
 ]

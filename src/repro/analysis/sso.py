@@ -5,16 +5,61 @@ graphics memory systems: the fewer lanes toggle in the same beat, the
 smaller the di/dt glitch on the power-delivery network.  This module
 quantifies per-beat switching statistics for any scheme so the SSO side
 benefit of each DBI policy can be compared alongside energy.
+
+Backend selection
+-----------------
+Two interchangeable engines produce the statistics, selected with the
+library-wide backend vocabulary (``backend="auto" | "reference" |
+"vector"``, defaulting from ``REPRO_BACKEND`` /
+:func:`repro.set_default_backend`):
+
+* ``reference`` — :func:`sso_of_words` / :func:`sso_of_scheme`: one
+  Python popcount and one histogram update per beat.  This is the
+  executable specification.
+* ``vector`` — :func:`sso_of_words_batch` / :func:`sso_of_scheme_batch`:
+  the burst population is encoded through the scheme's
+  :meth:`~repro.core.schemes.DbiScheme.batch_flags` kernel where
+  available, the per-beat transition words are packed into bit planes
+  (one machine word per wire, one bit per beat — the
+  :mod:`repro.hw.bitsim` trick applied to the phy layer), the nine
+  planes are summed with carry-save adders into per-beat switching
+  counts, and the histogram falls out of ten popcounts.  Like the
+  gate-level engine this works *without* NumPy — ``word_impl="int"``
+  packs into arbitrary-width Python ints; ``word_impl="uint64"``
+  (the ``auto`` choice whenever NumPy is importable) packs into
+  ``uint64`` lane arrays.
+
+``auto`` therefore always resolves to the batched engine here.  The two
+engines are bit-identical — same histogram, same max, same total,
+including the chained-state path — which the differential suite in
+``tests/analysis/test_sso_batch.py`` enforces over hypothesis-generated
+word streams and every registered scheme.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..core.bitops import ALL_ONES_WORD, WORD_WIDTH, check_word, popcount
+from ..core.bitops import (
+    ALL_ONES_WORD,
+    WORD_MASK,
+    WORD_WIDTH,
+    check_word,
+    popcount,
+)
 from ..core.burst import Burst
 from ..core.schemes import DbiScheme
+from ..core.vectorized import flags_to_words, try_vector_pack
+from ..hw.bitsim import get_kernel, resolve_sim_backend
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-NumPy CI leg
+    _np = None
+
+#: Default line impedance for the peak-current proxy (single-ended 50 Ω).
+DEFAULT_LINE_IMPEDANCE_OHMS = 50.0
 
 
 @dataclass(frozen=True)
@@ -40,10 +85,33 @@ class SsoStatistics:
                    if k > threshold)
         return over / self.beats
 
+    # -- peak-current proxies ------------------------------------------------
+    def peak_current_amps(self, interface,
+                          line_impedance_ohms: float =
+                          DEFAULT_LINE_IMPEDANCE_OHMS) -> float:
+        """Worst-case simultaneous di/dt proxy in amperes.
+
+        Every toggling lane slews one full signal swing into its line
+        impedance, so the instantaneous supply-current step of the worst
+        beat is ``max_switching · v_swing / Z_line`` — the figure of
+        merit Kim et al. bound with DBI DC.
+        """
+        return self.max_switching * interface.v_swing / line_impedance_ohms
+
+    def mean_current_amps(self, interface,
+                          line_impedance_ohms: float =
+                          DEFAULT_LINE_IMPEDANCE_OHMS) -> float:
+        """Average per-beat switching current under the same proxy."""
+        return self.mean_switching * interface.v_swing / line_impedance_ohms
+
+
+_EMPTY = SsoStatistics(beats=0, max_switching=0, total_switching=0,
+                       histogram={})
+
 
 def sso_of_words(words: Sequence[int],
                  prev_word: int = ALL_ONES_WORD) -> SsoStatistics:
-    """SSO statistics of a concrete wire-word sequence.
+    """SSO statistics of a concrete wire-word sequence (reference path).
 
     >>> sso_of_words([0x000]).max_switching
     9
@@ -66,7 +134,7 @@ def sso_of_words(words: Sequence[int],
 
 def sso_of_scheme(scheme: DbiScheme, bursts: Sequence[Burst],
                   chained: bool = False) -> SsoStatistics:
-    """SSO statistics of a scheme over a burst population."""
+    """SSO statistics of a scheme over a burst population (reference path)."""
     histogram: Dict[int, int] = {}
     worst = 0
     total = 0
@@ -88,14 +156,193 @@ def sso_of_scheme(scheme: DbiScheme, bursts: Sequence[Burst],
                          total_switching=total, histogram=histogram)
 
 
+# -- the word-parallel engine -------------------------------------------------
+
+def _switching_statistics(kernel, trans_values, beats: int) -> SsoStatistics:
+    """Tally per-beat switching counts from packed transition words.
+
+    *trans_values* holds one 9-bit transition word (``prev ^ word``) per
+    beat.  The nine bit planes are summed position-wise with carry-save
+    adders into a 4-bit per-beat counter, and ``histogram[k]`` is the
+    popcount of the plane where that counter equals *k* — exact integer
+    arithmetic, bit-identical to the scalar walk.
+    """
+    planes = kernel.pack_bus(trans_values, WORD_WIDTH, beats)
+    valid = kernel.valid_mask(beats)
+    zero = kernel.zero_word(beats)
+    s0 = s1 = s2 = s3 = zero
+    for plane in planes:
+        carry0 = s0 & plane
+        s0 = s0 ^ plane
+        carry1 = s1 & carry0
+        s1 = s1 ^ carry0
+        carry2 = s2 & carry1
+        s2 = s2 ^ carry1
+        s3 = s3 ^ carry2  # counts <= 9 < 16: no carry out of bit 3
+    counter_bits = (s0, s1, s2, s3)
+    histogram: Dict[int, int] = {}
+    worst = 0
+    total = 0
+    for k in range(WORD_WIDTH + 1):
+        indicator = valid
+        for position, bit_plane in enumerate(counter_bits):
+            if (k >> position) & 1:
+                indicator = indicator & bit_plane
+            else:
+                indicator = indicator & (bit_plane ^ valid)
+        count = kernel.popcount(indicator)
+        if count:
+            histogram[k] = count
+            worst = k
+            total += k * count
+    return SsoStatistics(beats=beats, max_switching=worst,
+                         total_switching=total, histogram=histogram)
+
+
+def _check_matrix(matrix) -> None:
+    """Range-validate an int64 word matrix (the array twin of check_word)."""
+    if matrix.size and (matrix.min() < 0 or matrix.max() > WORD_MASK):
+        raise ValueError(f"word out of range [0, {WORD_MASK}]")
+
+
+def _transition_values_array(matrix, prev_words, chained: bool):
+    """Flat per-beat transition words for a ``(batch, n)`` word matrix."""
+    matrix = _np.asarray(matrix, dtype=_np.int64)
+    _check_matrix(matrix)
+    if chained:
+        flat = matrix.ravel()
+        shifted = _np.empty_like(flat)
+        shifted[0] = int(prev_words)
+        shifted[1:] = flat[:-1]
+        return flat ^ shifted
+    from ..core.vectorized import _as_prev_words
+
+    prev = _as_prev_words(prev_words, matrix.shape[0])
+    shifted = _np.empty_like(matrix)
+    shifted[:, 0] = prev
+    if matrix.shape[1] > 1:
+        shifted[:, 1:] = matrix[:, :-1]
+    return (matrix ^ shifted).ravel()
+
+
+def _transition_values_list(rows, prev_words, chained: bool) -> List[int]:
+    """Flat per-beat transition words for row sequences of Python ints."""
+    trans: List[int] = []
+    if chained:
+        last = check_word(int(prev_words))
+        for row in rows:
+            for word in row:
+                check_word(word)
+                trans.append(last ^ word)
+                last = word
+        return trans
+    if isinstance(prev_words, int):
+        prevs: Sequence[int] = [check_word(prev_words)] * len(rows)
+    else:
+        prevs = [check_word(int(word)) for word in prev_words]
+        if len(prevs) != len(rows):
+            raise ValueError(f"{len(prevs)} boundary words for "
+                             f"{len(rows)} word rows")
+    for row, prev in zip(rows, prevs):
+        last = prev
+        for word in row:
+            check_word(word)
+            trans.append(last ^ word)
+            last = word
+    return trans
+
+
+def sso_of_words_batch(rows,
+                       prev_words: Union[int, Sequence[int]] = ALL_ONES_WORD,
+                       chained: bool = False,
+                       word_impl: str = "auto") -> SsoStatistics:
+    """SSO statistics of many word rows, tallied word-parallel.
+
+    *rows* is a sequence of wire-word sequences (or a packed ``(batch,
+    n)`` integer array).  In independent mode every row is measured from
+    its own boundary (*prev_words* broadcasts a scalar or supplies one
+    word per row); with ``chained=True`` the rows are treated as one
+    back-to-back stream starting from the scalar *prev_words* — exactly
+    the two modes of :func:`sso_of_scheme`.  The aggregate is
+    bit-identical to merging :func:`sso_of_words` over the rows.
+
+    >>> sso_of_words_batch([[0x000], [0x1FF]]).histogram
+    {0: 1, 9: 1}
+    """
+    if chained and not isinstance(prev_words, int):
+        raise ValueError("chained mode takes a single scalar boundary word")
+    kernel = get_kernel(word_impl)
+    if _np is not None and isinstance(rows, _np.ndarray):
+        if rows.ndim != 2:
+            raise ValueError(f"packed word rows must be 2-D, "
+                             f"got shape {rows.shape}")
+        if isinstance(prev_words, int):
+            check_word(prev_words)
+        trans = _transition_values_array(rows, prev_words, chained)
+        beats = int(trans.size)
+        if kernel.name == "int":
+            trans = trans.tolist()
+    else:
+        row_list = [list(row) for row in rows]
+        trans = _transition_values_list(row_list, prev_words, chained)
+        beats = len(trans)
+    if not beats:
+        return _EMPTY
+    return _switching_statistics(kernel, trans, beats)
+
+
+def sso_of_scheme_batch(scheme: DbiScheme, bursts: Sequence[Burst],
+                        chained: bool = False,
+                        backend: Optional[str] = None,
+                        word_impl: str = "auto") -> SsoStatistics:
+    """SSO statistics of a scheme over a population, batched.
+
+    Bit-identical to :func:`sso_of_scheme` on every scheme in both
+    transmission modes.  With the ``vector`` backend the wire words come
+    from the scheme's batch kernel
+    (:meth:`~repro.core.schemes.DbiScheme.batch_flags` +
+    :func:`~repro.core.vectorized.flags_to_words`) whenever
+    :func:`~repro.core.vectorized.try_vector_pack` allows it — chained
+    transmission of a state-dependent scheme encodes per burst instead —
+    and the tally always runs word-parallel.  ``backend`` follows
+    :func:`repro.hw.bitsim.resolve_sim_backend`: ``auto`` resolves to
+    the batched tally even without NumPy.
+    """
+    if resolve_sim_backend(backend) == "reference":
+        return sso_of_scheme(scheme, bursts, chained=chained)
+    burst_list = list(bursts)
+    if not burst_list:
+        return _EMPTY
+    data = None
+    if _np is not None:
+        data = try_vector_pack(scheme, burst_list, backend="vector",
+                               chained=chained)
+    if data is not None:
+        prev = _np.full(data.shape[0], ALL_ONES_WORD, dtype=_np.int64)
+        flags = scheme.batch_flags(data, prev)
+        rows = flags_to_words(data, flags)
+    else:
+        if chained:
+            encoded = scheme.encode_stream(burst_list)
+        else:
+            encoded = [scheme.encode(burst) for burst in burst_list]
+        rows = [list(result.words) for result in encoded]
+    return sso_of_words_batch(rows, prev_words=ALL_ONES_WORD,
+                              chained=chained, word_impl=word_impl)
+
+
 def sso_comparison(schemes: Dict[str, DbiScheme],
-                   bursts: Sequence[Burst]) -> List[List[object]]:
+                   bursts: Sequence[Burst],
+                   chained: bool = False,
+                   backend: Optional[str] = None,
+                   word_impl: str = "auto") -> List[List[object]]:
     """Rows (scheme, max, mean, fraction of beats > half the lanes) for a
-    markdown table."""
+    markdown table, in either transmission mode (``chained=``)."""
     rows: List[List[object]] = []
     half = WORD_WIDTH // 2
     for name, scheme in schemes.items():
-        stats = sso_of_scheme(scheme, bursts)
+        stats = sso_of_scheme_batch(scheme, bursts, chained=chained,
+                                    backend=backend, word_impl=word_impl)
         rows.append([
             name,
             stats.max_switching,

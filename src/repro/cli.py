@@ -13,6 +13,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro ctrl --bursts 10000 --channels 4 --lanes 4
     python -m repro faults --rates 1e-3 1e-2 1e-1 --out faults.json
     python -m repro granularity --patterns --alpha 2 --beta 1
+    python -m repro sso --samples 10000 --interfaces pod135 lvstl11
     python -m repro serve --port 7351 --cache-dir ~/.cache/repro
 
 Every subcommand prints a markdown table or ASCII plot to stdout, so
@@ -22,7 +23,7 @@ through the experiment engine (:mod:`repro.sim.experiments`): they accept
 process-pool execution, ``--out`` to persist the run as a JSON artifact
 and ``--from-artifact`` to re-render a saved artifact without
 re-simulating.  Every engine subcommand (sweeps, ``ctrl``, ``faults``,
-``granularity``) also accepts ``--cache-dir DIR`` — a persistent
+``granularity``, ``sso``) also accepts ``--cache-dir DIR`` — a persistent
 on-disk activity cache (:mod:`repro.service.diskcache`) shared across
 runs, processes and the ``repro serve`` daemon; ``REPRO_CACHE_DIR``
 supplies the default.
@@ -67,8 +68,10 @@ from .sim.experiments import (
     run_faults,
     run_granularity,
     run_replay,
+    run_sso,
     save_artifact,
     save_replay_artifact,
+    sso_experiment,
 )
 from .sim.report import (
     format_alpha_sweep,
@@ -470,6 +473,51 @@ def _cmd_granularity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sso(args: argparse.Namespace) -> int:
+    if not _check_out(args.out):
+        return 2
+    spec = sso_experiment(_axis_population(args),
+                          schemes=list(dict.fromkeys(args.schemes)),
+                          interfaces=list(dict.fromkeys(args.interfaces)),
+                          chained=args.chained, threshold=args.threshold)
+    result = run_sso(spec, backend=args.backend, word_impl=args.word_impl,
+                     cache=open_cache(args.cache_dir))
+    # Rank worst-first: highest peak switching, then highest mean.
+    flat = [(slot_name, row)
+            for slot_name, _scheme in spec.slots
+            for row in result.series[slot_name]]
+    flat.sort(key=lambda item: (-item[1]["max_switching"],
+                                -item[1]["mean_switching"],
+                                item[0], item[1]["interface"]))
+    rows: List[List[object]] = [
+        [slot_name, row["interface"], row["max_switching"],
+         f"{row['mean_switching']:.3f}",
+         f"{100.0 * row['exceed_fraction']:.2f}%",
+         f"{1000.0 * row['peak_current_amps']:.2f}",
+         f"{1000.0 * row['mean_current_amps']:.2f}"]
+        for slot_name, row in flat]
+    print(f"population: {len(spec.population)} bursts, "
+          f"{'chained' if spec.chained else 'per-burst'} boundary")
+    print(markdown_table(
+        ["scheme", "interface", "max SSO", "mean SSO",
+         f">{spec.threshold} lanes", "peak mA", "mean mA"], rows))
+    if args.out:
+        try:
+            result.save(args.out)
+        except OSError as error:
+            print(f"--out {args.out}: cannot write artifact ({error})",
+                  file=sys.stderr)
+            return 2
+        print(f"# artifact written to {args.out}")
+    provenance = result.provenance
+    print(f"\n# backend={provenance['backend']} "
+          f"word_impl={provenance['word_impl']} "
+          f"encodes={provenance['encodes']} "
+          f"cache_hits={provenance['cache_hits']} "
+          f"elapsed={provenance['elapsed_s']:.3f}s")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.daemon import ExperimentDaemon
 
@@ -694,6 +742,39 @@ def build_parser() -> argparse.ArgumentParser:
                              help="persist the run as a JSON experiment "
                                   "artifact")
     granularity.set_defaults(handler=_cmd_granularity)
+
+    sso = sub.add_parser(
+        "sso", help="rank schemes × interfaces by simultaneous switching")
+    _add_population_arguments(sso)
+    sso.add_argument("--patterns", nargs="*", metavar="NAME",
+                     choices=PATTERN_NAMES, default=None,
+                     help="use the directed pattern suite (optionally a "
+                          "subset) instead of random bursts")
+    sso.add_argument("--schemes", nargs="+", metavar="SCHEME",
+                     choices=available_schemes(),
+                     default=["raw", "dbi-dc", "dbi-ac", "dbi-opt"],
+                     help="schemes to rank (default: the paper's four)")
+    sso.add_argument("--interfaces", nargs="+", metavar="NAME",
+                     choices=available_interfaces(),
+                     default=available_interfaces(),
+                     help="interface presets to price the switching at "
+                          "(default: all)")
+    sso.add_argument("--chained", action="store_true",
+                     help="thread bus state across bursts instead of the "
+                          "per-burst idle-high boundary")
+    sso.add_argument("--threshold", type=int, default=4, metavar="K",
+                     help="report the fraction of beats with more than K "
+                          "toggling lanes (default: 4)")
+    sso.add_argument("--word-impl", dest="word_impl",
+                     choices=("auto", "int", "uint64"), default="auto",
+                     help="word-parallel tally representation (default: "
+                          "auto — uint64 lanes with NumPy, big ints "
+                          "without)")
+    _add_backend_argument(sso)
+    _add_cache_dir_argument(sso)
+    sso.add_argument("--out", metavar="PATH",
+                     help="persist the run as a JSON experiment artifact")
+    sso.set_defaults(handler=_cmd_sso)
 
     serve = sub.add_parser(
         "serve", help="run the experiment query daemon (JSON lines over TCP)")

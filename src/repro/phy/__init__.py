@@ -24,6 +24,29 @@ operating point on any standard; named presets (``pod135``, ``pod12``,
 :meth:`~repro.phy.power.InterfaceEnergyModel.cost_model` bridge prices
 the DC weight *differentially* (``E_zero − E_one``, clamped at 0), which
 is what the streaming encoders of :mod:`repro.ctrl` optimise.
+
+Simulation backends
+-------------------
+Like :mod:`repro.hw`, the statistics layer runs on two interchangeable
+engines with bit-identical results:
+
+* **scalar** — :meth:`~repro.phy.lane.LaneGroup.drive_words` clocks one
+  :meth:`~repro.phy.lane.Lane.drive` per wire per beat, and
+  :class:`~repro.phy.bus.MemoryBus` on ``backend="reference"`` encodes
+  one burst at a time.  Always available; the differential reference.
+* **word-parallel** — :meth:`~repro.phy.lane.LaneGroup.drive_words_batch`
+  packs each wire's beat stream into one bit plane and tallies
+  zero-beats/transitions with the popcount kernels of
+  :mod:`repro.hw.bitsim` (``word_impl="int"`` works without NumPy,
+  ``"uint64"`` uses packed NumPy lanes), and :class:`MemoryBus` on the
+  ``vector`` backend encodes each lane's whole burst train through
+  :meth:`~repro.core.schemes.DbiScheme.batch_flags` with state threaded
+  across bursts.
+
+``backend=None`` defers to ``REPRO_BACKEND``/auto exactly like the
+encode path (:func:`repro.core.vectorized.resolve_backend`); the paired
+scalar/batched tests in ``tests/phy`` enforce identity between the
+engines.
 """
 
 from .bus import BusStatistics, ByteLane, MemoryBus

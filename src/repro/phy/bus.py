@@ -8,6 +8,17 @@ j+2·lanes, ...``), encoded per lane with bus state threaded across bursts,
 and accounted with the per-wire counters of :mod:`repro.phy.lane` and the
 energy model of :mod:`repro.phy.power`.
 
+Since PR 8 the write path is batched like the controller's: on the
+``vector`` backend each lane's burst train is encoded in one
+:meth:`~repro.core.schemes.DbiScheme.batch_flags` call (state threaded
+across bursts — :func:`~repro.core.vectorized.try_vector_pack` gates the
+fast path, so chained transmission of a state-dependent scheme falls back
+to the per-burst reference), activity is tallied array-at-a-time, and the
+per-wire counters update through
+:meth:`~repro.phy.lane.LaneGroup.drive_words_batch`.  Both paths produce
+bit-identical statistics, energies and wire state (enforced by
+``tests/phy/test_bus.py``).
+
 This is the substrate for trace-driven evaluation: everything the
 figure-level benchmarks measure on synthetic bursts can also be measured on
 realistic multi-burst transfers here.
@@ -21,8 +32,14 @@ from typing import List, Optional, Sequence
 from ..core.bitops import ALL_ONES_WORD
 from ..core.burst import Burst, chunk_bytes
 from ..core.schemes import DbiScheme, EncodedBurst
+from ..core.vectorized import batch_activity, flags_to_words, try_vector_pack
 from .lane import LaneGroup
 from .power import InterfaceEnergyModel
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-NumPy CI leg
+    _np = None
 
 
 @dataclass
@@ -86,6 +103,54 @@ class ByteLane:
                 n_transitions, n_zeros)
         return encoded
 
+    def send_bursts(self, bursts: Sequence[Burst],
+                    energy_model: Optional[InterfaceEnergyModel],
+                    backend: Optional[str] = None,
+                    word_impl: str = "auto") -> None:
+        """Encode and transmit a burst train, state threaded across bursts.
+
+        The batched twin of calling :meth:`send_burst` in a loop: when
+        :func:`~repro.core.vectorized.try_vector_pack` admits the train
+        (vector backend, batch kernel, state-free flags, rectangular
+        bursts), flags are computed array-at-a-time, per-burst activity
+        is tallied with the shared popcount table, energy accrues
+        per burst in transmission order, and the per-wire counters
+        update via :meth:`~repro.phy.lane.LaneGroup.drive_words_batch`
+        — all bit-identical to the scalar loop, which remains the
+        fallback (and the differential reference).
+        """
+        burst_list = list(bursts)
+        if not burst_list:
+            return
+        data = try_vector_pack(self.scheme, burst_list, backend=backend,
+                               chained=True)
+        if data is None:
+            for burst in burst_list:
+                self.send_burst(burst, energy_model)
+            return
+        batch, length = data.shape
+        prev = _np.full(batch, self.state_word, dtype=_np.int64)
+        flags = self.scheme.batch_flags(data, prev)
+        words = flags_to_words(data, flags)
+        boundaries = _np.empty(batch, dtype=_np.int64)
+        boundaries[0] = self.state_word
+        boundaries[1:] = words[:-1, -1]
+        per_transitions, per_zeros = batch_activity(words, boundaries)
+        self.group.drive_words_batch(words.ravel().tolist(),
+                                     word_impl=word_impl)
+        self.state_word = int(words[-1, -1])
+        self.stats.bursts += batch
+        self.stats.beats += batch * length
+        self.stats.zeros += int(per_zeros.sum())
+        self.stats.transitions += int(per_transitions.sum())
+        if energy_model is not None:
+            # Same per-burst accrual (and float summation order) as the
+            # scalar path.
+            for n_transitions, n_zeros in zip(per_transitions.tolist(),
+                                              per_zeros.tolist()):
+                self.stats.energy_joules += energy_model.burst_energy(
+                    n_transitions, n_zeros)
+
 
 class MemoryBus:
     """A multi-byte-lane memory channel with per-lane DBI encoding.
@@ -101,6 +166,13 @@ class MemoryBus:
         Beats per burst (JEDEC BL8 by default).
     energy_model:
         Optional operating point for energy accounting.
+    backend:
+        Execution backend for the per-lane encode
+        (``auto``/``reference``/``vector``, defaulting from
+        ``REPRO_BACKEND``); statistics are bit-identical either way.
+    word_impl:
+        Word representation of the batched per-wire tallies
+        (:func:`repro.hw.bitsim.get_kernel`).
 
     >>> from repro.baselines import DbiDc
     >>> bus = MemoryBus(DbiDc, byte_lanes=2, burst_length=4)
@@ -111,7 +183,9 @@ class MemoryBus:
 
     def __init__(self, scheme_factory, byte_lanes: int = 4,
                  burst_length: int = 8,
-                 energy_model: Optional[InterfaceEnergyModel] = None):
+                 energy_model: Optional[InterfaceEnergyModel] = None,
+                 backend: Optional[str] = None,
+                 word_impl: str = "auto"):
         if byte_lanes < 1:
             raise ValueError(f"byte_lanes must be >= 1, got {byte_lanes}")
         if burst_length < 1:
@@ -119,22 +193,28 @@ class MemoryBus:
         self.byte_lanes = byte_lanes
         self.burst_length = burst_length
         self.energy_model = energy_model
+        self.backend = backend
+        self.word_impl = word_impl
         self.lanes: List[ByteLane] = [ByteLane(scheme=scheme_factory())
                                       for _ in range(byte_lanes)]
 
     def write(self, payload: Sequence[int]) -> BusStatistics:
         """Stripe *payload* across lanes, encode and transmit everything.
 
-        Returns the statistics of **this call** (the per-lane cumulative
-        counters keep running across calls).
+        Each lane's burst train goes through the batched
+        :meth:`ByteLane.send_bursts` path (tail bursts are padded
+        idle-high by :func:`~repro.core.burst.chunk_bytes`, so the train
+        is always rectangular).  Returns the statistics of **this call**
+        (the per-lane cumulative counters keep running across calls).
         """
         before = self.statistics()
         for index, lane in enumerate(self.lanes):
             lane_bytes = list(payload[index::self.byte_lanes])
             if not lane_bytes:
                 continue
-            for burst in chunk_bytes(lane_bytes, self.burst_length):
-                lane.send_burst(burst, self.energy_model)
+            lane.send_bursts(chunk_bytes(lane_bytes, self.burst_length),
+                             self.energy_model, backend=self.backend,
+                             word_impl=self.word_impl)
         after = self.statistics()
         return BusStatistics(
             bursts=after.bursts - before.bursts,
@@ -145,24 +225,28 @@ class MemoryBus:
         )
 
     def write_bursts(self, bursts: Sequence[Burst], lane: int = 0) -> BusStatistics:
-        """Send pre-formed bursts down one lane (no striping)."""
+        """Send pre-formed bursts down one lane (no striping).
+
+        Energy is accounted per burst exactly like :meth:`write` /
+        :meth:`ByteLane.send_burst`, so the returned call delta always
+        matches the growth of the cumulative lane statistics (it used to
+        be priced once on the call totals, which drifted from the
+        per-burst accrual by float rounding).
+        """
         if not 0 <= lane < self.byte_lanes:
             raise IndexError(f"lane {lane} out of range [0, {self.byte_lanes})")
         target = self.lanes[lane]
-        before_bursts = target.stats.bursts
-        result = BusStatistics()
-        for burst in bursts:
-            encoded = target.send_burst(burst, self.energy_model)
-            n_transitions, n_zeros = encoded.activity()
-            result.bursts += 1
-            result.beats += len(encoded)
-            result.zeros += n_zeros
-            result.transitions += n_transitions
-        assert target.stats.bursts - before_bursts == result.bursts
-        if self.energy_model is not None:
-            result.energy_joules = self.energy_model.burst_energy(
-                result.transitions, result.zeros)
-        return result
+        before = BusStatistics(**vars(target.stats))
+        target.send_bursts(list(bursts), self.energy_model,
+                           backend=self.backend, word_impl=self.word_impl)
+        after = target.stats
+        return BusStatistics(
+            bursts=after.bursts - before.bursts,
+            beats=after.beats - before.beats,
+            zeros=after.zeros - before.zeros,
+            transitions=after.transitions - before.transitions,
+            energy_joules=after.energy_joules - before.energy_joules,
+        )
 
     def statistics(self) -> BusStatistics:
         """Cumulative statistics over all lanes since construction/reset."""

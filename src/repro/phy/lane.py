@@ -8,14 +8,23 @@ exactly the same totals as the word-level tallies in :mod:`repro.core`
 (cross-checked by the test-suite) while additionally exposing *per-wire*
 statistics — useful for studying simultaneous-switching-output patterns
 and lane imbalance that the aggregate counts hide.
+
+Word sequences can be clocked two ways: :meth:`LaneGroup.drive_words`
+walks beat by beat (one :meth:`Lane.drive` per wire per beat — the
+differential reference), while :meth:`LaneGroup.drive_words_batch` packs
+the stream into one bit plane per wire and tallies zero-beats and
+transitions with popcounts via the :mod:`repro.hw.bitsim` word kernels —
+bit-identical counters, one pass per wire instead of one call per beat,
+and NumPy-free under ``word_impl="int"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from ..core.bitops import WORD_WIDTH, check_word, popcount
+from ..hw.bitsim import get_kernel
 
 
 @dataclass
@@ -89,9 +98,40 @@ class LaneGroup:
             lane.drive((word >> position) & 1)
 
     def drive_words(self, words: Iterable[int]) -> None:
-        """Clock a whole word sequence."""
+        """Clock a whole word sequence (scalar reference path)."""
         for word in words:
             self.drive_word(word)
+
+    def drive_words_batch(self, words: Sequence[int],
+                          word_impl: str = "auto") -> None:
+        """Clock a whole word sequence via bit-plane popcounts.
+
+        Packs the stream into one bit plane per wire (bit *t* of plane
+        *i* = lane *i* at beat *t*) with a :mod:`repro.hw.bitsim` word
+        kernel, then reads each wire's zero-beats off one popcount and
+        its transitions off one shifted-XOR popcount plus the boundary
+        toggle from the wire's current level.  Counters, levels and
+        :attr:`state_word` end up bit-identical to :meth:`drive_words`
+        (the differential suite in ``tests/phy/test_lane.py`` enforces
+        it); ``word_impl="int"`` runs NumPy-free.
+        """
+        word_list = list(words)
+        beats = len(word_list)
+        if not beats:
+            return
+        for word in word_list:
+            check_word(word)
+        kernel = get_kernel(word_impl)
+        planes = kernel.pack_bus(word_list, WORD_WIDTH, beats)
+        for position, lane in enumerate(self.lanes):
+            plane = planes[position]
+            transitions = kernel.transition_count(plane, beats)
+            if kernel.first_bit(plane) != lane.level:
+                transitions += 1
+            lane.zero_beats += beats - kernel.popcount(plane)
+            lane.transitions += transitions
+            lane.level = kernel.last_bit(plane, beats)
+            lane.beats += beats
 
     # -- aggregates ---------------------------------------------------------
     @property

@@ -17,11 +17,13 @@ directory, containing the key itself (collision/corruption guard), a
     {"format": "repro.cache/1", "key": "...", "kind": "activity",
      "record": {"transitions": ..., "zeros": ..., "bursts": ...}}
 
-All three record families of the engine round-trip:
+All four record families of the engine round-trip:
 :class:`~repro.sim.experiments.ActivityTotals` (encode entries),
-:class:`~repro.sim.experiments.ReplayTotals` (controller replays) and
+:class:`~repro.sim.experiments.ReplayTotals` (controller replays),
 :class:`~repro.extensions.reliability.FaultCoverageRow` (fault-coverage
-rows).
+rows) and :class:`~repro.analysis.sso.SsoStatistics`
+(simultaneous-switching tallies; histogram keys are stringified in JSON
+and restored to ints on decode).
 
 Concurrency
 -----------
@@ -44,6 +46,7 @@ import json
 import os
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..analysis.sso import SsoStatistics
 from ..extensions.reliability import FaultCoverageRow
 from ..sim.experiments import ActivityCache, ActivityTotals, ReplayTotals
 
@@ -75,6 +78,12 @@ def encode_record(totals) -> Tuple[str, Dict[str, object]]:
                          "bit_errors": totals.bit_errors,
                          "corrupted_beats": totals.corrupted_beats,
                          "dbi_lane_faults": totals.dbi_lane_faults}
+    if isinstance(totals, SsoStatistics):
+        return "sso", {"beats": totals.beats,
+                       "max_switching": totals.max_switching,
+                       "total_switching": totals.total_switching,
+                       "histogram": {str(k): count for k, count
+                                     in sorted(totals.histogram.items())}}
     raise TypeError(f"cannot persist cache record of type "
                     f"{type(totals).__name__}")
 
@@ -100,6 +109,13 @@ def decode_record(kind: str, record: Dict[str, object]):
             bit_errors=int(record["bit_errors"]),
             corrupted_beats=int(record["corrupted_beats"]),
             dbi_lane_faults=int(record["dbi_lane_faults"]))
+    if kind == "sso":
+        return SsoStatistics(
+            beats=int(record["beats"]),
+            max_switching=int(record["max_switching"]),
+            total_switching=int(record["total_switching"]),
+            histogram={int(k): int(count) for k, count
+                       in record["histogram"].items()})
     raise ValueError(f"unknown cache record kind {kind!r}")
 
 

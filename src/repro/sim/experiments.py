@@ -48,6 +48,16 @@ field):
   over a grid of group sizes, sharing encode entries with figure sweeps
   through the grouped scheme's ratio-keyed fingerprint.
 
+PR 8 adds **simultaneous switching** as a fifth axis: :class:`SsoSpec` /
+:func:`run_sso` tallies per-beat switching histograms with the
+word-parallel engine of :mod:`repro.analysis.sso`
+(:func:`~repro.analysis.sso.sso_of_scheme_batch`), one cached
+:class:`~repro.analysis.sso.SsoStatistics` per (scheme fingerprint,
+chained flag, population digest), then prices peak/mean supply-current
+proxies for every electrical interface preset — interfaces enter only at
+pricing, so one encode serves the whole interface column, mirroring the
+fault axis.
+
 Pricing is the linear form shared by the abstract cost model and the
 physical energy model: ``alpha`` per transition, ``beta`` per zero.  Two
 term orders exist only to preserve IEEE-754 bit-identity with the legacy
@@ -1159,6 +1169,172 @@ def granularity_experiment(population, model: Optional[CostModel] = None,
         group_sizes=tuple(group_sizes))
 
 
+# -- the simultaneous-switching axis -----------------------------------------
+
+@dataclass(frozen=True)
+class SsoSpec:
+    """A simultaneous-switching sweep: schemes × interface presets.
+
+    One cached :class:`~repro.analysis.sso.SsoStatistics` per scheme slot
+    (the cache key binds the chained flag, the scheme fingerprint and the
+    population digest), then one priced row per (slot, interface): the
+    integer switching tallies are interface-independent, so the whole
+    interface column reuses a single encode — the same
+    dedup-by-fingerprint discipline as :class:`FaultSpec`.
+
+    ``chained`` selects the boundary condition of
+    :func:`~repro.analysis.sso.sso_of_words`: ``False`` resets every
+    burst to the idle-high bus (the paper's convention), ``True``
+    threads the last word of each burst into the next.
+    """
+
+    name: str
+    population: BurstPopulation
+    #: Ordered ``(slot name, scheme)`` pairs, one output series each.
+    slots: Tuple[Tuple[str, DbiScheme], ...]
+    #: Interface preset names (:func:`repro.phy.interface.get_interface`).
+    interfaces: Tuple[str, ...] = ("pod135",)
+    chained: bool = False
+    #: ``exceed_fraction`` reports beats with more than this many toggles.
+    threshold: int = WORD_WIDTH // 2
+    line_impedance_ohms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ValueError("sso spec needs at least one scheme slot")
+        if not self.interfaces:
+            raise ValueError("sso spec needs at least one interface")
+        names = [slot_name for slot_name, __ in self.slots]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate slot names in {names}")
+        if not 0 <= self.threshold <= WORD_WIDTH:
+            raise ValueError(
+                f"threshold must be in [0, {WORD_WIDTH}], got {self.threshold}")
+        if self.line_impedance_ohms <= 0:
+            raise ValueError("line_impedance_ohms must be positive, got "
+                             f"{self.line_impedance_ohms}")
+        for interface_name in self.interfaces:
+            get_interface(interface_name)  # raises KeyError with known names
+
+    def sso_key(self, scheme: DbiScheme) -> str:
+        """Cache key of one slot's switching statistics."""
+        return (f"sso[chained={int(self.chained)}]"
+                f"{scheme.fingerprint()}@{self.population.digest()}")
+
+
+@dataclass
+class SsoResult:
+    """Everything :func:`run_sso` produced for one spec.
+
+    ``series`` maps slot name → one priced row per interface (declaration
+    order); ``totals`` keeps the exact
+    :class:`~repro.analysis.sso.SsoStatistics` records under their cache
+    keys, histogram included.
+    """
+
+    spec: SsoSpec
+    series: Dict[str, List[Dict[str, object]]]
+    totals: Dict[str, "SsoStatistics"]
+    provenance: Dict[str, object]
+
+    def save(self, path) -> None:
+        save_sso_artifact(self, path)
+
+
+def run_sso(spec: SsoSpec, backend: Optional[str] = None,
+            cache: Optional[ActivityCache] = None,
+            word_impl: str = "auto") -> SsoResult:
+    """Execute an SSO spec: encode + tally once per slot, price per interface.
+
+    Statistics come from :func:`~repro.analysis.sso.sso_of_scheme_batch`,
+    so they are bit-identical across backends and word implementations
+    (enforced by ``tests/analysis/test_sso_batch.py``); ``backend``
+    follows :func:`repro.hw.bitsim.resolve_sim_backend`.
+    """
+    from ..analysis.sso import sso_of_scheme_batch
+    from ..hw.bitsim import resolve_sim_backend
+
+    resolved = resolve_sim_backend(backend)
+    if cache is None:
+        cache = ActivityCache()
+    start = time.perf_counter()
+    bursts = spec.population.bursts()
+    executed = 0
+    hits = 0
+    series: Dict[str, List[Dict[str, object]]] = {}
+    keys_seen: Dict[str, None] = {}
+    presets = [(name, get_interface(name)) for name in spec.interfaces]
+    for slot_name, scheme in spec.slots:
+        key = spec.sso_key(scheme)
+        keys_seen.setdefault(key)
+        if key in cache:
+            cache.hits += 1
+            hits += 1
+        else:
+            cache.misses += 1
+            cache.store(key, sso_of_scheme_batch(
+                scheme, bursts, chained=spec.chained, backend=resolved,
+                word_impl=word_impl))
+            executed += 1
+        stats = cache.get(key)
+        series[slot_name] = [{
+            "interface": interface_name,
+            "beats": stats.beats,
+            "max_switching": stats.max_switching,
+            "mean_switching": stats.mean_switching,
+            "total_switching": stats.total_switching,
+            "exceed_fraction": stats.exceed_fraction(spec.threshold),
+            "peak_current_amps": stats.peak_current_amps(
+                interface, spec.line_impedance_ohms),
+            "mean_current_amps": stats.mean_current_amps(
+                interface, spec.line_impedance_ohms),
+        } for interface_name, interface in presets]
+
+    provenance = {
+        "backend": resolved,
+        "word_impl": word_impl,
+        "chained": spec.chained,
+        "threshold": spec.threshold,
+        "line_impedance_ohms": spec.line_impedance_ohms,
+        "encodes": executed,
+        "cache_hits": hits,
+        "cache_misses": executed,
+        "interfaces": len(spec.interfaces),
+        "population": spec.population.digest(),
+        "population_bursts": len(spec.population),
+        "elapsed_s": time.perf_counter() - start,
+        "python": platform.python_version(),
+        "created_unix": time.time(),
+    }
+    from .. import __version__
+
+    provenance["repro_version"] = __version__
+    totals = {key: cache.get(key) for key in keys_seen}
+    return SsoResult(spec=spec, series=series, totals=totals,
+                     provenance=provenance)
+
+
+def sso_experiment(population,
+                   schemes: Sequence[str] = ("raw", "dbi-dc", "dbi-ac",
+                                             "dbi-opt"),
+                   interfaces: Optional[Sequence[str]] = None,
+                   chained: bool = False,
+                   threshold: int = WORD_WIDTH // 2,
+                   line_impedance_ohms: float = 50.0,
+                   name: str = "sso-ranking") -> SsoSpec:
+    """The standard SSO axis: registry schemes × every interface preset."""
+    from ..phy.interface import available_interfaces
+
+    slots = tuple((scheme_name, get_scheme(scheme_name))
+                  for scheme_name in schemes)
+    if interfaces is None:
+        interfaces = available_interfaces()
+    return SsoSpec(name=name, population=as_population(population),
+                   slots=slots, interfaces=tuple(interfaces),
+                   chained=chained, threshold=threshold,
+                   line_impedance_ohms=line_impedance_ohms)
+
+
 # -- artifact persistence ----------------------------------------------------
 
 def _population_to_json(population: BurstPopulation) -> Dict[str, object]:
@@ -1273,7 +1449,7 @@ def load_artifact(path) -> ExperimentResult:
         raise ValueError(
             f"{path}: artifact kind {kind!r} is not a figure experiment; "
             f"use load_replay_artifact / load_fault_artifact / "
-            f"load_granularity_artifact")
+            f"load_granularity_artifact / load_sso_artifact")
     spec_record = payload["spec"]
     grid = tuple(
         GridPoint(alpha=point["alpha"], beta=point["beta"],
@@ -1539,3 +1715,80 @@ def load_granularity_artifact(path) -> GranularityResult:
     provenance["loaded_from"] = str(path)
     return GranularityResult(spec=spec, rows=payload["rows"],
                              totals=totals, provenance=provenance)
+
+
+def _sso_stats_json(stats: "SsoStatistics") -> Dict[str, object]:
+    return {"beats": stats.beats,
+            "max_switching": stats.max_switching,
+            "total_switching": stats.total_switching,
+            "histogram": {str(k): count
+                          for k, count in sorted(stats.histogram.items())}}
+
+
+def _sso_stats_from_json(record: Mapping[str, object]) -> "SsoStatistics":
+    from ..analysis.sso import SsoStatistics
+
+    return SsoStatistics(
+        beats=int(record["beats"]),
+        max_switching=int(record["max_switching"]),
+        total_switching=int(record["total_switching"]),
+        histogram={int(k): int(count)
+                   for k, count in record.get("histogram", {}).items()})
+
+
+def save_sso_artifact(result: SsoResult, path) -> None:
+    """Persist a simultaneous-switching result (``kind="sso"``)."""
+    spec = result.spec
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "kind": "sso",
+        "spec": {
+            "name": spec.name,
+            "population": _population_to_json(spec.population),
+            "slots": [{"name": slot_name, "scheme": scheme.name,
+                       "fingerprint": scheme.fingerprint()}
+                      for slot_name, scheme in spec.slots],
+            "interfaces": list(spec.interfaces),
+            "chained": spec.chained,
+            "threshold": spec.threshold,
+            "line_impedance_ohms": spec.line_impedance_ohms,
+        },
+        "series": {name: list(rows) for name, rows in result.series.items()},
+        "totals": {key: _sso_stats_json(stats)
+                   for key, stats in result.totals.items()},
+        "provenance": dict(result.provenance),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def load_sso_artifact(path) -> SsoResult:
+    """Load a persisted simultaneous-switching sweep.
+
+    Registry schemes whose fingerprints still match are rebuilt (so the
+    spec can be re-run); unknown slots come back scheme-less and are
+    render-only.
+    """
+    payload = _load_kind(path, "sso")
+    spec_record = payload["spec"]
+    slots = tuple(_fault_slot_from_json(record)
+                  for record in spec_record["slots"])
+    runnable = tuple((slot_name, scheme) for slot_name, scheme in slots
+                     if scheme is not None)
+    spec = SsoSpec(
+        name=spec_record["name"],
+        population=_population_from_json(spec_record["population"]),
+        slots=runnable if runnable else tuple(slots),
+        interfaces=tuple(spec_record["interfaces"]),
+        chained=bool(spec_record.get("chained", False)),
+        threshold=int(spec_record.get("threshold", WORD_WIDTH // 2)),
+        line_impedance_ohms=float(
+            spec_record.get("line_impedance_ohms", 50.0)),
+    )
+    totals = {key: _sso_stats_from_json(record)
+              for key, record in payload.get("totals", {}).items()}
+    provenance = dict(payload.get("provenance", {}))
+    provenance["loaded_from"] = str(path)
+    return SsoResult(spec=spec, series=payload["series"],
+                     totals=totals, provenance=provenance)

@@ -128,3 +128,123 @@ class TestMemoryBus:
         bus.write(bytes([0x00, 0xFF, 0x00, 0xFF]))
         # Lane 0 saw two 0x00 bytes, lane 1 two 0xFF bytes.
         assert bus.lanes[0].stats.zeros != bus.lanes[1].stats.zeros
+
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+
+class TestWriteBurstsEnergyConsistency:
+    """Regression: the call result must use the same per-burst energy
+    accounting as the cumulative lane statistics (it used to price the
+    call totals once, drifting by float rounding)."""
+
+    @given(payloads)
+    @settings(max_examples=25, deadline=None)
+    def test_call_delta_equals_stats_growth(self, payload):
+        bus = MemoryBus(DbiDc, byte_lanes=2, burst_length=4,
+                        energy_model=InterfaceEnergyModel(
+                            pod135(), 12 * GBPS, 3 * PICOFARAD))
+        bursts = [Burst(payload[i:i + 4].ljust(4, b"\xff"))
+                  for i in range(0, len(payload), 4)]
+        before = bus.statistics().energy_joules
+        result = bus.write_bursts(bursts, lane=1)
+        after = bus.statistics().energy_joules
+        assert result.energy_joules == after - before
+        assert result.energy_joules == bus.lanes[1].stats.energy_joules
+
+    def test_matches_send_burst_accrual(self, energy_model):
+        """write_bursts and burst-at-a-time writes agree bit for bit."""
+        bursts = [Burst([0x00, 0xFF, 0x3C, 0xC3]), Burst([0x55] * 4),
+                  Burst([0xAA] * 4)]
+        together = MemoryBus(DbiDc, byte_lanes=1, burst_length=4,
+                             energy_model=energy_model)
+        one_by_one = MemoryBus(DbiDc, byte_lanes=1, burst_length=4,
+                               energy_model=energy_model)
+        total = together.write_bursts(bursts)
+        for burst in bursts:
+            one_by_one.write_bursts([burst])
+        assert (total.energy_joules
+                == one_by_one.statistics().energy_joules
+                == together.statistics().energy_joules)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector backend requires NumPy")
+class TestBatchedBusParity:
+    """The vector-backend MemoryBus must be bit-identical to the scalar
+    reference: statistics, per-wire counters, wire state and energy."""
+
+    schemes = st.sampled_from(["raw", "dbi-dc", "dbi-ac", "dbi-opt"])
+
+    @staticmethod
+    def snapshot(bus):
+        return [((lane.stats.bursts, lane.stats.beats, lane.stats.zeros,
+                  lane.stats.transitions, lane.stats.energy_joules),
+                 lane.state_word,
+                 [(wire.level, wire.zero_beats, wire.transitions, wire.beats)
+                  for wire in lane.group.lanes])
+                for lane in bus.lanes]
+
+    @staticmethod
+    def make_pair(scheme_name, energy_model=None, word_impl="auto"):
+        from repro.core.schemes import get_scheme
+        factory = lambda: get_scheme(scheme_name)
+        if energy_model is None:
+            energy_model = InterfaceEnergyModel(pod135(), 12 * GBPS,
+                                                3 * PICOFARAD)
+        reference = MemoryBus(factory, byte_lanes=3, burst_length=4,
+                              energy_model=energy_model,
+                              backend="reference")
+        vector = MemoryBus(factory, byte_lanes=3, burst_length=4,
+                           energy_model=energy_model, backend="vector",
+                           word_impl=word_impl)
+        return reference, vector
+
+    @given(payload=payloads, scheme_name=schemes)
+    @settings(max_examples=30, deadline=None)
+    def test_striped_writes_identical(self, payload, scheme_name):
+        reference, vector = self.make_pair(scheme_name)
+        for chunk in (payload, payload[::-1]):  # ragged tails included
+            ref_stats = reference.write(chunk)
+            vec_stats = vector.write(chunk)
+            assert vars(ref_stats) == vars(vec_stats)
+            assert self.snapshot(reference) == self.snapshot(vector)
+
+    @pytest.mark.parametrize("word_impl", ("int", "uint64"))
+    def test_word_impls_identical(self, energy_model, word_impl):
+        reference, vector = self.make_pair("dbi-opt", energy_model,
+                                           word_impl=word_impl)
+        payload = bytes(range(256)) + bytes([0xFF, 0x00] * 10) + bytes(5)
+        assert (vars(reference.write(payload))
+                == vars(vector.write(payload)))
+        assert self.snapshot(reference) == self.snapshot(vector)
+
+    @given(payload=payloads)
+    @settings(max_examples=20, deadline=None)
+    def test_write_bursts_identical_with_ragged_tail(self, payload):
+        """Pre-formed bursts of mixed lengths: the vector path must fall
+        back (non-rectangular pack) and still match."""
+        bursts = [Burst(payload[i:i + 4]) for i in range(0, len(payload), 4)]
+        reference, vector = self.make_pair("dbi-dc")
+        ref_stats = reference.write_bursts(bursts, lane=2)
+        vec_stats = vector.write_bursts(bursts, lane=2)
+        assert vars(ref_stats) == vars(vec_stats)
+        assert self.snapshot(reference) == self.snapshot(vector)
+
+    def test_vector_write_skips_scalar_encode(self, monkeypatch):
+        """Acceptance: on the vector backend, MemoryBus.write never runs
+        per-burst scheme.encode for a batchable scheme."""
+        from repro.core import schemes as schemes_mod
+
+        def forbidden(self, burst, prev_word=0x1FF):
+            raise AssertionError("scalar encode called on vector backend")
+
+        monkeypatch.setattr(schemes_mod.DbiScheme, "encode", forbidden)
+        from repro.core.schemes import get_scheme
+        bus = MemoryBus(lambda: get_scheme("dbi-opt"), byte_lanes=2,
+                        burst_length=8, backend="vector")
+        stats = bus.write(bytes(range(64)))
+        assert stats.bursts == 8

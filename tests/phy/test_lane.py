@@ -116,3 +116,52 @@ class TestLaneGroup:
         group.reset(0x155)
         assert group.state_word == 0x155
         assert group.total_transitions == 0
+
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+IMPLS = ("int", "uint64") if HAVE_NUMPY else ("int",)
+
+
+class TestDriveWordsBatch:
+    """drive_words_batch must be bit-identical to the scalar path."""
+
+    @staticmethod
+    def snapshot(group):
+        return ([(lane.level, lane.zero_beats, lane.transitions, lane.beats)
+                 for lane in group.lanes], group.state_word)
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @given(words=word_lists,
+           start=st.integers(min_value=0, max_value=0x1FF))
+    def test_matches_scalar_path(self, words, start, impl):
+        scalar = LaneGroup()
+        batched = LaneGroup()
+        scalar.reset(start)
+        batched.reset(start)
+        scalar.drive_words(words)
+        batched.drive_words_batch(words, word_impl=impl)
+        assert self.snapshot(batched) == self.snapshot(scalar)
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @given(first=word_lists, second=word_lists)
+    def test_accumulates_across_calls(self, first, second, impl):
+        scalar = LaneGroup()
+        batched = LaneGroup()
+        scalar.drive_words(first + second)
+        batched.drive_words_batch(first, word_impl=impl)
+        batched.drive_words_batch(second, word_impl=impl)
+        assert self.snapshot(batched) == self.snapshot(scalar)
+
+    def test_empty_is_noop(self):
+        group = LaneGroup()
+        group.drive_words_batch([])
+        assert self.snapshot(group) == self.snapshot(LaneGroup())
+
+    def test_rejects_out_of_range_words(self):
+        with pytest.raises(ValueError):
+            LaneGroup().drive_words_batch([0x200])

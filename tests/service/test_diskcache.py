@@ -12,6 +12,7 @@ import os
 
 import pytest
 
+from repro.analysis.sso import SsoStatistics
 from repro.extensions.reliability import FaultCoverageRow
 from repro.service.diskcache import (
     CACHE_FORMAT,
@@ -38,12 +39,14 @@ SAMPLE_RECORDS = [
                  channels=((10, 20, 128), (30, 40, 128))),
     FaultCoverageRow(rate=1e-3, injected_faults=17, total_beats=8000,
                      bit_errors=23, corrupted_beats=19, dbi_lane_faults=2),
+    SsoStatistics(beats=4000, max_switching=8, total_switching=16123,
+                  histogram={0: 120, 3: 1800, 8: 11}),
 ]
 
 
 class TestRecordCodec:
     @pytest.mark.parametrize("record", SAMPLE_RECORDS,
-                             ids=["activity", "replay", "fault"])
+                             ids=["activity", "replay", "fault", "sso"])
     def test_roundtrip(self, record):
         kind, payload = encode_record(record)
         # The payload must survive JSON (what the disk tier does).

@@ -374,6 +374,64 @@ class TestGranularityCommand:
         loaded = load_granularity_artifact(path)
         assert [row["group_size"] for row in loaded.rows] == [1, 2, 4, 8]
 
+class TestSsoCommand:
+    def test_default_table_ranked_worst_first(self, capsys):
+        code, out, __ = run_cli(capsys, "sso", "--samples", "60",
+                                "--interfaces", "pod135")
+        assert code == 0
+        assert "| scheme | interface | max SSO |" in out
+        assert "# backend=" in out
+        body = [line for line in out.splitlines()
+                if line.startswith("| ") and "max SSO" not in line]
+        maxima = [int(line.split("|")[3]) for line in body]
+        assert maxima == sorted(maxima, reverse=True)
+
+    def test_chained_and_word_impl_parity(self, capsys):
+        base = ("sso", "--samples", "40", "--schemes", "raw", "dbi-dc",
+                "--interfaces", "pod135", "--chained")
+        code_a, out_a, __ = run_cli(capsys, *base, "--word-impl", "int")
+        code_b, out_b, __ = run_cli(capsys, *base, "--backend", "reference")
+        assert code_a == code_b == 0
+        table = lambda text: [line for line in text.splitlines()
+                              if line.startswith("|")]
+        assert table(out_a) == table(out_b)
+        assert "chained boundary" in out_a
+
+    def test_patterns_population(self, capsys):
+        code, out, __ = run_cli(capsys, "sso", "--patterns", "checkerboard",
+                                "--samples", "10", "--schemes", "dbi-ac",
+                                "--interfaces", "lvstl11")
+        assert code == 0
+        assert "| dbi-ac | lvstl11 |" in out
+
+    def test_out_artifact(self, capsys, tmp_path):
+        path = tmp_path / "sso.json"
+        code, out, __ = run_cli(capsys, "sso", "--samples", "40",
+                                "--interfaces", "pod135", "lvstl11",
+                                "--out", str(path))
+        assert code == 0
+        assert f"artifact written to {path}" in out
+        from repro.sim.experiments import load_sso_artifact
+        loaded = load_sso_artifact(path)
+        assert loaded.spec.interfaces == ("pod135", "lvstl11")
+
+    def test_interface_choices_enforced(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "sso", "--interfaces", "martian")
+
+    def test_accepts_cache_dir(self, capsys, tmp_path):
+        code, out, __ = run_cli(capsys, "sso", "--samples", "30",
+                                "--schemes", "raw", "--interfaces", "pod135",
+                                "--cache-dir", str(tmp_path / "cache"))
+        assert code == 0
+        code2, out2, __ = run_cli(capsys, "sso", "--samples", "30",
+                                  "--schemes", "raw", "--interfaces",
+                                  "pod135", "--cache-dir",
+                                  str(tmp_path / "cache"))
+        assert code2 == 0
+        assert "cache_hits=1" in out2
+
+
 class TestCtrlArtifacts:
     def test_out_then_from_artifact(self, capsys, tmp_path):
         path = tmp_path / "replay.json"
