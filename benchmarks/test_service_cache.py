@@ -30,6 +30,7 @@ import time
 from conftest import emit
 
 from repro.service.diskcache import DiskActivityCache
+from repro.service.faults import FaultPlan, FaultyCache
 from repro.sim.experiments import alpha_experiment, run_experiment
 from repro.workloads.population import RandomPopulation
 
@@ -42,6 +43,14 @@ BENCH_POINTS = int(os.environ.get("REPRO_BENCH_SERVICE_POINTS", "13"))
 #: Required wall-clock advantage of the warm disk-cache path.
 SPEEDUP_FLOOR = 5.0
 
+#: Ceiling on what the fault-tolerance instrumentation (health counters,
+#: degradation checks, an idle chaos wrapper) may add to the warm path.
+OVERHEAD_CEILING = 0.05
+
+#: Absolute slack under the relative ceiling — sub-millisecond timing
+#: noise must not fail the gate on very fast warm runs.
+OVERHEAD_SLACK_S = 0.002
+
 ARTIFACT_NAME = "BENCH_service.json"
 
 
@@ -51,16 +60,25 @@ def _timed_run(spec, cache):
     return time.perf_counter() - start, result
 
 
-def _write_artifact(rows):
+def _artifact_path():
     directory = pathlib.Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "."))
-    path = directory / ARTIFACT_NAME
-    payload = {
+    return directory / ARTIFACT_NAME
+
+
+def _update_artifact(**sections):
+    """Read-modify-write the shared service artifact (tests share it)."""
+    path = _artifact_path()
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload.update({
         "schema": "repro.bench/service_cache/1",
         "samples": BENCH_SAMPLES,
         "points": BENCH_POINTS,
         "speedup_floor": SPEEDUP_FLOOR,
-        "runs": rows,
-    }
+    })
+    payload.update(sections)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -97,7 +115,7 @@ def test_service_cache_warm_gate():
          "encodes": 0, "speedup": round(cold_s / memory_s, 1),
          "gated": False},
     ]
-    path = _write_artifact(rows)
+    path = _update_artifact(runs=rows)
 
     lines = [
         f"| {row['tier']} | {row['seconds']:.3f}s "
@@ -112,3 +130,55 @@ def test_service_cache_warm_gate():
     assert speedup >= SPEEDUP_FLOOR, (
         f"warm disk-cache run only {speedup:.1f}x faster than cold "
         f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s)")
+
+
+def test_instrumentation_overhead_gate():
+    """Health counters + an idle chaos wrapper must stay under 5% warm.
+
+    Times the warm (all cache hits) sweep twice, best-of-N each: once
+    against the plain :class:`DiskActivityCache`, once against the same
+    cache wrapped in a :class:`FaultyCache` with an *empty* fault plan —
+    the full fault-tolerance bookkeeping with zero faults firing, i.e.
+    the production steady state.  Gated at ``OVERHEAD_CEILING`` relative
+    (plus a small absolute slack for timer noise).
+    """
+    spec = alpha_experiment(
+        RandomPopulation(count=BENCH_SAMPLES, seed=0x0DB1),
+        points=BENCH_POINTS, include_fixed=True)
+    repeats = 5
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as scratch:
+        plain = DiskActivityCache(scratch)
+        run_experiment(spec, cache=plain)  # populate disk + memory tiers
+
+        plain_s = min(_timed_run(spec, plain)[0] for __ in range(repeats))
+        wrapped_cache = FaultyCache(plain, FaultPlan({}, label="idle"))
+        wrapped_runs = [_timed_run(spec, wrapped_cache)
+                        for __ in range(repeats)]
+        wrapped_s = min(seconds for seconds, __ in wrapped_runs)
+        baseline = run_experiment(spec, cache=DiskActivityCache(scratch))
+        for __, result in wrapped_runs:
+            assert result.series == baseline.series
+        assert wrapped_cache.injected == {}  # the idle plan fired nothing
+
+    overhead = wrapped_s / plain_s - 1.0
+    budget_s = plain_s * OVERHEAD_CEILING + OVERHEAD_SLACK_S
+    path = _update_artifact(instrumentation={
+        "plain_warm_s": round(plain_s, 5),
+        "instrumented_warm_s": round(wrapped_s, 5),
+        "overhead_fraction": round(overhead, 4),
+        "ceiling": OVERHEAD_CEILING,
+        "slack_s": OVERHEAD_SLACK_S,
+        "gated": True,
+    })
+    emit(f"fault-tolerance instrumentation on the warm sweep "
+         f"(best of {repeats}, artifact: {path})",
+         f"| plain warm | {plain_s:.4f}s | baseline |\n"
+         f"| instrumented warm | {wrapped_s:.4f}s "
+         f"| {overhead * 100:+.1f}% (gated < {OVERHEAD_CEILING * 100:.0f}%) |")
+
+    assert wrapped_s - plain_s <= budget_s, (
+        f"instrumented warm sweep {wrapped_s:.4f}s vs plain {plain_s:.4f}s "
+        f"({overhead * 100:+.1f}%) exceeds the "
+        f"{OVERHEAD_CEILING * 100:.0f}% + {OVERHEAD_SLACK_S * 1000:.0f}ms "
+        "budget")

@@ -139,7 +139,8 @@ def _population_from_args(args: argparse.Namespace) -> RandomPopulation:
 #: Simulation flags that --from-artifact renders meaningless (flag name
 #: -> its parser default, shared by every sweep subcommand).
 _SIM_FLAG_DEFAULTS = {"samples": 2000, "seed": 0x0DB1, "jobs": 1,
-                      "backend": None, "cache_dir": None}
+                      "backend": None, "cache_dir": None, "shards": 1,
+                      "retries": 3, "checkpoint_dir": None}
 
 
 def _run_or_load(args: argparse.Namespace, build_spec, figure: str,
@@ -174,9 +175,27 @@ def _run_or_load(args: argparse.Namespace, build_spec, figure: str,
                   file=sys.stderr)
             return None
     else:
-        result = run_experiment(build_spec(), backend=args.backend,
-                                jobs=args.jobs,
-                                cache=open_cache(args.cache_dir))
+        shards = getattr(args, "shards", 1)
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        if shards > 1 or checkpoint_dir:
+            from .service.retry import RetryPolicy
+            from .service.shard import SHARD_RETRYABLE, run_shards
+
+            retry = RetryPolicy(max_attempts=getattr(args, "retries", 3),
+                                retryable=SHARD_RETRYABLE)
+            processes = args.jobs > 1
+            result = run_shards(
+                build_spec(), max(shards, 1), backend=args.backend,
+                cache=None if processes else open_cache(args.cache_dir),
+                cache_dir=(resolve_cache_dir(args.cache_dir)
+                           if processes else None),
+                processes=processes, retry=retry,
+                checkpoint_dir=checkpoint_dir,
+                max_workers=args.jobs if processes else None)
+        else:
+            result = run_experiment(build_spec(), backend=args.backend,
+                                    jobs=args.jobs,
+                                    cache=open_cache(args.cache_dir))
         sweep = converter(result)
     if args.out:
         try:
@@ -525,7 +544,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     daemon = ExperimentDaemon(host=args.host, port=args.port,
                               cache_dir=cache_dir,
                               artifact_dir=args.artifact_dir,
-                              backend=args.backend)
+                              backend=args.backend,
+                              request_timeout=args.request_timeout,
+                              max_connections=args.max_connections)
     host, port = daemon.address
     where = f"cache: {cache_dir}" if cache_dir else "in-memory cache"
     print(f"repro service listening on {host}:{port} ({where})", flush=True)
@@ -596,6 +617,20 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="PATH",
                         help="re-render a saved artifact instead of "
                              "simulating")
+    parser.add_argument("--shards", type=_positive_int, default=1,
+                        metavar="N",
+                        help="split the sweep into N shards via "
+                             "run_shards (default: 1, unsharded; merged "
+                             "output is bit-identical either way)")
+    parser.add_argument("--retries", type=_positive_int, default=3,
+                        metavar="N",
+                        help="attempts per shard before a typed failure "
+                             "(default: 3)")
+    parser.add_argument("--checkpoint-dir", dest="checkpoint_dir",
+                        metavar="DIR", default=None,
+                        help="persist each completed shard here and "
+                             "resume past completed ones on re-run "
+                             "(implies sharded execution)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -789,6 +824,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory of artifacts the 'artifact' op may "
                             "serve")
     _add_backend_argument(serve)
+    serve.add_argument("--request-timeout", dest="request_timeout",
+                       type=float, default=None, metavar="SECONDS",
+                       help="per-request socket deadline; idle or stalled "
+                            "connections are dropped (default: none)")
+    serve.add_argument("--max-connections", dest="max_connections",
+                       type=int, default=64, metavar="N",
+                       help="concurrent connection limit — excess clients "
+                            "get a retryable busy answer; 0 = unlimited "
+                            "(default: 64)")
     serve.set_defaults(handler=_cmd_serve)
 
     table1 = sub.add_parser("table1", help="Table I synthesis estimates")

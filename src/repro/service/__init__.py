@@ -40,13 +40,71 @@ layers, each usable on its own:
 Everything here is pure stdlib: the package imports, and the daemon
 serves, without NumPy installed (the engine then runs its reference
 backend).
+
+Failure taxonomy
+----------------
+
+Every layer distinguishes *transient* faults (retry helps) from
+*permanent* ones (retrying is wrong), and the whole stack promises one
+invariant: under any fault the final artifact is either **bit-identical
+to the fault-free run or a loud typed error** — never silent corruption.
+
+* **Transient** — :data:`~repro.service.retry.TRANSIENT_ERRORS`
+  (``ConnectionError``, ``TimeoutError``, ``EOFError``, and the
+  :class:`~repro.service.retry.TransientServiceError` marker, which
+  includes the daemon's *busy* answer
+  :class:`~repro.service.client.ServiceBusyError`).  Shard execution
+  adds ``OSError`` and ``BrokenProcessPool`` via
+  :data:`~repro.service.shard.SHARD_RETRYABLE`.  All are retried under
+  a deterministic seeded :class:`~repro.service.retry.RetryPolicy`.
+* **Permanent** — :class:`~repro.service.client.ServiceError` (the
+  daemon said no), validation ``ValueError``/``TypeError``; these
+  propagate immediately.
+* **Exhaustion** — retries that run out raise
+  :class:`~repro.service.retry.RetryExhaustedError` (client/policy
+  level) or :class:`~repro.service.shard.ShardExecutionError` (sweep
+  driver, naming the shard), both chaining the last underlying cause.
+* **Degradation** — :class:`~repro.service.diskcache.DiskActivityCache`
+  never raises on a sick disk: write failures downgrade it to a
+  memory-only tier and corrupt entries are quarantined to ``*.bad``,
+  both counted in :meth:`~repro.service.diskcache.DiskActivityCache.
+  health` and served by the daemon's ``health`` op.
+* **Chaos** — :mod:`repro.service.faults` injects all of the above
+  deterministically (:class:`~repro.service.faults.FaultPlan` →
+  :class:`~repro.service.faults.FaultyCache`,
+  :class:`~repro.service.faults.FlakyProxy`,
+  :func:`~repro.service.faults.crash_point`) so the chaos test suite
+  can prove the invariant byte-for-byte.
 """
 
 from .diskcache import DiskActivityCache, open_cache, resolve_cache_dir
-from .shard import merge_shards, run_shards, shard_spec
+from .faults import FaultPlan, FaultyCache, FlakyProxy, crash_point
+from .retry import (
+    TRANSIENT_ERRORS,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientServiceError,
+)
+from .shard import (
+    SHARD_RETRYABLE,
+    ShardExecutionError,
+    merge_shards,
+    run_shards,
+    shard_spec,
+)
 
 __all__ = [
     "DiskActivityCache",
+    "FaultPlan",
+    "FaultyCache",
+    "FlakyProxy",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "SHARD_RETRYABLE",
+    "ShardExecutionError",
+    "TRANSIENT_ERRORS",
+    "TransientServiceError",
+    "crash_point",
     "merge_shards",
     "open_cache",
     "resolve_cache_dir",

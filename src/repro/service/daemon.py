@@ -27,9 +27,24 @@ Operations (the ``op`` field of a request):
 ``artifact``
     list the daemon's artifact directory, or fetch one stored artifact
     by name.
+``health``
+    degradation snapshot: the cache tier's :meth:`~repro.service.
+    diskcache.DiskActivityCache.health` report (memory-only downgrade,
+    write failures, quarantined entries), served counters, busy
+    rejections, and the configured limits.
 
 Every response carries ``ok``; failures carry ``error`` and never kill
 the connection (bad JSON included), so a client can stream requests.
+Responses that are safe to retry (the *busy* rejection below) also
+carry ``retryable: true`` — the client's retry policy keys off it.
+
+Serving limits: ``request_timeout`` bounds every socket read/write (a
+stalled or half-dead client cannot pin a handler thread forever; the
+compute itself is bounded by ``MAX_QUERY_SAMPLES``), and
+``max_connections`` bounds concurrent connections — excess connections
+get one ``busy`` line and are closed, rather than growing the thread
+count without limit.  A client that disconnects mid-response costs the
+daemon nothing but the dropped handler.
 :func:`sweep_spec_from_params` and :func:`replay_spec_from_params` are
 module-level so tests and the smoke driver build *identical* specs for
 direct-versus-daemon comparisons.
@@ -149,14 +164,26 @@ class ExperimentService:
 
     def __init__(self, cache: Optional[ActivityCache] = None,
                  artifact_dir: Optional[str] = None,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 request_timeout: Optional[float] = None,
+                 max_connections: Optional[int] = None) -> None:
         self.cache = cache if cache is not None else ActivityCache()
         self.artifact_dir = (os.path.abspath(artifact_dir)
                              if artifact_dir else None)
         self.backend = backend
+        self.request_timeout = request_timeout
+        self.max_connections = max_connections
         self.started = time.time()
+        # Uptime is measured on the monotonic clock — a wall-clock step
+        # (NTP, DST) must not warp it.
+        self._started_monotonic = time.monotonic()
         self.served: Dict[str, int] = {}
+        self.busy_rejections = 0
         self._lock = threading.Lock()
+
+    def note_busy_rejection(self) -> None:
+        with self._lock:
+            self.busy_rejections += 1
 
     # -- ops -----------------------------------------------------------------
 
@@ -181,7 +208,28 @@ class ExperimentService:
                 "cache_dir": cache_dir,
                 "artifact_dir": self.artifact_dir,
                 "served": served,
-                "uptime_s": time.time() - self.started,
+                "uptime_s": time.monotonic() - self._started_monotonic,
+            },
+        }
+
+    def _op_health(self, params: Mapping[str, object]) -> Dict[str, object]:
+        del params
+        cache_health = (self.cache.health()
+                        if hasattr(self.cache, "health")
+                        else {"tier": type(self.cache).__name__,
+                              "degraded": False})
+        with self._lock:
+            served = dict(self.served)
+            busy = self.busy_rejections
+        return {
+            "ok": True,
+            "health": {
+                "cache": cache_health,
+                "served": served,
+                "busy_rejections": busy,
+                "request_timeout_s": self.request_timeout,
+                "max_connections": self.max_connections,
+                "uptime_s": time.monotonic() - self._started_monotonic,
             },
         }
 
@@ -218,7 +266,8 @@ class ExperimentService:
             return {"ok": True, "name": name, "artifact": json.load(handle)}
 
     _OPS = {"ping": _op_ping, "stats": _op_stats, "sweep": _op_sweep,
-            "replay": _op_replay, "artifact": _op_artifact}
+            "replay": _op_replay, "artifact": _op_artifact,
+            "health": _op_health}
 
     def handle(self, request: object) -> Dict[str, object]:
         if not isinstance(request, dict):
@@ -239,30 +288,70 @@ class ExperimentService:
 
 
 class _LineHandler(socketserver.StreamRequestHandler):
-    """One JSON-lines connection; requests stream until the client closes."""
+    """One JSON-lines connection; requests stream until the client closes.
 
-    def handle(self) -> None:
-        service: ExperimentService = self.server.service  # type: ignore
-        for raw in self.rfile:
-            line = raw.strip()
-            if not line:
-                continue
-            try:
-                request = json.loads(line.decode("utf-8"))
-            except (UnicodeDecodeError, ValueError) as error:
-                response = {"ok": False,
-                            "error": f"bad request line: {error}"}
-            else:
-                response = service.handle(request)
+    The per-connection socket deadline (``request_timeout``) bounds
+    every read and write; a deadline hit or a client that vanishes
+    mid-response simply ends this connection — never the daemon.
+    """
+
+    def setup(self) -> None:
+        timeout = getattr(self.server, "request_timeout", None)
+        if timeout is not None:
+            self.timeout = timeout  # applied to the socket by super()
+        super().setup()
+
+    def _send(self, response: Dict[str, object]) -> bool:
+        try:
             self.wfile.write(json.dumps(response,
                                         separators=(",", ":")).encode("utf-8"))
             self.wfile.write(b"\n")
             self.wfile.flush()
+            return True
+        except OSError:  # client gone / stalled past the deadline
+            return False
+
+    def handle(self) -> None:
+        service: ExperimentService = self.server.service  # type: ignore
+        slots = getattr(self.server, "connection_slots", None)
+        if slots is not None and not slots.acquire(blocking=False):
+            service.note_busy_rejection()
+            self._send({"ok": False, "retryable": True,
+                        "error": "busy: connection limit reached, "
+                                 "retry later"})
+            return
+        try:
+            while True:
+                try:
+                    raw = self.rfile.readline()
+                except OSError:  # deadline exceeded or connection reset
+                    return
+                if not raw:
+                    return
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError) as error:
+                    response = {"ok": False,
+                                "error": f"bad request line: {error}"}
+                else:
+                    response = service.handle(request)
+                if not self._send(response):
+                    return  # client disconnected mid-response
+        finally:
+            if slots is not None:
+                slots.release()
 
 
 class _Server(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    #: Per-connection socket deadline in seconds (None = unbounded).
+    request_timeout: Optional[float] = None
+    #: Semaphore bounding concurrent connections (None = unbounded).
+    connection_slots = None
 
 
 class ExperimentDaemon:
@@ -274,17 +363,30 @@ class ExperimentDaemon:
     tests/embedders run it on a thread and call :meth:`shutdown`.
     """
 
+    #: Default bound on concurrent connections (0/None = unbounded).
+    DEFAULT_MAX_CONNECTIONS = 64
+
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  cache_dir: Optional[str] = None,
                  artifact_dir: Optional[str] = None,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 request_timeout: Optional[float] = None,
+                 max_connections: Optional[int] = DEFAULT_MAX_CONNECTIONS
+                 ) -> None:
         cache = (DiskActivityCache(cache_dir) if cache_dir
                  else ActivityCache())
+        max_connections = max_connections or None
         self.service = ExperimentService(cache=cache,
                                          artifact_dir=artifact_dir,
-                                         backend=backend)
+                                         backend=backend,
+                                         request_timeout=request_timeout,
+                                         max_connections=max_connections)
         self._server = _Server((host, port), _LineHandler)
         self._server.service = self.service  # type: ignore[attr-defined]
+        self._server.request_timeout = request_timeout
+        self._server.connection_slots = (
+            threading.BoundedSemaphore(max_connections)
+            if max_connections else None)
 
     @property
     def address(self) -> Tuple[str, int]:

@@ -37,6 +37,25 @@ bytes by construction), so last-writer-wins is also correct.  The read
 path takes no locks and never blocks on writers; entries that fail to
 parse (foreign files, manual truncation) are treated as misses and
 simply rewritten.
+
+Graceful degradation
+--------------------
+
+A serving cache must survive a sick disk instead of killing the run:
+
+* **write failures** (disk full, permissions, a vanished mount) do not
+  raise — the first one downgrades the tier to *memory-only* (the
+  in-process dict keeps serving; disk writes stop) and is counted;
+* **corrupt entries** found on read are quarantined exactly once — the
+  file is renamed to ``*.bad`` so it is never re-parsed, the read counts
+  as a miss, and the next store rewrites a clean entry;
+* :meth:`health` reports the whole picture (tier, degradation reason,
+  write/read failures, quarantined entries) — the daemon exposes it via
+  its ``health`` op.
+
+Both behaviours preserve the repro's core invariant: a degraded run
+re-encodes instead of serving bad bytes, so its results stay
+bit-identical to a healthy run's.
 """
 
 from __future__ import annotations
@@ -134,7 +153,36 @@ class DiskActivityCache(ActivityCache):
     def __init__(self, directory) -> None:
         super().__init__()
         self.directory = os.path.abspath(os.fspath(directory))
-        os.makedirs(self.directory, exist_ok=True)
+        self.write_failures = 0
+        self.read_failures = 0
+        self.quarantined = 0
+        self._disk_disabled = False
+        self._degraded_reason: Optional[str] = None
+        self._unquarantinable: set = set()
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+        except OSError as error:
+            self._degrade(error)
+
+    def _degrade(self, error: OSError) -> None:
+        """A disk write failed: drop to the memory-only tier, loudly counted."""
+        self.write_failures += 1
+        if not self._disk_disabled:
+            self._disk_disabled = True
+            self._degraded_reason = f"{type(error).__name__}: {error}"
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside (once) so it is never re-parsed."""
+        if path in self._unquarantinable:
+            return
+        try:
+            os.replace(path, f"{path}.bad")
+            self.quarantined += 1
+        except OSError:
+            # Can't rename (read-only dir?) — remember the path so the
+            # corrupt file is counted and re-probed at most once.
+            self._unquarantinable.add(path)
+            self.read_failures += 1
 
     def _path(self, key: str) -> str:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
@@ -143,21 +191,40 @@ class DiskActivityCache(ActivityCache):
     def _load(self, key: str):
         """Read one entry from disk into memory; ``None`` on any miss.
 
-        Unparseable or mismatched files (a foreign file, a manually
-        truncated entry) count as misses — the next store simply
-        replaces them.
+        A missing file is a plain miss.  An unreadable file counts as a
+        read failure.  A file that exists but fails to parse, carries
+        the wrong key, or decodes to garbage is *corrupt*: it is
+        quarantined to ``*.bad`` and the read is a miss — the caller
+        re-encodes and the next store publishes a clean entry.
         """
         if key in self._totals:
             return self._totals[key]
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
+            handle = open(path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.read_failures += 1
+            return None
+        try:
+            with handle:
                 payload = json.load(handle)
-            if (not isinstance(payload, dict)
-                    or payload.get("format") != CACHE_FORMAT
-                    or payload.get("key") != key):
-                return None
+        except OSError:
+            self.read_failures += 1
+            return None
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("format") != CACHE_FORMAT
+                or payload.get("key") != key):
+            self._quarantine(path)
+            return None
+        try:
             totals = decode_record(payload["kind"], payload["record"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             return None
         self._totals[key] = totals
         return totals
@@ -171,22 +238,49 @@ class DiskActivityCache(ActivityCache):
             raise KeyError(key)
         return totals
 
+    def _publish(self, temp: str, path: str) -> None:
+        """Atomically publish a complete temp file (seam for fault tests)."""
+        os.replace(temp, path)
+
     def store(self, key: str, totals) -> None:
         kind, record = encode_record(totals)
         self._totals[key] = totals
+        if self._disk_disabled:
+            return  # degraded: memory-only tier keeps serving
         payload = {"format": CACHE_FORMAT, "key": key, "kind": kind,
                    "record": record}
         path = self._path(key)
         # Unique temp name per writer: atomic publish via os.replace.
         temp = f"{path}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
         try:
-            with open(temp, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-                handle.write("\n")
-            os.replace(temp, path)
+            try:
+                with open(temp, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                    handle.write("\n")
+                self._publish(temp, path)
+            except OSError as error:
+                self._degrade(error)
         finally:
-            if os.path.exists(temp):  # publish failed midway
-                os.unlink(temp)
+            try:
+                if os.path.exists(temp):  # publish failed midway
+                    os.unlink(temp)
+            except OSError:
+                pass
+
+    def health(self) -> Dict[str, object]:
+        """Degradation snapshot (also served by the daemon's ``health`` op)."""
+        return {
+            "tier": "memory-only" if self._disk_disabled else "disk",
+            "degraded": self._disk_disabled,
+            "degraded_reason": self._degraded_reason,
+            "directory": self.directory,
+            "memory_entries": len(self._totals),
+            "write_failures": self.write_failures,
+            "read_failures": self.read_failures,
+            "quarantined": self.quarantined,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
     def _entry_files(self) -> Iterator[str]:
         try:

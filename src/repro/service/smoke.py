@@ -44,8 +44,8 @@ def _start_daemon(cache_dir: str, timeout_s: float = 30.0):
          "--port", "0", "--cache-dir", cache_dir],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env=dict(os.environ, PYTHONUNBUFFERED="1"))
-    deadline = time.time() + timeout_s
-    while time.time() < deadline:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
         line = process.stdout.readline()
         if not line:
             break

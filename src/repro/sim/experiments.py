@@ -230,6 +230,22 @@ class ActivityCache:
         self.hits = 0
         self.misses = 0
 
+    def health(self) -> Dict[str, object]:
+        """Degradation/health snapshot; a plain memory tier never degrades.
+
+        The disk tier (:class:`repro.service.diskcache.DiskActivityCache`)
+        overrides this with write-failure / quarantine counters; the
+        service daemon's ``health`` op serves whatever the active cache
+        reports.
+        """
+        return {
+            "tier": "memory",
+            "degraded": False,
+            "memory_entries": len(self._totals),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
 
 _SHARED_CACHE: Optional[ActivityCache] = None
 

@@ -1,0 +1,75 @@
+"""Chaos: a flaky transport between client and daemon changes nothing.
+
+A :class:`~repro.service.faults.FlakyProxy` injects resets, torn
+response lines and stalls according to an explicit plan; the retrying
+client must still deliver artifacts byte-identical to a direct engine
+run.  Stdlib-only; runs on both CI legs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.artifacts import canonical_artifact_json
+from repro.service.client import ServiceClient
+from repro.service.daemon import ExperimentDaemon, sweep_spec_from_params
+from repro.service.faults import FaultPlan, FlakyProxy
+from repro.service.retry import RetryPolicy
+from repro.sim.experiments import result_to_json, run_experiment
+
+SWEEP_PARAMS = {"figure": "alpha", "samples": 120, "points": 5, "seed": 7}
+
+#: Fault on every other exchange: each op fails once, then succeeds on
+#: its retry — three attempts cover it with margin.
+PLAN = FaultPlan({0: "reset", 2: "partial", 4: "stall", 6: "reset"},
+                 label="alternating")
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    instance = ExperimentDaemon(port=0, cache_dir=str(tmp_path / "cache"))
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    thread.join(timeout=10)
+
+
+class TestFlakyTransport:
+    def test_artifacts_identical_through_chaos(self, daemon):
+        with FlakyProxy(daemon.address, PLAN, stall_s=0.6) as proxy:
+            host, port = proxy.address
+            retry = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+            with ServiceClient(host, port, timeout=0.3,
+                               retry=retry) as client:
+                assert client.ping()["pong"] is True          # exchange 0-1
+                cold = client.sweep(**SWEEP_PARAMS)           # exchange 2-3
+                warm = client.sweep(**SWEEP_PARAMS)           # exchange 4-5
+                stats = client.stats()                        # exchange 6-7
+            assert proxy.injected == {"reset": 2, "partial": 1, "stall": 1}
+        direct = result_to_json(
+            run_experiment(sweep_spec_from_params(SWEEP_PARAMS)))
+        assert (canonical_artifact_json(cold)
+                == canonical_artifact_json(direct))
+        assert (canonical_artifact_json(warm)
+                == canonical_artifact_json(direct))
+        # partial/stall tear the *response*, so the daemon executed
+        # those sweeps before the retry re-issued them — harmless
+        # because every op is idempotent (2 queries, 2 torn replies).
+        assert stats["served"]["sweep"] == 4
+
+    def test_chaos_run_is_reproducible(self, daemon):
+        outcomes = []
+        for __ in range(2):
+            plan = FaultPlan({0: "reset", 1: "partial"}, label="repeat")
+            with FlakyProxy(daemon.address, plan, stall_s=0.2) as proxy:
+                host, port = proxy.address
+                retry = RetryPolicy(max_attempts=4, base_delay_s=0.0)
+                with ServiceClient(host, port, timeout=0.5,
+                                   retry=retry) as client:
+                    artifact = client.sweep(**SWEEP_PARAMS)
+                outcomes.append((canonical_artifact_json(artifact),
+                                 dict(proxy.injected)))
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,213 @@
+"""Checkpoint/resume of sharded sweeps and per-shard retry."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.artifacts import canonical_artifact_json
+from repro.service.faults import CRASH_POINTS_ENV
+from repro.service.retry import RetryPolicy
+from repro.service.shard import (
+    SHARD_RETRYABLE,
+    ShardExecutionError,
+    run_shards,
+    shard_spec,
+)
+from repro.sim.experiments import (
+    alpha_experiment,
+    result_to_json,
+    run_experiment,
+)
+from repro.workloads.population import RandomPopulation
+
+
+def _alpha_spec(samples=150, points=6):
+    return alpha_experiment(RandomPopulation(count=samples, seed=0x0DB1),
+                            points=points, include_fixed=True)
+
+
+def _canonical(result):
+    return canonical_artifact_json(result_to_json(result))
+
+
+class TestCheckpointing:
+    def test_checkpoints_are_ordinary_artifacts(self, tmp_path):
+        spec = _alpha_spec()
+        checkpoint_dir = tmp_path / "ckpt"
+        run_shards(spec, 3, checkpoint_dir=str(checkpoint_dir))
+        names = sorted(os.listdir(checkpoint_dir))
+        assert names == ["shard0000-of-3.json", "shard0001-of-3.json",
+                         "shard0002-of-3.json"]
+        with open(checkpoint_dir / names[0], encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["format"] == "repro.experiment/1"
+        assert payload["spec"]["figure_params"]["shard"]["index"] == 0
+
+    def test_resume_skips_completed_shards(self, tmp_path):
+        spec = _alpha_spec()
+        checkpoint_dir = str(tmp_path / "ckpt")
+        baseline = run_shards(spec, 3, checkpoint_dir=checkpoint_dir)
+        assert baseline.provenance["encodes"] > 0
+        assert baseline.provenance["resumed_shards"] == 0
+        resumed = run_shards(spec, 3, checkpoint_dir=checkpoint_dir)
+        # Everything came from checkpoints: this run encoded nothing.
+        assert resumed.provenance["encodes"] == 0
+        assert resumed.provenance["resumed_shards"] == 3
+        assert _canonical(resumed) == _canonical(baseline)
+        assert _canonical(resumed) == _canonical(run_experiment(spec))
+
+    def test_partial_checkpoints_merge_bit_identically(self, tmp_path):
+        spec = _alpha_spec()
+        checkpoint_dir = str(tmp_path / "ckpt")
+        run_shards(spec, 3, checkpoint_dir=checkpoint_dir)
+        os.unlink(os.path.join(checkpoint_dir, "shard0001-of-3.json"))
+        mixed = run_shards(spec, 3, checkpoint_dir=checkpoint_dir)
+        assert mixed.provenance["resumed_shards"] == 2
+        assert mixed.provenance["encodes"] > 0  # only shard 1 re-ran
+        assert _canonical(mixed) == _canonical(run_experiment(spec))
+
+    def test_corrupt_checkpoint_quarantined_and_rerun(self, tmp_path):
+        spec = _alpha_spec()
+        checkpoint_dir = str(tmp_path / "ckpt")
+        run_shards(spec, 3, checkpoint_dir=checkpoint_dir)
+        victim = os.path.join(checkpoint_dir, "shard0002-of-3.json")
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "repro.experiment/1", "trunc')
+        resumed = run_shards(spec, 3, checkpoint_dir=checkpoint_dir)
+        assert resumed.provenance["resumed_shards"] == 2
+        assert os.path.exists(f"{victim}.bad")
+        assert os.path.exists(victim)  # re-ran and re-checkpointed
+        assert _canonical(resumed) == _canonical(run_experiment(spec))
+
+    def test_foreign_checkpoint_rejected_by_identity(self, tmp_path):
+        spec = _alpha_spec()
+        other = _alpha_spec(samples=151)  # different population digest
+        checkpoint_dir = str(tmp_path / "ckpt")
+        run_shards(other, 3, checkpoint_dir=checkpoint_dir)
+        resumed = run_shards(spec, 3, checkpoint_dir=checkpoint_dir)
+        assert resumed.provenance["resumed_shards"] == 0
+        assert _canonical(resumed) == _canonical(run_experiment(spec))
+
+
+class TestShardRetry:
+    def test_nonretryable_failure_is_typed(self, tmp_path):
+        spec = _alpha_spec()
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                             retryable=SHARD_RETRYABLE)
+
+        calls = {"n": 0}
+
+        import repro.service.shard as shard_module
+
+        real = shard_module.run_experiment
+
+        def sabotaged(shard, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise ValueError("permanent bug")
+            return real(shard, **kwargs)
+
+        shard_module.run_experiment = sabotaged
+        try:
+            with pytest.raises(ValueError, match="permanent bug"):
+                run_shards(spec, 3, retry=policy)
+        finally:
+            shard_module.run_experiment = real
+
+    def test_transient_failures_absorbed_in_process(self, tmp_path):
+        spec = _alpha_spec()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0,
+                             retryable=SHARD_RETRYABLE)
+
+        calls = {"n": 0}
+        import repro.service.shard as shard_module
+
+        real = shard_module.run_experiment
+
+        def flaky(shard, **kwargs):
+            calls["n"] += 1
+            if calls["n"] in (1, 3):
+                raise OSError(28, "injected disk full")
+            return real(shard, **kwargs)
+
+        shard_module.run_experiment = flaky
+        try:
+            merged = run_shards(spec, 3, retry=policy)
+        finally:
+            shard_module.run_experiment = real
+        assert _canonical(merged) == _canonical(run_experiment(spec))
+
+    def test_exhaustion_names_the_shard(self):
+        spec = _alpha_spec()
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                             retryable=SHARD_RETRYABLE)
+        import repro.service.shard as shard_module
+
+        real = shard_module.run_experiment
+        shard_module.run_experiment = lambda *a, **k: (_ for _ in ()).throw(
+            OSError(28, "always full"))
+        try:
+            with pytest.raises(ShardExecutionError) as info:
+                run_shards(spec, 2, retry=policy)
+        finally:
+            shard_module.run_experiment = real
+        assert info.value.attempts == 2
+        assert "#shard0/2" in info.value.shard_name
+        assert isinstance(info.value.cause, OSError)
+
+
+class TestKilledWorkerAcceptance:
+    """The acceptance scenario: kill a worker, resume the checkpoint dir."""
+
+    def test_kill_then_resume_completes_without_rerunning(
+            self, tmp_path, monkeypatch):
+        spec = _alpha_spec(points=6)
+        checkpoint_dir = str(tmp_path / "ckpt")
+        sentinel = str(tmp_path / "killed-shard2")
+        monkeypatch.setenv(CRASH_POINTS_ENV, f"shard:2@{sentinel}")
+
+        # One worker at a time so shards 0 and 1 are checkpointed before
+        # the armed crash point kills the worker running shard 2; with a
+        # single attempt the driver must surface a typed error.
+        no_retry = RetryPolicy(max_attempts=1, base_delay_s=0.0,
+                               retryable=SHARD_RETRYABLE)
+        with pytest.raises(ShardExecutionError) as info:
+            run_shards(spec, 3, processes=True,
+                       cache_dir=str(tmp_path / "cache"),
+                       retry=no_retry, checkpoint_dir=checkpoint_dir,
+                       max_workers=1)
+        assert "#shard2/3" in info.value.shard_name
+        assert os.path.exists(sentinel)
+        done = sorted(os.listdir(checkpoint_dir))
+        assert done == ["shard0000-of-3.json", "shard0001-of-3.json"]
+
+        # Resume with the same directory: only shard 2 runs (the
+        # sentinel is claimed, so the crash point is inert), proven by
+        # the merged encode count — resumed shards contribute zero, so
+        # the run encodes at most what shard 2 alone would.
+        resumed = run_shards(spec, 3, processes=True,
+                             cache_dir=str(tmp_path / "cache"),
+                             retry=no_retry,
+                             checkpoint_dir=checkpoint_dir, max_workers=1)
+        assert resumed.provenance["resumed_shards"] == 2
+        shard2_alone = run_experiment(shard_spec(spec, 3)[2])
+        assert (resumed.provenance["encodes"]
+                <= shard2_alone.provenance["encodes"])
+        full = run_experiment(spec)
+        assert resumed.provenance["encodes"] < full.provenance["encodes"]
+        assert _canonical(resumed) == _canonical(full)
+
+    def test_retry_absorbs_the_kill_in_one_call(self, tmp_path, monkeypatch):
+        spec = _alpha_spec(points=4)
+        sentinel = str(tmp_path / "killed-once")
+        monkeypatch.setenv(CRASH_POINTS_ENV, f"shard:1@{sentinel}")
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0,
+                             retryable=SHARD_RETRYABLE)
+        merged = run_shards(spec, 2, processes=True,
+                            cache_dir=str(tmp_path / "cache"),
+                            retry=policy, max_workers=2)
+        assert os.path.exists(sentinel)  # the kill really happened
+        assert _canonical(merged) == _canonical(run_experiment(spec))

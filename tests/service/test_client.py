@@ -1,0 +1,163 @@
+"""Client-side fault tolerance: safe close, resync, retries over chaos."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import (
+    DEFAULT_CLIENT_RETRY,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.daemon import ExperimentDaemon
+from repro.service.faults import FaultPlan, FlakyProxy
+from repro.service.retry import RetryExhaustedError, RetryPolicy
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    instance = ExperimentDaemon(port=0, cache_dir=str(tmp_path / "cache"))
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    thread.join(timeout=10)
+
+
+class TestClose:
+    def test_close_is_idempotent(self, daemon):
+        host, port = daemon.address
+        client = ServiceClient(host, port)
+        client.connect()
+        client.close()
+        client.close()  # second close is a no-op
+        assert client._sock is None and client._file is None
+
+    def test_close_without_connect(self):
+        ServiceClient("127.0.0.1", 1).close()  # never connected: fine
+
+    def test_close_survives_file_close_failure(self, daemon):
+        host, port = daemon.address
+        client = ServiceClient(host, port)
+        client.connect()
+        sock = client._sock
+
+        class ExplodingFile:
+            def close(self):
+                raise OSError("flush failed")
+
+        client._file = ExplodingFile()
+        client.close()  # must not raise, must still close the socket
+        assert client._sock is None
+        with pytest.raises(OSError):
+            sock.getpeername()  # really closed
+
+    def test_context_manager_closes_on_error(self, daemon):
+        host, port = daemon.address
+        with pytest.raises(RuntimeError, match="boom"):
+            with ServiceClient(host, port) as client:
+                client.ping()
+                raise RuntimeError("boom")
+        assert client._sock is None
+
+
+class TestResync:
+    def test_broken_connection_reconnects_on_next_call(self, daemon):
+        host, port = daemon.address
+        with ServiceClient(host, port) as client:
+            assert client.ping()["pong"] is True
+            # Sever the transport under the client.
+            client._sock.shutdown(socket.SHUT_RDWR)
+            # The retry layer reconnects and the call succeeds.
+            assert client.ping()["pong"] is True
+
+    def test_raw_request_is_single_shot(self, daemon):
+        host, port = daemon.address
+        with ServiceClient(host, port) as client:
+            client.request({"op": "ping"})
+            client._sock.shutdown(socket.SHUT_RDWR)
+            with pytest.raises((ConnectionError, OSError)):
+                client.request({"op": "ping"})
+            assert client._sock is None  # marked broken for resync
+            assert client.request({"op": "ping"})["ok"] is True
+
+    def test_service_error_does_not_drop_connection(self, daemon):
+        host, port = daemon.address
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ServiceError):
+                client.sweep(figure="pie")
+            assert client._sock is not None  # protocol error, not transport
+            assert client.ping()["pong"] is True
+
+
+class TestRetryOverChaos:
+    def _proxy_client(self, daemon, plan, **kwargs):
+        proxy = FlakyProxy(daemon.address, plan, stall_s=0.5)
+        proxy.start()
+        host, port = proxy.address
+        return proxy, ServiceClient(host, port, **kwargs)
+
+    def test_reset_is_retried(self, daemon):
+        proxy, client = self._proxy_client(
+            daemon, FaultPlan({0: "reset"}),
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0))
+        with proxy, client:
+            assert client.ping()["pong"] is True
+        assert proxy.injected == {"reset": 1}
+
+    def test_partial_line_is_never_parsed(self, daemon):
+        proxy, client = self._proxy_client(
+            daemon, FaultPlan({0: "partial"}),
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0))
+        with proxy, client:
+            assert client.ping()["pong"] is True
+        assert proxy.injected == {"partial": 1}
+
+    def test_stall_times_out_and_retries(self, daemon):
+        proxy, client = self._proxy_client(
+            daemon, FaultPlan({0: "stall"}), timeout=0.2,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0))
+        with proxy, client:
+            assert client.ping()["pong"] is True
+        assert proxy.injected == {"stall": 1}
+
+    def test_exhaustion_is_typed(self, daemon):
+        proxy, client = self._proxy_client(
+            daemon, FaultPlan({0: "reset", 1: "reset", 2: "reset"}),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0))
+        with proxy, client:
+            with pytest.raises(RetryExhaustedError) as info:
+                client.ping()
+        assert info.value.attempts == 2
+
+    def test_default_policy_exists(self):
+        assert DEFAULT_CLIENT_RETRY.max_attempts == 3
+        assert ServiceClient().retry is DEFAULT_CLIENT_RETRY
+
+
+class TestBusy:
+    def test_busy_daemon_answer_is_transient(self, tmp_path):
+        instance = ExperimentDaemon(port=0, max_connections=1)
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = instance.address
+            # Hog the single slot with a raw connection...
+            with socket.create_connection((host, port), timeout=30):
+                # ...so a second client gets the retryable busy answer.
+                single = RetryPolicy(max_attempts=1, base_delay_s=0.0)
+                with ServiceClient(host, port, retry=single) as client:
+                    with pytest.raises(RetryExhaustedError) as info:
+                        client.ping()
+                    assert isinstance(info.value.last_error,
+                                      ServiceBusyError)
+            # Slot released: the same client succeeds now.
+            with ServiceClient(host, port) as client:
+                assert client.ping()["pong"] is True
+        finally:
+            instance.shutdown()
+            thread.join(timeout=10)

@@ -167,7 +167,117 @@ class TestArtifacts:
             thread.join(timeout=10)
 
 
+class TestErrorPaths:
+    def test_replay_burst_budget_enforced(self, client):
+        with pytest.raises(ServiceError, match="bursts"):
+            client.replay(bursts=10_000_000)
+
+    def test_malformed_then_valid_requests_interleave(self, daemon):
+        host, port = daemon.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            handle = sock.makefile("rwb")
+            for garbage in (b"{truncated\n", b'"just a string"\n',
+                            b"[]\n"):
+                handle.write(garbage)
+                handle.flush()
+                assert json.loads(handle.readline())["ok"] is False
+            handle.write(b'{"op": "ping"}\n')
+            handle.flush()
+            assert json.loads(handle.readline())["ok"] is True
+
+    def test_client_disconnect_mid_response_daemon_survives(self, daemon):
+        host, port = daemon.address
+        # Send a sweep request and slam the connection shut without
+        # reading the (large) response; the daemon must shrug it off.
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(json.dumps({"op": "sweep", **SWEEP_PARAMS})
+                         .encode("utf-8") + b"\n")
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            b"\x01\x00\x00\x00\x00\x00\x00\x00")  # RST
+        # A fresh client still gets full service.
+        with ServiceClient(host, port, timeout=60) as client:
+            assert client.ping()["pong"] is True
+            artifact = client.sweep(**SWEEP_PARAMS)
+            assert artifact["provenance"]["grid_cells"] > 0
+
+    def test_health_op(self, client):
+        health = client.health()
+        assert health["cache"]["tier"] == "disk"
+        assert health["cache"]["degraded"] is False
+        assert health["busy_rejections"] == 0
+        assert health["uptime_s"] >= 0
+        assert "served" in health
+
+
+class TestServingLimits:
+    def test_request_timeout_drops_idle_connections(self, tmp_path):
+        daemon = ExperimentDaemon(port=0, request_timeout=0.3)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = daemon.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                handle = sock.makefile("rwb")
+                # Say nothing: the daemon's deadline closes the stream.
+                assert handle.readline() == b""
+            # Prompt clients are unaffected.
+            with ServiceClient(host, port) as client:
+                assert client.ping()["pong"] is True
+        finally:
+            daemon.shutdown()
+            thread.join(timeout=10)
+
+    def test_connection_limit_sends_retryable_busy(self):
+        daemon = ExperimentDaemon(port=0, max_connections=1)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = daemon.address
+            with socket.create_connection((host, port), timeout=30):
+                with socket.create_connection((host, port),
+                                              timeout=30) as second:
+                    line = second.makefile("rb").readline()
+                    busy = json.loads(line)
+                    assert busy["ok"] is False
+                    assert busy["retryable"] is True
+            with ServiceClient(host, port) as client:
+                health = client.health()
+                assert health["busy_rejections"] == 1
+        finally:
+            daemon.shutdown()
+            thread.join(timeout=10)
+
+
 class TestConcurrentClients:
+    def test_interleaved_sweep_and_stats(self, daemon):
+        host, port = daemon.address
+        failures = []
+
+        def sweeper():
+            try:
+                with ServiceClient(host, port, timeout=120) as client:
+                    artifact = client.sweep(**SWEEP_PARAMS)
+                    assert artifact["provenance"]["grid_cells"] > 0
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append(error)
+
+        def poller():
+            try:
+                with ServiceClient(host, port, timeout=120) as client:
+                    for __ in range(10):
+                        stats = client.stats()
+                        assert "served" in stats
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append(error)
+
+        threads = [threading.Thread(target=sweeper),
+                   threading.Thread(target=poller)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert failures == []
+
     def test_parallel_queries_consistent(self, daemon):
         host, port = daemon.address
         outputs = []

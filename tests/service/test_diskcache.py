@@ -130,6 +130,75 @@ class TestDiskActivityCache:
                     if name.endswith(".tmp")]
 
 
+class TestDegradation:
+    def test_write_failure_downgrades_to_memory_only(self, tmp_path,
+                                                     monkeypatch):
+        cache = DiskActivityCache(tmp_path)
+
+        def full_disk(temp, path):
+            raise OSError(28, "no space left on device")
+
+        monkeypatch.setattr(cache, "_publish", full_disk)
+        cache.store("k", SAMPLE_RECORDS[0])  # must not raise
+        assert cache.get("k") == SAMPLE_RECORDS[0]  # memory keeps serving
+        health = cache.health()
+        assert health["tier"] == "memory-only"
+        assert health["degraded"] is True
+        assert "no space left" in health["degraded_reason"]
+        assert health["write_failures"] == 1
+        # Degradation is sticky: later stores skip disk entirely.
+        cache.store("k2", SAMPLE_RECORDS[0])
+        assert cache.get("k2") == SAMPLE_RECORDS[0]
+        assert DiskActivityCache(tmp_path)._load("k2") is None
+
+    def test_no_temp_files_after_failed_publish(self, tmp_path,
+                                                monkeypatch):
+        cache = DiskActivityCache(tmp_path)
+        monkeypatch.setattr(
+            cache, "_publish",
+            lambda temp, path: (_ for _ in ()).throw(OSError(28, "full")))
+        cache.store("k", SAMPLE_RECORDS[0])
+        assert not [name for name in os.listdir(tmp_path)
+                    if name.endswith(".tmp")]
+
+    def test_unwritable_directory_degrades_at_construction(self):
+        cache = DiskActivityCache("/proc/definitely/not/writable")
+        assert cache.health()["tier"] == "memory-only"
+        cache.store("k", SAMPLE_RECORDS[0])  # memory tier still works
+        assert cache.get("k") == SAMPLE_RECORDS[0]
+
+    def test_corrupt_entry_quarantined_once(self, tmp_path):
+        cache = DiskActivityCache(tmp_path)
+        cache.store("k", SAMPLE_RECORDS[0])
+        path = cache._path("k")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        fresh = DiskActivityCache(tmp_path)
+        assert "k" not in fresh
+        assert os.path.exists(f"{path}.bad")
+        assert not os.path.exists(path)
+        assert fresh.health()["quarantined"] == 1
+        # The quarantined copy is never re-parsed; a clean store heals.
+        fresh.store("k", SAMPLE_RECORDS[0])
+        assert DiskActivityCache(tmp_path).get("k") == SAMPLE_RECORDS[0]
+
+    def test_healthy_cache_health_snapshot(self, tmp_path):
+        cache = DiskActivityCache(tmp_path)
+        cache.store("k", SAMPLE_RECORDS[0])
+        health = cache.health()
+        assert health["tier"] == "disk"
+        assert health["degraded"] is False
+        assert health["degraded_reason"] is None
+        assert health["memory_entries"] == 1
+        assert health["write_failures"] == 0
+        assert health["quarantined"] == 0
+
+    def test_memory_cache_health_baseline(self):
+        health = ActivityCache().health()
+        assert health["tier"] == "memory"
+        assert health["degraded"] is False
+
+
 class TestEngineIntegration:
     def test_warm_run_skips_all_encodes(self, tmp_path):
         population = RandomPopulation(count=120, seed=11)

@@ -1,0 +1,132 @@
+"""Retry policy: taxonomy, deterministic backoff, call semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.retry import (
+    TRANSIENT_ERRORS,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientServiceError,
+)
+
+
+class TestTaxonomy:
+    def test_default_transients(self):
+        policy = RetryPolicy()
+        for error in (ConnectionError("reset"), ConnectionResetError(),
+                      TimeoutError("late"), EOFError(),
+                      TransientServiceError("busy")):
+            assert policy.is_retryable(error)
+
+    def test_permanent_errors_not_retryable(self):
+        policy = RetryPolicy()
+        for error in (ValueError("bad input"), KeyError("k"),
+                      OSError(28, "disk full"), RuntimeError("bug")):
+            assert not policy.is_retryable(error)
+
+    def test_custom_taxonomy(self):
+        policy = RetryPolicy(retryable=TRANSIENT_ERRORS + (OSError,))
+        assert policy.is_retryable(OSError(28, "disk full"))
+        assert policy.is_retryable(ConnectionError())
+        assert not policy.is_retryable(ValueError())
+
+
+class TestBackoff:
+    def test_deterministic_across_policies(self):
+        one = RetryPolicy(seed=7)
+        two = RetryPolicy(seed=7)
+        assert [one.delay_for(n) for n in range(1, 6)] \
+            == [two.delay_for(n) for n in range(1, 6)]
+
+    def test_seed_changes_schedule(self):
+        assert RetryPolicy(seed=1).delay_for(1) \
+            != RetryPolicy(seed=2).delay_for(1)
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=0.35, jitter=0.0)
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.35)  # capped
+        assert policy.delay_for(9) == pytest.approx(0.35)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0,
+                             max_delay_s=1.0, jitter=0.25)
+        for attempt in range(1, 20):
+            assert 0.75 <= policy.delay_for(attempt) <= 1.25
+
+    def test_zero_base_delay_is_zero(self):
+        assert RetryPolicy(base_delay_s=0.0).delay_for(1) == 0.0
+
+    def test_attempt_numbers_start_at_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(0)
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCall:
+    def test_success_first_try(self):
+        assert RetryPolicy().call(lambda: 42) == 42
+
+    def test_retries_transient_then_succeeds(self):
+        attempts = []
+        slept = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionError("reset")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.call(flaky, sleep=slept.append) == "done"
+        assert len(attempts) == 3
+        assert slept == [policy.delay_for(1), policy.delay_for(2)]
+
+    def test_non_retryable_propagates_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError, match="permanent"):
+            RetryPolicy(max_attempts=5).call(broken, sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_exhaustion_is_typed_and_chains(self):
+        def always_fails():
+            raise TimeoutError("stall")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            RetryPolicy(max_attempts=2).call(always_fails,
+                                             sleep=lambda _: None)
+        assert info.value.attempts == 2
+        assert isinstance(info.value.last_error, TimeoutError)
+        assert isinstance(info.value.__cause__, TimeoutError)
+
+    def test_before_retry_observes_failures(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise EOFError("torn")
+            return "ok"
+
+        RetryPolicy(max_attempts=3).call(
+            flaky, sleep=lambda _: None,
+            before_retry=lambda attempt, error: seen.append(
+                (attempt, type(error).__name__)))
+        assert seen == [(1, "EOFError"), (2, "EOFError")]
+
+    def test_single_attempt_policy_never_retries(self):
+        with pytest.raises(RetryExhaustedError):
+            RetryPolicy(max_attempts=1).call(
+                lambda: (_ for _ in ()).throw(ConnectionError()),
+                sleep=lambda _: None)
