@@ -110,12 +110,18 @@ def _measure(transactions, channels, byte_lanes):
 def _write_artifact(rows):
     directory = pathlib.Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "."))
     path = directory / ARTIFACT_NAME
-    payload = {
+    # Read-modify-write: the streaming bench shares this artifact (its
+    # "streaming" section must survive this test rewriting its own keys).
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload.update({
         "schema": "repro.bench/ctrl_throughput/1",
         "n_transactions": BENCH_TRANSACTIONS,
         "speedup_floor": SPEEDUP_FLOOR,
         "geometries": rows,
-    }
+    })
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

@@ -81,8 +81,15 @@ from .sim.report import (
     markdown_table,
 )
 from .sim.sweep import to_alpha_result, to_load_result, to_rate_result
+from .ctrl.adaptive import (
+    DEFAULT_HALF_LIFE_BYTES,
+    OperatingPoint,
+    OperatingPointSchedule,
+    TrackingConfig,
+)
 from .workloads.patterns import PATTERN_NAMES, pattern_population
 from .workloads.population import RandomPopulation
+from .workloads.source import DEFAULT_TRACE_CHUNK_BYTES, FileTraceSource
 
 
 def _burst_from_args(args: argparse.Namespace) -> Burst:
@@ -295,19 +302,26 @@ def _cmd_sweep_load(args: argparse.Namespace) -> int:
     return 0
 
 
-def _ctrl_payload(args: argparse.Namespace) -> Optional[bytes]:
-    """The replay payload: trace file, named trace, or synthetic bursts.
+def _ctrl_trace(args: argparse.Namespace) -> Optional[dict]:
+    """The replay trace as :class:`ReplaySpec` keyword arguments.
 
-    Returns ``None`` for a handled usage error (message on stderr).
+    Trace files stream through a chunked :class:`FileTraceSource`
+    (``source=``, never a whole-file read); named traces and synthetic
+    bursts stay inline payloads (``payload=``), which keeps ``--jobs``
+    pool parallelism for them.  Returns ``None`` for a handled usage
+    error (message on stderr).
     """
+    path = args.trace_file or (args.trace if args.trace
+                               and os.path.exists(args.trace) else None)
+    if path is not None:
+        try:
+            return {"source": FileTraceSource(path,
+                                              chunk_bytes=args.chunk_bytes,
+                                              limit=args.bytes)}
+        except (OSError, ValueError) as error:
+            print(f"trace file {path}: {error}", file=sys.stderr)
+            return None
     if args.trace:
-        if os.path.exists(args.trace):
-            with open(args.trace, "rb") as handle:
-                payload = handle.read(args.bytes if args.bytes else -1)
-            if not payload:
-                print(f"--trace {args.trace}: file is empty", file=sys.stderr)
-                return None
-            return payload
         try:
             from .workloads.traces import trace_bytes
         except ImportError:
@@ -315,15 +329,49 @@ def _ctrl_payload(args: argparse.Namespace) -> Optional[bytes]:
                   "file path or use --bursts instead)", file=sys.stderr)
             return None
         try:
-            return trace_bytes(args.trace, args.bytes or 65536,
-                               seed=args.seed)
+            return {"payload": trace_bytes(args.trace, args.bytes or 65536,
+                                           seed=args.seed)}
         except KeyError as error:
             print(f"--trace: {error.args[0]}", file=sys.stderr)
             return None
     from .workloads.population import RandomPopulation
 
     population = RandomPopulation(count=args.bursts, seed=args.seed)
-    return b"".join(bytes(burst.data) for burst in population)
+    return {"payload": b"".join(bytes(burst.data) for burst in population)}
+
+
+def _parse_operating_points(specs: Sequence[str], c_load_pf: float,
+                            option: str, with_starts: bool):
+    """Parse ``IFACE@GBPS[:START]`` point specs for --schedule/--track.
+
+    Returns ``(points, switch_at)`` or ``None`` after printing a usage
+    error.  ``START`` markers are only meaningful (and, from the second
+    point on, required) for schedules.
+    """
+    points: List[OperatingPoint] = []
+    switch_at: List[int] = []
+    for index, text in enumerate(specs):
+        body, colon, start = text.partition(":")
+        interface, at, gbps = body.partition("@")
+        try:
+            if not at:
+                raise ValueError("expected IFACE@GBPS")
+            if colon and not with_starts:
+                raise ValueError("switch positions are for --schedule only")
+            if with_starts and index > 0 and not colon:
+                raise ValueError(
+                    "every point after the first needs :START")
+            if colon:
+                if index == 0:
+                    raise ValueError("the first point cannot have :START")
+                switch_at.append(int(start))
+            points.append(OperatingPoint(
+                interface=interface, data_rate_hz=float(gbps) * GBPS,
+                c_load_farads=c_load_pf * PICOFARAD))
+        except (KeyError, ValueError) as error:
+            print(f"{option} {text!r}: {error}", file=sys.stderr)
+            return None
+    return points, switch_at
 
 
 def _cmd_ctrl(args: argparse.Namespace) -> int:
@@ -340,26 +388,61 @@ def _cmd_ctrl(args: argparse.Namespace) -> int:
         payload_bytes = int(result.provenance.get("payload_bytes",
                                                   len(spec.payload)))
     else:
-        payload = _ctrl_payload(args)
-        if payload is None:
+        trace = _ctrl_trace(args)
+        if trace is None:
             return 2
+        schedule = tracking = None
+        if args.schedule:
+            parsed = _parse_operating_points(
+                args.schedule, args.c_load_pf, "--schedule", True)
+            if parsed is None:
+                return 2
+            points, switch_at = parsed
+            try:
+                schedule = OperatingPointSchedule(
+                    points=tuple(points), switch_at=tuple(switch_at),
+                    unit=args.schedule_unit)
+            except ValueError as error:
+                print(f"--schedule: {error}", file=sys.stderr)
+                return 2
+        if args.track:
+            parsed = _parse_operating_points(
+                args.track, args.c_load_pf, "--track", False)
+            if parsed is None:
+                return 2
+            try:
+                tracking = TrackingConfig(
+                    points=tuple(parsed[0]),
+                    half_life_bytes=args.track_half_life)
+            except ValueError as error:
+                print(f"--track: {error}", file=sys.stderr)
+                return 2
         interfaces = list(dict.fromkeys(args.interface))
-        spec = ReplaySpec(
-            name="cli-ctrl-replay", payload=payload,
-            points=tuple(ReplayPoint(interface=name,
-                                     data_rate_hz=args.data_rate_gbps * GBPS,
-                                     c_load_farads=args.c_load_pf * PICOFARAD)
-                         for name in interfaces),
-            channels=args.channels, byte_lanes=args.lanes, window=args.window,
-            line_bytes=args.line_bytes)
+        try:
+            spec = ReplaySpec(
+                name="cli-ctrl-replay",
+                points=tuple(ReplayPoint(
+                    interface=name,
+                    data_rate_hz=args.data_rate_gbps * GBPS,
+                    c_load_farads=args.c_load_pf * PICOFARAD)
+                    for name in interfaces),
+                channels=args.channels, byte_lanes=args.lanes,
+                window=args.window, line_bytes=args.line_bytes,
+                chunk_bytes=args.chunk_bytes, schedule=schedule,
+                tracking=tracking, **trace)
+        except ValueError as error:
+            print(f"ctrl: {error}", file=sys.stderr)
+            return 2
         result = run_replay(spec, backend=args.backend, jobs=args.jobs,
                             cache=open_cache(args.cache_dir))
-        payload_bytes = len(payload)
+        payload_bytes = spec.trace_bytes_total()
     totals_any = next(iter(result.totals.values()))
+    streamed = (f" (streamed in {spec.effective_chunk_bytes()}-byte chunks)"
+                if result.provenance.get("streamed") else "")
     print(f"payload: {payload_bytes} bytes -> {totals_any.transactions} "
           f"transactions of <= {spec.line_bytes} B over "
           f"{spec.channels} channel(s) x {spec.byte_lanes} lane(s), "
-          f"window {spec.window}")
+          f"window {spec.window}{streamed}")
     for point in spec.points:
         priced = result.series[point.label]
         totals = result.totals_for(point.label)
@@ -376,6 +459,26 @@ def _cmd_ctrl(args: argparse.Namespace) -> int:
         print(f"\n## {point.label}")
         print(markdown_table(
             ["channel", "bytes", "zeros", "transitions", "energy [pJ]",
+             "pJ/byte"], rows))
+    adaptive_label = spec.adaptive_label
+    if adaptive_label is not None and adaptive_label in result.series:
+        priced = result.series[adaptive_label]
+        totals = result.totals_for(adaptive_label)
+        rows = []
+        for (label, zeros, transitions, beats), segment in zip(
+                totals.segments, priced["per_segment_energy"]):
+            energy = segment["energy_joules"]
+            rows.append([label, beats, zeros, transitions,
+                         f"{energy / PICOJOULE:.1f}",
+                         f"{energy / beats / PICOJOULE:.3f}" if beats else "-"])
+        rows.append(["total", totals.bytes_written, totals.zeros,
+                     totals.transitions,
+                     f"{priced['energy_joules'] / PICOJOULE:.1f}",
+                     f"{priced['energy_per_byte'] / PICOJOULE:.3f}"])
+        kind = "schedule" if spec.schedule is not None else "tracking"
+        print(f"\n## {adaptive_label} ({kind}, per segment)")
+        print(markdown_table(
+            ["segment", "beats", "zeros", "transitions", "energy [pJ]",
              "pJ/byte"], rows))
     if args.out:
         try:
@@ -694,11 +797,20 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="synthetic input: N random 8-byte bursts "
                              "(default: 2000)")
+    source.add_argument("--trace-file", dest="trace_file", metavar="PATH",
+                        help="binary trace file, streamed chunk by chunk "
+                             "in bounded memory (also applies to --trace "
+                             "when it names an existing file)")
     ctrl.add_argument("--bytes", type=_positive_int, default=None,
                       metavar="N",
                       help="payload size for named traces (default: 65536); "
-                           "for trace files, a cap on how much is read "
+                           "for trace files, a cap on how much is streamed "
                            "(default: the whole file)")
+    ctrl.add_argument("--chunk-bytes", dest="chunk_bytes",
+                      type=_positive_int, default=DEFAULT_TRACE_CHUNK_BYTES,
+                      metavar="N",
+                      help="streaming chunk size for trace files and "
+                           f"--track (default: {DEFAULT_TRACE_CHUNK_BYTES})")
     ctrl.add_argument("--seed", type=int, default=0x0DB1, help="RNG seed")
     ctrl.add_argument("--channels", type=_positive_int, default=2)
     ctrl.add_argument("--lanes", type=_positive_int, default=4,
@@ -715,6 +827,25 @@ def build_parser() -> argparse.ArgumentParser:
                       default=12.0, help="per-pin data rate (default: 12)")
     ctrl.add_argument("--c-load-pf", dest="c_load_pf", type=float,
                       default=3.0, help="lane load capacitance (default: 3)")
+    adaptive = ctrl.add_mutually_exclusive_group()
+    adaptive.add_argument("--schedule", nargs="+", metavar="IFACE@GBPS[:START]",
+                          help="replay once under a DVFS point schedule: "
+                               "first point at :0, every later point "
+                               "switched in at its :START (see "
+                               "--schedule-unit)")
+    adaptive.add_argument("--track", nargs="+", metavar="IFACE@GBPS",
+                          help="replay once with online alpha/beta tracking "
+                               "choosing among these candidate points")
+    ctrl.add_argument("--schedule-unit", dest="schedule_unit",
+                      choices=["transactions", "address"],
+                      default="transactions",
+                      help="what :START indexes (default: transactions)")
+    ctrl.add_argument("--track-half-life", dest="track_half_life",
+                      type=float, default=DEFAULT_HALF_LIFE_BYTES,
+                      metavar="BYTES",
+                      help="EWMA half-life of the tracker in committed "
+                           "lane bytes (default: "
+                           f"{DEFAULT_HALF_LIFE_BYTES:g})")
     _add_backend_argument(ctrl)
     ctrl.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                       help="worker processes for distinct operating-point "

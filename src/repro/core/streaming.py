@@ -145,6 +145,17 @@ class StreamingOptimalEncoder:
         """Current wire word after the last committed byte."""
         return self.prev_word
 
+    def set_model(self, model: CostModel) -> None:
+        """Re-price every future trellis solve (adaptive tracking / DVFS).
+
+        Takes effect at the next :meth:`push`/:meth:`flush` solve;
+        already-committed decisions and tallies are untouched.  Pending
+        bytes are re-solved under the new model when their window
+        commits — the window-boundary re-pricing semantics the adaptive
+        controller relies on.
+        """
+        self.model = model
+
     # -- internals ------------------------------------------------------------
     def _commit_prefix(self, count: int) -> List[Tuple[int, bool]]:
         burst = Burst(self._pending)
@@ -298,6 +309,18 @@ class BatchStreamingEncoder:
     def pending_counts(self) -> List[int]:
         """Bytes buffered per lane, not yet committed."""
         return [len(buf) for buf in self._pending]
+
+    def set_model(self, model: CostModel) -> None:
+        """Re-price every future windowed solve on every lane.
+
+        Same semantics as :meth:`StreamingOptimalEncoder.set_model`: the
+        change applies from the next :meth:`push`/:meth:`flush` round
+        (``_process_group`` reads the coefficients per call), committed
+        tallies are untouched, and pending bytes commit under the new
+        model — keeping the two backends bit-identical when the
+        controller switches models at submit boundaries.
+        """
+        self.model = model
 
     def decisions(self, row: int) -> List[Tuple[int, bool]]:
         """Committed (byte, invert-flag) pairs of one lane (``record=True``)."""

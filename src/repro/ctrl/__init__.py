@@ -23,31 +23,70 @@ Both backends are bit-identical — per-lane invert decisions and integer
 (zeros, transitions, beats) tallies — enforced by
 ``tests/ctrl/test_batch_parity.py`` across POD/SSTL/LVSTL operating
 points, and ``benchmarks/test_ctrl_throughput.py`` gates the batched
-path at >= 10x the reference on a 10k-transaction replay.
+path at >= 10x the reference on a 10k-transaction replay.  ``auto``
+additionally falls back to the reference below
+:data:`~repro.ctrl.controller.AUTO_VECTOR_MIN_CELLS` trellis cells per
+lock-step round (small links lose to NumPy call overhead); explicit
+``"vector"`` is always honoured.
+
+Streaming ingestion and adaptive operating points
+-------------------------------------------------
+:func:`transactions_from_source` streams any
+:class:`~repro.workloads.source.TraceSource` (file, synthetic, registry
+trace) through :meth:`MemoryController.submit` one chunk at a time in
+bounded memory, with chunk seams proven invisible (bit-identical to a
+one-shot submit for every chunking).  :mod:`repro.ctrl.adaptive` makes a
+single pass price segments under different operating points:
+:class:`~repro.ctrl.adaptive.OperatingPointSchedule` switches the cost
+model at planned transaction/address boundaries (DVFS point schedules),
+and :class:`~repro.ctrl.adaptive.AdaptiveCostTracker` re-estimates
+alpha/beta online from the committed batch planes (EWMA with a
+configurable half-life) and re-prices the windowed trellis when the
+measured statistics drift — the paper's OPT-tracking inside the batched
+write path.  Per-segment tallies come back from
+:meth:`MemoryController.segments`.
 
 Energy accounting takes any :class:`~repro.phy.interface.Interface`
 standard via :class:`~repro.phy.power.InterfaceEnergyModel`, including
 the one-level DC term that POD-only accounting omits.
 """
 
+from .adaptive import (
+    DEFAULT_HALF_LIFE_BYTES,
+    AdaptiveCostTracker,
+    OperatingPoint,
+    OperatingPointSchedule,
+    TrackingConfig,
+)
 from .controller import (
+    AUTO_VECTOR_MIN_CELLS,
     CACHE_LINE_BYTES,
     ControllerStatistics,
     LaneState,
     MemoryController,
+    SegmentActivity,
     WriteController,
     WriteTransaction,
     compare_controllers,
     transactions_from_bytes,
+    transactions_from_source,
 )
 
 __all__ = [
+    "AUTO_VECTOR_MIN_CELLS",
+    "AdaptiveCostTracker",
     "CACHE_LINE_BYTES",
     "ControllerStatistics",
+    "DEFAULT_HALF_LIFE_BYTES",
     "LaneState",
     "MemoryController",
+    "OperatingPoint",
+    "OperatingPointSchedule",
+    "SegmentActivity",
+    "TrackingConfig",
     "WriteController",
     "WriteTransaction",
     "compare_controllers",
     "transactions_from_bytes",
+    "transactions_from_source",
 ]

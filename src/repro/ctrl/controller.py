@@ -32,17 +32,28 @@ figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.bitops import WORD_WIDTH, make_word, transitions, zeros_in_word
 from ..core.costs import CostModel
 from ..core.streaming import BatchStreamingEncoder, StreamingOptimalEncoder
-from ..core.vectorized import resolve_backend
+from ..core.vectorized import get_default_backend, resolve_backend
 from ..phy.bus import BusStatistics
 from ..phy.power import InterfaceEnergyModel
+from .adaptive import AdaptiveCostTracker, OperatingPoint, OperatingPointSchedule
 
 #: Typical cache-line size; transactions default to this granularity.
 CACHE_LINE_BYTES = 64
+
+#: ``backend="auto"`` picks the vector path only when the batch holds at
+#: least this many (channels × byte_lanes) × window trellis cells per
+#: lock-step round.  Below it, NumPy call overhead dominates the tiny
+#: arrays and the per-byte reference is as fast or faster (measured
+#: crossover ≈ 32–64 cells; ``BENCH_ctrl_throughput.json`` showed 1.9×
+#: *ungated* at the 2ch×4lane GDDR-like geometry precisely because the
+#: vector win shrinks with the row count).  Explicit ``backend="vector"``
+#: is always honoured.
+AUTO_VECTOR_MIN_CELLS = 64
 
 
 @dataclass(frozen=True)
@@ -77,6 +88,59 @@ def transactions_from_bytes(payload: bytes, line_bytes: int = CACHE_LINE_BYTES,
         raise ValueError("payload must be non-empty")
     return [WriteTransaction(base_address + start, payload[start:start + line_bytes])
             for start in range(0, len(payload), line_bytes)]
+
+
+def transactions_from_source(source, line_bytes: int = CACHE_LINE_BYTES,
+                             base_address: int = 0
+                             ) -> Iterator[List[WriteTransaction]]:
+    """Generator twin of :func:`transactions_from_bytes` over a chunked
+    source — the bounded-memory trace adapter.
+
+    *source* is a :class:`repro.workloads.source.TraceSource` (or any
+    iterable of byte chunks).  Yields one transaction batch per source
+    chunk, holding at most one chunk plus a sub-line remainder in memory;
+    the remainder of a chunk that ends mid-line is carried into the next
+    batch, so the produced (address, data) sequence is **identical** to
+    ``transactions_from_bytes(b"".join(chunks), ...)`` for every possible
+    chunking — the seam invariant ``tests/ctrl/test_chunk_seams.py``
+    enforces.
+
+    >>> batches = transactions_from_source([bytes(100), bytes(30)], 64)
+    >>> [[t.address for t in batch] for batch in batches]
+    [[0, 64], [128]]
+    """
+    if line_bytes < 1:
+        raise ValueError(f"line_bytes must be >= 1, got {line_bytes}")
+    chunks = source.chunks() if hasattr(source, "chunks") else iter(source)
+    remainder = b""
+    address = base_address
+    empty = True
+    for chunk in chunks:
+        data = remainder + bytes(chunk)
+        if not data:
+            continue
+        empty = False
+        cut = len(data) - len(data) % line_bytes
+        if cut:
+            yield [WriteTransaction(address + start,
+                                    data[start:start + line_bytes])
+                   for start in range(0, cut, line_bytes)]
+            address += cut
+        remainder = data[cut:]
+    if remainder:
+        yield [WriteTransaction(address, remainder)]
+    elif empty:
+        raise ValueError("trace source yielded no data")
+
+
+@dataclass(frozen=True)
+class SegmentActivity:
+    """Committed activity of one operating-point segment (adaptive runs)."""
+
+    label: str
+    zeros: int
+    transitions: int
+    beats: int
 
 
 @dataclass
@@ -144,11 +208,28 @@ class MemoryController:
         addresses were laid out with, or whole channels sit idle.
     backend:
         ``"reference"`` / ``"vector"`` / ``"auto"`` / ``None`` (process
-        default) — resolved once at construction.
+        default) — resolved once at construction.  ``auto`` additionally
+        falls back to the reference path when the link geometry is too
+        small for batching to win (fewer than
+        :data:`AUTO_VECTOR_MIN_CELLS` trellis cells per lock-step
+        round); an explicit ``"vector"`` is always honoured.
     record:
         Keep every committed (byte, invert-flag) decision per lane, for
         differential and round-trip checks (costs memory; off by
         default).
+    schedule:
+        Optional :class:`~repro.ctrl.adaptive.OperatingPointSchedule`:
+        submitted batches are split at the scheduled transaction/address
+        boundaries, the trellis is re-priced with each segment's cost
+        model, and per-segment activity is tallied (:meth:`segments`).
+        Overrides ``model``.
+    tracker:
+        Optional :class:`~repro.ctrl.adaptive.AdaptiveCostTracker`: after
+        every submit the committed integer deltas are folded into the
+        tracker's EWMA rate estimate, and when its selected operating
+        point changes the trellis is re-priced from the next window on
+        (the paper's OPT-tracking inside the batched write path).
+        Overrides ``model``; mutually exclusive with ``schedule``.
 
     >>> ctrl = MemoryController(channels=1, byte_lanes=2,
     ...                         model=CostModel.fixed(), window=8,
@@ -162,20 +243,49 @@ class MemoryController:
                  model: Optional[CostModel] = None, window: int = 16,
                  energy_model: Optional[InterfaceEnergyModel] = None,
                  line_bytes: int = CACHE_LINE_BYTES,
-                 backend: Optional[str] = None, record: bool = False):
+                 backend: Optional[str] = None, record: bool = False,
+                 schedule: Optional[OperatingPointSchedule] = None,
+                 tracker: Optional[AdaptiveCostTracker] = None):
         if channels < 1:
             raise ValueError(f"channels must be >= 1, got {channels}")
         if byte_lanes < 1:
             raise ValueError(f"byte_lanes must be >= 1, got {byte_lanes}")
         if line_bytes < 1:
             raise ValueError(f"line_bytes must be >= 1, got {line_bytes}")
+        if schedule is not None and tracker is not None:
+            raise ValueError(
+                "pass either schedule= (planned switching) or tracker= "
+                "(measured switching), not both")
         self.channels = channels
         self.byte_lanes = byte_lanes
         self.line_bytes = line_bytes
         self.model = model if model is not None else CostModel.fixed()
         self.window = window
         self.energy_model = energy_model
+        self.schedule = schedule
+        self.tracker = tracker
+        self._schedule_segment = 0
+        self._segment_marks: List[Tuple[str, Tuple[int, int, int]]] = []
+        self._observed = (0, 0, 0)
+        if schedule is not None:
+            initial = schedule.point_at(0)
+            self._points_by_label = schedule.points_by_label()
+        elif tracker is not None:
+            initial = tracker.current
+            self._points_by_label = tracker.points_by_label()
+        else:
+            initial = None
+            self._points_by_label: Dict[str, OperatingPoint] = {}
+        if initial is not None:
+            self.model = initial.cost_model()
+            self._active_label: Optional[str] = initial.label
+        else:
+            self._active_label = None
+        requested = backend if backend is not None else get_default_backend()
         self.backend = resolve_backend(backend)
+        if (requested == "auto" and self.backend == "vector"
+                and channels * byte_lanes * window < AUTO_VECTOR_MIN_CELLS):
+            self.backend = "reference"
         self.record = record
         self._transactions = 0
         self._bytes_written = 0
@@ -225,7 +335,49 @@ class MemoryController:
         encoders in one pass; decisions whose lookahead window fills are
         committed, the rest stay pending until more data or
         :meth:`flush` arrives.
+
+        With a ``schedule``, the batch is split at the scheduled
+        transaction/address boundaries and each run is pushed under its
+        segment's cost model.  With a ``tracker``, the committed integer
+        deltas of this submit are folded into the EWMA estimate
+        afterwards, and a changed selection re-prices the trellis for
+        the *next* submit — so in a chunked replay the tracker updates
+        once per chunk.  Either way the decision stream is a
+        deterministic function of the submitted transactions, identical
+        on both backends.
         """
+        if self.schedule is not None:
+            self._submit_scheduled(batch)
+            return
+        self._submit_run(batch)
+        if self.tracker is not None:
+            self._observe_and_track()
+
+    def submit_source(self, source,
+                      base_address: int = 0) -> None:
+        """Stream a whole trace source through :meth:`submit`, one chunk
+        of transactions at a time (bounded memory at any trace size)."""
+        for batch in transactions_from_source(source, self.line_bytes,
+                                              base_address=base_address):
+            self.submit(batch)
+
+    def _submit_scheduled(self, batch: Sequence[WriteTransaction]) -> None:
+        """Split a batch at schedule boundaries, re-pricing at each."""
+        run: List[WriteTransaction] = []
+        for transaction in batch:
+            segment = self.schedule.segment_for(
+                self._transactions + len(run), transaction.address)
+            if segment != self._schedule_segment:
+                if run:
+                    self._submit_run(run)
+                    run = []
+                self._switch_point(self.schedule.point_at(segment))
+                self._schedule_segment = segment
+            run.append(transaction)
+        if run:
+            self._submit_run(run)
+
+    def _submit_run(self, batch: Sequence[WriteTransaction]) -> None:
         per_channel: List[List[bytes]] = [[] for _ in range(self.channels)]
         for transaction in batch:
             channel = self.channel_of(transaction.address)
@@ -253,6 +405,85 @@ class MemoryController:
             for lane in self._ref_lanes.values():
                 lane.commit(lane.encoder.flush())
         return self.statistics()
+
+    # -- adaptive operating points -------------------------------------------
+    def _switch_point(self, point: OperatingPoint) -> None:
+        """Close the current segment and re-price the lane encoders.
+
+        Pending window bytes are *not* re-attributed: they commit under
+        the new model and count toward the new segment — switching takes
+        effect at the commit boundary, which both backends hit
+        identically.
+        """
+        self._segment_marks.append((self._active_label,
+                                    self._committed_totals()))
+        self._active_label = point.label
+        self.model = point.cost_model()
+        if self._batch is not None:
+            self._batch.set_model(self.model)
+        else:
+            for lane in self._ref_lanes.values():
+                lane.encoder.set_model(self.model)
+
+    def _observe_and_track(self) -> None:
+        zeros, n_transitions, beats = self._committed_totals()
+        seen_zeros, seen_transitions, seen_beats = self._observed
+        if beats > seen_beats:
+            self.tracker.observe(zeros - seen_zeros,
+                                 n_transitions - seen_transitions,
+                                 beats - seen_beats)
+            self._observed = (zeros, n_transitions, beats)
+            selected = self.tracker.select()
+            if selected.label != self._active_label:
+                self._switch_point(selected)
+
+    def _committed_totals(self) -> Tuple[int, int, int]:
+        """Committed (zeros, transitions, beats) summed over all lanes."""
+        if self._batch is not None:
+            return (int(self._batch._zeros.sum()),
+                    int(self._batch._transitions.sum()),
+                    int(self._batch._beats.sum()))
+        zeros = n_transitions = beats = 0
+        for lane in self._ref_lanes.values():
+            zeros += lane.zeros
+            n_transitions += lane.transitions
+            beats += lane.beats
+        return zeros, n_transitions, beats
+
+    def segments(self) -> List[SegmentActivity]:
+        """Per-operating-point committed activity (adaptive runs only).
+
+        One row per dwell interval in switch order (a revisited point
+        gets a new row); the rows' tallies sum exactly to
+        :meth:`statistics`.  Empty without ``schedule``/``tracker``.
+        Call after :meth:`flush` for final totals.
+        """
+        if self._active_label is None:
+            return []
+        rows: List[SegmentActivity] = []
+        previous = (0, 0, 0)
+        marks = self._segment_marks + [(self._active_label,
+                                        self._committed_totals())]
+        for label, totals in marks:
+            delta = SegmentActivity(
+                label=label, zeros=totals[0] - previous[0],
+                transitions=totals[1] - previous[1],
+                beats=totals[2] - previous[2])
+            previous = totals
+            if delta.beats or not rows:
+                rows.append(delta)
+        return rows
+
+    def adaptive_energy_joules(self) -> float:
+        """Total energy with every segment priced at its own operating
+        point — the adaptive twin of ``statistics().energy_joules``."""
+        energy = 0.0
+        for segment in self.segments():
+            point = self._points_by_label[segment.label]
+            energy += point.energy_model().burst_energy(
+                segment.transitions, segment.zeros,
+                lane_beats=WORD_WIDTH * segment.beats)
+        return energy
 
     # -- accounting ----------------------------------------------------------
     def lane_activity(self, channel: int, lane: int) -> Tuple[int, int, int]:

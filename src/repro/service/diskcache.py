@@ -85,11 +85,18 @@ def encode_record(totals) -> Tuple[str, Dict[str, object]]:
                             "zeros": totals.zeros,
                             "bursts": totals.bursts}
     if isinstance(totals, ReplayTotals):
-        return "replay", {"transactions": totals.transactions,
-                          "bytes_written": totals.bytes_written,
-                          "beats": totals.beats,
-                          "channels": [list(channel)
-                                       for channel in totals.channels]}
+        record: Dict[str, object] = {
+            "transactions": totals.transactions,
+            "bytes_written": totals.bytes_written,
+            "beats": totals.beats,
+            "channels": [list(channel) for channel in totals.channels]}
+        if totals.segments:
+            # Adaptive replays only; absent for fixed-point entries, so
+            # pre-existing cache files keep decoding (and re-encoding a
+            # fixed-point entry reproduces the old bytes exactly).
+            record["segments"] = [list(segment)
+                                  for segment in totals.segments]
+        return "replay", record
     if isinstance(totals, FaultCoverageRow):
         return "fault", {"rate": totals.rate,
                          "injected_faults": totals.injected_faults,
@@ -119,7 +126,11 @@ def decode_record(kind: str, record: Dict[str, object]):
             bytes_written=int(record["bytes_written"]),
             beats=int(record["beats"]),
             channels=tuple(tuple(int(value) for value in channel)
-                           for channel in record["channels"]))
+                           for channel in record["channels"]),
+            segments=tuple(
+                (str(label), int(zeros), int(transitions), int(beats))
+                for label, zeros, transitions, beats
+                in record.get("segments", ())))
     if kind == "fault":
         return FaultCoverageRow(
             rate=float(record["rate"]),

@@ -82,6 +82,11 @@ from ..core.costs import CostModel
 from ..core.encoder import DbiOptimal
 from ..core.schemes import DbiScheme, get_scheme
 from ..core.vectorized import resolve_backend
+from ..ctrl.adaptive import (
+    OperatingPoint,
+    OperatingPointSchedule,
+    TrackingConfig,
+)
 from ..ctrl.controller import (
     CACHE_LINE_BYTES,
     MemoryController,
@@ -102,6 +107,11 @@ from ..workloads.population import (
     OpaquePopulation,
     RandomPopulation,
     as_population,
+)
+from ..workloads.source import (
+    DEFAULT_TRACE_CHUNK_BYTES,
+    BytesTraceSource,
+    source_from_json,
 )
 
 #: Identifier written into every persisted artifact.
@@ -653,52 +663,147 @@ class ReplayPoint:
 
 @dataclass(frozen=True)
 class ReplaySpec:
-    """A trace-driven controller replay: payload × link geometry × points."""
+    """A trace-driven controller replay: trace × link geometry × points.
+
+    The trace is either an inline ``payload`` (the original axis) or a
+    streaming ``source`` (any :class:`repro.workloads.source.TraceSource`
+    — file, synthetic, registry trace) consumed ``chunk_bytes`` at a
+    time in bounded memory; exactly one of the two must be set.  Because
+    a source's digest is format-identical to the inline payload digest
+    of the same bytes, migrating a spec from ``payload=`` to ``source=``
+    keeps every cached replay warm.
+
+    Two optional adaptive axes ride on top of the fixed ``points`` grid
+    (and may replace it entirely):
+
+    * ``schedule`` — an :class:`~repro.ctrl.adaptive.OperatingPointSchedule`
+      replayed once with planned DVFS switching; chunking-independent,
+      so its cache key binds only the schedule descriptor.
+    * ``tracking`` — a :class:`~repro.ctrl.adaptive.TrackingConfig`
+      replayed once with online alpha/beta tracking; the tracker observes
+      per submitted chunk, so its cache key additionally binds
+      ``chunk_bytes``.
+
+    The two are mutually exclusive per spec (run two specs to compare).
+    """
 
     name: str
-    payload: bytes
-    points: Tuple[ReplayPoint, ...]
+    payload: bytes = b""
+    points: Tuple[ReplayPoint, ...] = ()
     channels: int = 2
     byte_lanes: int = 4
     window: int = 16
     line_bytes: int = CACHE_LINE_BYTES
+    source: Optional[object] = None
+    chunk_bytes: int = DEFAULT_TRACE_CHUNK_BYTES
+    schedule: Optional[OperatingPointSchedule] = None
+    tracking: Optional[TrackingConfig] = None
 
     def __post_init__(self) -> None:
-        if not self.payload:
-            raise ValueError("replay payload must be non-empty")
-        if not self.points:
+        if bool(self.payload) == (self.source is not None):
+            raise ValueError(
+                "replay spec needs exactly one of payload / source")
+        if self.schedule is not None and self.tracking is not None:
+            raise ValueError(
+                "schedule and tracking are mutually exclusive; "
+                "run two specs to compare them")
+        if not self.points and self.adaptive_label is None:
             raise ValueError("replay spec needs at least one operating point")
         if min(self.channels, self.byte_lanes, self.window,
                self.line_bytes) < 1:
             raise ValueError("channels/byte_lanes/window/line_bytes must be >= 1")
+        if self.chunk_bytes < 1:
+            raise ValueError(
+                f"chunk_bytes must be >= 1, got {self.chunk_bytes}")
         labels = [point.label for point in self.points]
+        if self.adaptive_label is not None:
+            labels.append(self.adaptive_label)
         if len(set(labels)) != len(labels):
             raise ValueError(f"duplicate point labels in {labels}")
 
+    @property
+    def adaptive_label(self) -> Optional[str]:
+        """Series label of the adaptive axis (``None`` without one)."""
+        if self.schedule is not None:
+            return self.schedule.label
+        if self.tracking is not None:
+            return self.tracking.label
+        return None
+
     def payload_digest(self) -> str:
-        """Content identifier of the payload (the trace half of cache keys).
+        """Content identifier of the trace (the trace half of cache keys).
 
         Hashed once per spec and memoised — callers key every operating
-        point with it.
+        point with it.  Source-backed specs delegate to the source's
+        incremental digest, which reproduces the inline format exactly.
         """
         cached = getattr(self, "_digest", None)
         if cached is None:
-            cached = f"sha256:{hashlib.sha256(self.payload).hexdigest()[:32]}"
+            if self.source is not None:
+                cached = self.source.digest()
+            else:
+                cached = (f"sha256:"
+                          f"{hashlib.sha256(self.payload).hexdigest()[:32]}")
             object.__setattr__(self, "_digest", cached)
         return cached
 
     def replay_key(self, model: CostModel) -> str:
-        """Cache key of one replay: link geometry + cost-model *ratio* @
-        payload digest.
+        """Cache key of one fixed-point replay: link geometry +
+        cost-model *ratio* @ trace digest.
 
         Like :meth:`repro.core.encoder.DbiOptimal.fingerprint`, only the
         alpha/beta ratio is keyed — uniform scaling never changes the
         trellis — so operating points with coinciding differential
-        ratios collapse to one replay.
+        ratios collapse to one replay.  Chunked and inline replays of
+        the same bytes share keys (chunk seams never change decisions).
         """
         return (f"ctrl[ch={self.channels},l={self.byte_lanes},"
                 f"w={self.window},line={self.line_bytes},"
                 f"r={model.ac_fraction.hex()}]@{self.payload_digest()}")
+
+    def adaptive_key(self) -> str:
+        """Cache key of the adaptive replay (requires one adaptive axis).
+
+        A scheduled replay splits batches at exact transaction/address
+        boundaries, so its result is chunking-independent and the key
+        binds only the schedule descriptor; a tracked replay observes
+        committed activity per submitted chunk, so the key additionally
+        binds ``chunk_bytes``.
+        """
+        if self.schedule is not None:
+            axis = f"sched={self.schedule.describe()}"
+        elif self.tracking is not None:
+            axis = (f"track={self.tracking.describe()},"
+                    f"chunk={self.effective_chunk_bytes()}")
+        else:
+            raise ValueError(
+                f"spec {self.name!r} has no schedule/tracking axis")
+        return (f"ctrl[ch={self.channels},l={self.byte_lanes},"
+                f"w={self.window},line={self.line_bytes},"
+                f"{axis}]@{self.payload_digest()}")
+
+    def trace_source(self):
+        """The spec's trace as a :class:`TraceSource` (payload wrapped)."""
+        if self.source is not None:
+            return self.source
+        return BytesTraceSource(self.payload, chunk_bytes=self.chunk_bytes)
+
+    def effective_chunk_bytes(self) -> int:
+        """The chunk size replays actually stream at.
+
+        A source streams at its own chunk size; ``chunk_bytes`` applies
+        to wrapped inline payloads (and to duck-typed sources that do
+        not expose theirs).
+        """
+        if self.source is not None:
+            return int(getattr(self.source, "chunk_bytes",
+                               self.chunk_bytes))
+        return self.chunk_bytes
+
+    def trace_bytes_total(self) -> int:
+        """Total trace size in bytes, without materialising a source."""
+        return (self.source.size() if self.source is not None
+                else len(self.payload))
 
 
 @dataclass(frozen=True)
@@ -710,6 +815,11 @@ class ReplayTotals:
     beats: int
     #: Per-channel (zeros, transitions, beats) triples, channel order.
     channels: Tuple[Tuple[int, int, int], ...]
+    #: Adaptive runs only: per-dwell-interval
+    #: ``(point label, zeros, transitions, beats)`` rows in switch order;
+    #: the rows sum exactly to the channel totals.  Empty for fixed-point
+    #: replays.
+    segments: Tuple[Tuple[str, int, int, int], ...] = ()
 
     @property
     def zeros(self) -> int:
@@ -745,22 +855,62 @@ class ReplayResult:
         return self.totals[self.point_keys[label]]
 
 
+def _totals_of(controller: MemoryController,
+               stats) -> ReplayTotals:
+    per_channel = tuple(
+        (merged.zeros, merged.transitions, merged.beats)
+        for merged in (controller.channel_statistics(channel)
+                       for channel in range(controller.channels)))
+    segments = tuple(
+        (segment.label, segment.zeros, segment.transitions, segment.beats)
+        for segment in controller.segments())
+    return ReplayTotals(transactions=stats.transactions,
+                        bytes_written=stats.bytes_written,
+                        beats=stats.beats, channels=per_channel,
+                        segments=segments)
+
+
 def _execute_replay(payload: bytes, model: CostModel, channels: int,
                     byte_lanes: int, window: int, line_bytes: int,
                     backend: str) -> ReplayTotals:
-    """One full pass of a payload through the write path."""
+    """One full one-shot pass of a payload through the write path."""
     controller = MemoryController(channels=channels, byte_lanes=byte_lanes,
                                   model=model, window=window,
                                   line_bytes=line_bytes, backend=backend)
     controller.submit(transactions_from_bytes(payload, line_bytes))
-    stats = controller.flush()
-    per_channel = tuple(
-        (merged.zeros, merged.transitions, merged.beats)
-        for merged in (controller.channel_statistics(channel)
-                       for channel in range(channels)))
-    return ReplayTotals(transactions=stats.transactions,
-                        bytes_written=stats.bytes_written,
-                        beats=stats.beats, channels=per_channel)
+    return _totals_of(controller, controller.flush())
+
+
+def _execute_replay_stream(source, model: CostModel, channels: int,
+                           byte_lanes: int, window: int, line_bytes: int,
+                           backend: str) -> ReplayTotals:
+    """One full streaming pass of a trace source through the write path.
+
+    Bit-identical to :func:`_execute_replay` on the same bytes — the
+    lane encoders' pending state depends only on cumulative pushed
+    bytes, never on how submissions were chunked (the chunk-seam
+    invariant ``tests/ctrl/test_chunk_seams.py`` enforces).
+    """
+    controller = MemoryController(channels=channels, byte_lanes=byte_lanes,
+                                  model=model, window=window,
+                                  line_bytes=line_bytes, backend=backend)
+    controller.submit_source(source)
+    return _totals_of(controller, controller.flush())
+
+
+def _execute_adaptive_replay(spec: "ReplaySpec",
+                             backend: str) -> ReplayTotals:
+    """One streaming pass under the spec's schedule or tracking axis."""
+    adaptive = ({"schedule": spec.schedule}
+                if spec.schedule is not None
+                else {"tracker": spec.tracking.build()})
+    controller = MemoryController(channels=spec.channels,
+                                  byte_lanes=spec.byte_lanes,
+                                  window=spec.window,
+                                  line_bytes=spec.line_bytes,
+                                  backend=backend, **adaptive)
+    controller.submit_source(spec.trace_source())
+    return _totals_of(controller, controller.flush())
 
 
 #: Worker-process state, mirroring the population initializer: the
@@ -797,6 +947,26 @@ def _price_replay(totals: ReplayTotals,
     }
 
 
+def _price_adaptive(totals: ReplayTotals,
+                    points_by_label: Mapping[str, OperatingPoint]
+                    ) -> Dict[str, object]:
+    """Price an adaptive replay: each segment at its own operating point."""
+    energy = 0.0
+    per_segment = []
+    for label, zeros, transitions, beats in totals.segments:
+        segment_energy = points_by_label[label].energy_model().burst_energy(
+            transitions, zeros, lane_beats=WORD_WIDTH * beats)
+        per_segment.append({"label": label, "beats": beats,
+                            "energy_joules": segment_energy})
+        energy += segment_energy
+    return {
+        "energy_joules": energy,
+        "energy_per_byte": (energy / totals.bytes_written
+                            if totals.bytes_written else 0.0),
+        "per_segment_energy": per_segment,
+    }
+
+
 def run_replay(spec: ReplaySpec, backend: Optional[str] = None,
                jobs: int = 1, cache: Optional[ActivityCache] = None) -> ReplayResult:
     """Execute a replay spec: plan unique replays, run them, price points.
@@ -806,6 +976,15 @@ def run_replay(spec: ReplaySpec, backend: Optional[str] = None,
     process pool (``jobs``; merged in declaration order, so results are
     bit-identical to a serial run), and every operating point is priced
     from the cached integer totals.
+
+    Source-backed specs stream every replay through
+    :meth:`~repro.ctrl.controller.MemoryController.submit_source` in
+    bounded memory and always run serially (the trace never ships to
+    worker processes); the totals — and therefore the cache entries and
+    priced energies — are bit-identical to an inline replay of the same
+    bytes.  A spec's ``schedule``/``tracking`` axis adds one more series
+    under :attr:`ReplaySpec.adaptive_label`, priced per segment at that
+    segment's own operating point.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -822,6 +1001,10 @@ def run_replay(spec: ReplaySpec, backend: Optional[str] = None,
         point_keys[point.label] = key
         if key not in needed:
             needed[key] = model
+    adaptive_key: Optional[str] = None
+    if spec.adaptive_label is not None:
+        adaptive_key = spec.adaptive_key()
+        point_keys[spec.adaptive_label] = adaptive_key
 
     todo: List[Tuple[str, CostModel]] = []
     for key, model in needed.items():
@@ -830,16 +1013,31 @@ def run_replay(spec: ReplaySpec, backend: Optional[str] = None,
         else:
             cache.misses += 1
             todo.append((key, model))
+    adaptive_todo = False
+    if adaptive_key is not None:
+        if adaptive_key in cache:
+            cache.hits += 1
+        else:
+            cache.misses += 1
+            adaptive_todo = True
 
-    if todo and getattr(spec, "_render_only", False):
+    if (todo or adaptive_todo) and getattr(spec, "_render_only", False):
+        missing = [key for key, __ in todo]
+        if adaptive_todo:
+            missing.append(adaptive_key)
         raise RuntimeError(
             f"replay spec {spec.name!r} was loaded from an artifact "
-            "without its payload and cannot re-execute; pass a cache "
-            "holding its totals, or re-run with the original payload "
-            f"(missing: {[key for key, __ in todo]})")
+            "without its trace and cannot re-execute; pass a cache "
+            "holding its totals, or re-run with the original trace "
+            f"(missing: {missing})")
 
     if todo:
-        if jobs == 1 or len(todo) == 1:
+        if spec.source is not None:
+            for key, model in todo:
+                cache.store(key, _execute_replay_stream(
+                    spec.source, model, spec.channels, spec.byte_lanes,
+                    spec.window, spec.line_bytes, resolved))
+        elif jobs == 1 or len(todo) == 1:
             for key, model in todo:
                 cache.store(key, _execute_replay(
                     spec.payload, model, spec.channels, spec.byte_lanes,
@@ -855,29 +1053,41 @@ def run_replay(spec: ReplaySpec, backend: Optional[str] = None,
                            for __, model in todo]
                 for (key, __), future in zip(todo, futures):
                     cache.store(key, future.result())
+    if adaptive_todo:
+        cache.store(adaptive_key, _execute_adaptive_replay(spec, resolved))
 
     series = {
         point.label: _price_replay(cache.get(point_keys[point.label]),
                                    point.energy_model())
         for point in spec.points
     }
+    if spec.adaptive_label is not None:
+        axis = spec.schedule if spec.schedule is not None else spec.tracking
+        series[spec.adaptive_label] = _price_adaptive(
+            cache.get(adaptive_key), axis.points_by_label())
+    replays = len(todo) + (1 if adaptive_todo else 0)
+    planned = len(needed) + (1 if adaptive_key is not None else 0)
     provenance = {
         "backend": resolved,
         "jobs": jobs,
-        "replays": len(todo),
-        "cache_hits": len(needed) - len(todo),
-        "cache_misses": len(todo),
+        "replays": replays,
+        "cache_hits": planned - replays,
+        "cache_misses": replays,
         "points": len(spec.points),
         "payload": spec.payload_digest(),
-        "payload_bytes": len(spec.payload),
+        "payload_bytes": spec.trace_bytes_total(),
         "elapsed_s": time.perf_counter() - start,
         "python": platform.python_version(),
         "created_unix": time.time(),
     }
+    if spec.source is not None:
+        provenance["streamed"] = True
+        provenance["chunk_bytes"] = spec.effective_chunk_bytes()
+        provenance["source"] = spec.source.describe()
     from .. import __version__
 
     provenance["repro_version"] = __version__
-    totals = {key: cache.get(key) for key in needed}
+    totals = {key: cache.get(key) for key in point_keys.values()}
     return ReplayResult(spec=spec, series=series, totals=totals,
                         provenance=provenance, point_keys=point_keys)
 
@@ -1531,10 +1741,22 @@ REPLAY_PAYLOAD_INLINE_LIMIT = 65536
 
 
 def _replay_totals_json(totals: ReplayTotals) -> Dict[str, object]:
-    return {"transactions": totals.transactions,
-            "bytes_written": totals.bytes_written,
-            "beats": totals.beats,
-            "channels": [list(channel) for channel in totals.channels]}
+    record: Dict[str, object] = {
+        "transactions": totals.transactions,
+        "bytes_written": totals.bytes_written,
+        "beats": totals.beats,
+        "channels": [list(channel) for channel in totals.channels]}
+    if totals.segments:
+        record["segments"] = [list(segment) for segment in totals.segments]
+    return record
+
+
+def _point_to_json(point) -> Dict[str, object]:
+    """ReplayPoint and OperatingPoint share this record shape."""
+    return {"interface": point.interface,
+            "data_rate_hz": point.data_rate_hz,
+            "c_load_farads": point.c_load_farads,
+            "label": point.label}
 
 
 def replay_result_to_json(result: ReplayResult) -> Dict[str, object]:
@@ -1542,29 +1764,48 @@ def replay_result_to_json(result: ReplayResult) -> Dict[str, object]:
     spec = result.spec
     payload_record: Dict[str, object] = {
         "digest": spec.payload_digest(),
-        "bytes": len(spec.payload),
+        "bytes": spec.trace_bytes_total(),
     }
     if getattr(spec, "_render_only", False):
         payload_record["bytes"] = int(
             result.provenance.get("payload_bytes", 0))
+    elif spec.source is not None:
+        # Large traces persist digest + descriptor, never the bytes; the
+        # loader rebuilds the source when the descriptor resolves in its
+        # environment and falls back to render-only when it doesn't.
+        payload_record["source"] = spec.source.describe()
     elif len(spec.payload) <= REPLAY_PAYLOAD_INLINE_LIMIT:
         payload_record["hex"] = spec.payload.hex()
+    spec_record: Dict[str, object] = {
+        "name": spec.name,
+        "payload": payload_record,
+        "points": [_point_to_json(point) for point in spec.points],
+        "channels": spec.channels,
+        "byte_lanes": spec.byte_lanes,
+        "window": spec.window,
+        "line_bytes": spec.line_bytes,
+        "chunk_bytes": spec.chunk_bytes,
+    }
+    if spec.schedule is not None:
+        spec_record["schedule"] = {
+            "points": [_point_to_json(point)
+                       for point in spec.schedule.points],
+            "switch_at": list(spec.schedule.switch_at),
+            "unit": spec.schedule.unit,
+            "label": spec.schedule.label,
+        }
+    if spec.tracking is not None:
+        spec_record["tracking"] = {
+            "points": [_point_to_json(point)
+                       for point in spec.tracking.points],
+            "half_life_bytes": spec.tracking.half_life_bytes,
+            "min_dwell_bytes": spec.tracking.min_dwell_bytes,
+            "label": spec.tracking.label,
+        }
     return {
         "format": ARTIFACT_FORMAT,
         "kind": "replay",
-        "spec": {
-            "name": spec.name,
-            "payload": payload_record,
-            "points": [{"interface": point.interface,
-                        "data_rate_hz": point.data_rate_hz,
-                        "c_load_farads": point.c_load_farads,
-                        "label": point.label}
-                       for point in spec.points],
-            "channels": spec.channels,
-            "byte_lanes": spec.byte_lanes,
-            "window": spec.window,
-            "line_bytes": spec.line_bytes,
-        },
+        "spec": spec_record,
         "series": {label: dict(values)
                    for label, values in result.series.items()},
         "totals": {key: _replay_totals_json(totals)
@@ -1597,9 +1838,42 @@ def load_replay_artifact(path) -> ReplayResult:
                                c_load_farads=float(point["c_load_farads"]),
                                label=str(point["label"]))
                    for point in spec_record["points"])
+
+    def operating_points(records) -> Tuple[OperatingPoint, ...]:
+        return tuple(OperatingPoint(
+            interface=str(point["interface"]),
+            data_rate_hz=float(point["data_rate_hz"]),
+            c_load_farads=float(point["c_load_farads"]),
+            label=str(point["label"])) for point in records)
+
+    schedule = None
+    schedule_record = spec_record.get("schedule")
+    if schedule_record is not None:
+        schedule = OperatingPointSchedule(
+            points=operating_points(schedule_record["points"]),
+            switch_at=tuple(int(value)
+                            for value in schedule_record["switch_at"]),
+            unit=str(schedule_record["unit"]),
+            label=str(schedule_record["label"]))
+    tracking = None
+    tracking_record = spec_record.get("tracking")
+    if tracking_record is not None:
+        tracking = TrackingConfig(
+            points=operating_points(tracking_record["points"]),
+            half_life_bytes=float(tracking_record["half_life_bytes"]),
+            min_dwell_bytes=int(tracking_record["min_dwell_bytes"]),
+            label=str(tracking_record["label"]))
+
     payload_hex = payload_record.get("hex")
-    render_only = payload_hex is None
-    payload = (b"\x00" if render_only else bytes.fromhex(payload_hex))
+    source_record = payload_record.get("source")
+    source = (source_from_json(source_record)
+              if source_record is not None else None)
+    render_only = payload_hex is None and source is None
+    payload = b""
+    if payload_hex is not None:
+        payload = bytes.fromhex(payload_hex)
+    elif source is None:
+        payload = b"\x00"
     spec = ReplaySpec(
         name=str(spec_record["name"]),
         payload=payload,
@@ -1608,18 +1882,32 @@ def load_replay_artifact(path) -> ReplayResult:
         byte_lanes=int(spec_record["byte_lanes"]),
         window=int(spec_record["window"]),
         line_bytes=int(spec_record["line_bytes"]),
+        source=source,
+        chunk_bytes=int(spec_record.get("chunk_bytes",
+                                        DEFAULT_TRACE_CHUNK_BYTES)),
+        schedule=schedule,
+        tracking=tracking,
     )
     if render_only:
         # Pin the persisted digest so replay keys (and therefore
         # totals_for / cache lookups) still resolve.
         object.__setattr__(spec, "_digest", str(payload_record["digest"]))
         object.__setattr__(spec, "_render_only", True)
+    elif source is not None:
+        # A rebuilt source would re-derive the digest by streaming the
+        # whole trace; pin the persisted one instead (they are equal by
+        # construction, and loads stay O(1)).
+        object.__setattr__(spec, "_digest", str(payload_record["digest"]))
     totals = {key: ReplayTotals(
                   transactions=int(record["transactions"]),
                   bytes_written=int(record["bytes_written"]),
                   beats=int(record["beats"]),
                   channels=tuple(tuple(int(value) for value in channel)
-                                 for channel in record["channels"]))
+                                 for channel in record["channels"]),
+                  segments=tuple(
+                      (str(label), int(zeros), int(transitions), int(beats))
+                      for label, zeros, transitions, beats
+                      in record.get("segments", ())))
               for key, record in payload_json.get("totals", {}).items()}
     provenance = dict(payload_json.get("provenance", {}))
     provenance["loaded_from"] = str(path)

@@ -1,9 +1,10 @@
 """Workload generators: random bursts, directed patterns, synthetic traces.
 
-The population protocol (:mod:`repro.workloads.population`) and the
-directed patterns are dependency-free; the random/trace generators
-require NumPy and are skipped from the package namespace when it is
-missing (the experiment engine and CLI then fall back to the
+The population protocol (:mod:`repro.workloads.population`), the
+directed patterns, and the streaming trace sources
+(:mod:`repro.workloads.source`) are dependency-free; the random/trace
+generators require NumPy and are skipped from the package namespace when
+it is missing (the experiment engine and CLI then fall back to the
 pure-Python population sources).
 """
 
@@ -29,23 +30,41 @@ from .population import (
     RandomPopulation,
     as_population,
 )
+from .source import (
+    DEFAULT_TRACE_CHUNK_BYTES,
+    BytesTraceSource,
+    FileTraceSource,
+    RegistryTraceSource,
+    SyntheticTraceSource,
+    TraceSource,
+    as_trace_source,
+    source_from_json,
+)
 
 __all__ = [
     "BurstPopulation",
+    "BytesTraceSource",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_TRACE_CHUNK_BYTES",
     "ExplicitPopulation",
+    "FileTraceSource",
     "OpaquePopulation",
     "PATTERN_NAMES",
     "PATTERNS",
     "RandomPopulation",
+    "RegistryTraceSource",
+    "SyntheticTraceSource",
+    "TraceSource",
     "all_ones",
     "all_zeros",
     "as_population",
+    "as_trace_source",
     "checkerboard",
     "get_pattern",
     "pattern_population",
     "pattern_suite",
     "ramp",
+    "source_from_json",
     "static_checkerboard",
     "walking_ones",
     "walking_zeros",

@@ -1,0 +1,122 @@
+"""Chunk-seam differential suite: streaming replay == one-shot replay.
+
+The bounded-memory streaming path is only admissible if chunk seams are
+invisible: submitting a trace in arbitrary pieces must be bit-identical
+to submitting it in one batch, because the replay cache shares keys
+between the two.  That holds structurally — a lane encoder's pending
+state depends only on the cumulative bytes pushed through it, never on
+how the pushes were grouped — and this suite enforces it empirically for
+arbitrary chunkings (hypothesis-chosen cut points), ragged tails,
+windows 1–32 and every available backend.  Without NumPy the backend
+list collapses to the reference path and the suite still runs.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel
+from repro.core.vectorized import available_backends
+from repro.ctrl.controller import (
+    MemoryController,
+    transactions_from_bytes,
+    transactions_from_source,
+)
+from repro.workloads.source import BytesTraceSource
+
+LINE_BYTES = 16
+
+
+def cuts_to_chunks(payload, cuts):
+    marks = sorted({cut % (len(payload) + 1) for cut in cuts})
+    edges = [0] + [mark for mark in marks if 0 < mark < len(payload)] \
+        + [len(payload)]
+    return [payload[a:b] for a, b in zip(edges, edges[1:]) if b > a]
+
+
+def controller_fingerprint(controller):
+    """Everything observable: totals plus per-lane integer activity."""
+    stats = controller.statistics()
+    lanes = tuple(
+        controller.lane_activity(channel, lane)
+        for channel in range(controller.channels)
+        for lane in range(controller.byte_lanes))
+    return (stats.transactions, stats.bytes_written, stats.zeros,
+            stats.transitions, stats.beats, lanes)
+
+
+def replay_oneshot(payload, backend, window, channels=2, lanes=2):
+    controller = MemoryController(
+        channels=channels, byte_lanes=lanes, model=CostModel(1.0, 0.7),
+        window=window, line_bytes=LINE_BYTES, backend=backend)
+    controller.submit(transactions_from_bytes(payload, LINE_BYTES))
+    controller.flush()
+    return controller_fingerprint(controller)
+
+
+def replay_chunked(chunks, backend, window, channels=2, lanes=2):
+    controller = MemoryController(
+        channels=channels, byte_lanes=lanes, model=CostModel(1.0, 0.7),
+        window=window, line_bytes=LINE_BYTES, backend=backend)
+    for batch in transactions_from_source(chunks, LINE_BYTES):
+        controller.submit(batch)
+    controller.flush()
+    return controller_fingerprint(controller)
+
+
+class TestChunkSeams:
+    @given(payload=st.binary(min_size=1, max_size=400),
+           cuts=st.lists(st.integers(min_value=0, max_value=400),
+                         max_size=8),
+           window=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_any_chunking_is_bit_identical(self, payload, cuts, window):
+        chunks = cuts_to_chunks(payload, cuts)
+        for backend in available_backends():
+            assert (replay_chunked(chunks, backend, window)
+                    == replay_oneshot(payload, backend, window)), backend
+
+    @given(payload=st.binary(min_size=1, max_size=300),
+           chunk_bytes=st.integers(min_value=1, max_value=301),
+           window=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_source_matches_oneshot(self, payload, chunk_bytes,
+                                          window):
+        source = BytesTraceSource(payload, chunk_bytes=chunk_bytes)
+        for backend in available_backends():
+            controller = MemoryController(
+                channels=2, byte_lanes=2, model=CostModel(1.0, 0.7),
+                window=window, line_bytes=LINE_BYTES, backend=backend)
+            controller.submit_source(source)
+            controller.flush()
+            assert (controller_fingerprint(controller)
+                    == replay_oneshot(payload, backend, window)), backend
+
+    def test_ragged_tail_across_seams(self):
+        """A chunk seam inside the final short transaction."""
+        payload = bytes(range(256)) * 2 + b"\x5a\x5a\x5a"  # 515 B, 16 B lines
+        chunks = [payload[:500], payload[500:510], payload[510:]]
+        for backend in available_backends():
+            for window in (1, 5, 16, 32):
+                assert (replay_chunked(chunks, backend, window)
+                        == replay_oneshot(payload, backend, window))
+
+    def test_empty_chunks_are_skipped(self):
+        payload = bytes(range(64))
+        chunks = [b"", payload[:10], b"", payload[10:], b""]
+        for backend in available_backends():
+            assert (replay_chunked(chunks, backend, 8)
+                    == replay_oneshot(payload, backend, 8))
+
+    def test_all_empty_source_rejected(self):
+        with pytest.raises(ValueError):
+            list(transactions_from_source([b"", b""], LINE_BYTES))
+
+    def test_streaming_digest_equals_inline_key_half(self):
+        """The cache-key trace half coincides between the two paths."""
+        payload = bytes((i * 13) & 0xFF for i in range(5000))
+        source = BytesTraceSource(payload, chunk_bytes=700)
+        inline = f"sha256:{hashlib.sha256(payload).hexdigest()[:32]}"
+        assert source.digest() == inline

@@ -558,3 +558,107 @@ class TestServeParser:
         assert code == 0
         host, port = started["address"]
         assert f"listening on {host}:{port}" in out
+
+
+class TestCtrlStreaming:
+    """The streaming/adaptive additions to `repro ctrl`."""
+
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "dump.bin"
+        path.write_bytes(bytes((i * 37) & 0xFF for i in range(20000)))
+        return str(path)
+
+    def test_trace_file_streams_in_chunks(self, capsys, trace_path):
+        code, out, __ = run_cli(capsys, "ctrl", "--trace-file", trace_path,
+                                "--chunk-bytes", "4096")
+        assert code == 0
+        assert "streamed in 4096-byte chunks" in out
+        assert "20000 bytes" in out
+
+    def test_trace_path_also_streams(self, capsys, trace_path):
+        """--trace with an existing file routes through the source too."""
+        code, out, __ = run_cli(capsys, "ctrl", "--trace", trace_path)
+        assert code == 0
+        assert "streamed in" in out
+
+    def test_streamed_equals_inline_bursts(self, capsys, tmp_path):
+        """A file of the synthetic payload prices identically to --bursts."""
+        from repro.workloads.population import RandomPopulation
+
+        payload = b"".join(bytes(burst.data) for burst in
+                           RandomPopulation(count=100, seed=0x0DB1))
+        path = tmp_path / "same.bin"
+        path.write_bytes(payload)
+        __, inline, ___ = run_cli(capsys, "ctrl", "--bursts", "100")
+        __, streamed, ___ = run_cli(capsys, "ctrl", "--trace-file",
+                                    str(path), "--chunk-bytes", "512")
+        table = [line for line in inline.splitlines()
+                 if line.startswith("|")]
+        assert table == [line for line in streamed.splitlines()
+                         if line.startswith("|")]
+
+    def test_bytes_caps_the_stream(self, capsys, trace_path):
+        code, out, __ = run_cli(capsys, "ctrl", "--trace-file", trace_path,
+                                "--bytes", "8192")
+        assert code == 0
+        assert "8192 bytes" in out
+
+    def test_schedule_renders_segments(self, capsys, trace_path):
+        code, out, __ = run_cli(capsys, "ctrl", "--trace-file", trace_path,
+                                "--schedule", "pod135@12", "pod12@8:100")
+        assert code == 0
+        assert "(schedule, per segment)" in out
+        assert "| pod135@12Gbps/3pF |" in out
+        assert "| pod12@8Gbps/3pF |" in out
+
+    def test_track_renders_segments(self, capsys, trace_path):
+        code, out, __ = run_cli(capsys, "ctrl", "--trace-file", trace_path,
+                                "--track", "pod135@12", "pod12@8",
+                                "--chunk-bytes", "2048")
+        assert code == 0
+        assert "(tracking, per segment)" in out
+
+    def test_schedule_artifact_round_trip(self, capsys, tmp_path,
+                                          trace_path):
+        out_path = tmp_path / "replay.json"
+        code, direct, __ = run_cli(capsys, "ctrl", "--trace-file",
+                                   trace_path, "--schedule", "pod135@12",
+                                   "pod12@8:100", "--out", str(out_path))
+        assert code == 0
+        code, loaded, __ = run_cli(capsys, "ctrl", "--from-artifact",
+                                   str(out_path))
+        assert code == 0
+        assert ([line for line in direct.splitlines()
+                 if line.startswith("|")]
+                == [line for line in loaded.splitlines()
+                    if line.startswith("|")])
+
+    def test_schedule_missing_start_is_an_error(self, capsys):
+        code, __, err = run_cli(capsys, "ctrl", "--bursts", "50",
+                                "--schedule", "pod135@12", "pod12@8")
+        assert code == 2
+        assert ":START" in err
+
+    def test_schedule_bad_interface(self, capsys):
+        code, __, err = run_cli(capsys, "ctrl", "--bursts", "50",
+                                "--schedule", "ttl@12")
+        assert code == 2
+
+    def test_track_rejects_start_markers(self, capsys):
+        code, __, err = run_cli(capsys, "ctrl", "--bursts", "50",
+                                "--track", "pod135@12", "pod12@8:100")
+        assert code == 2
+        assert "--schedule" in err
+
+    def test_schedule_and_track_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "ctrl", "--bursts", "50",
+                    "--schedule", "pod135@12",
+                    "--track", "pod135@12", "pod12@8")
+
+    def test_missing_trace_file(self, capsys):
+        code, __, err = run_cli(capsys, "ctrl", "--trace-file",
+                                "/no/such/trace.bin")
+        assert code == 2
+        assert "trace file" in err
